@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures,
+printing it to stdout and appending it to ``benchmarks/out/`` so
+EXPERIMENTS.md can cite the exact artifacts.  Expensive corpus-wide
+measurements are cached per session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(out_dir):
+    """Print a rendered table and persist it for EXPERIMENTS.md."""
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def accuracy_outcomes():
+    """§6.1 accuracy runs for the 11 Snorlax-eval bugs (cached)."""
+    from repro.bench import run_accuracy
+    from repro.corpus import snorlax_bugs
+
+    return {spec.bug_id: run_accuracy(spec) for spec in snorlax_bugs()}

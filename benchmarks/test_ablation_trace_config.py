@@ -1,0 +1,70 @@
+"""Ablation: ring-buffer size and timing-packet period (§5, §7).
+
+Two trace-configuration knobs gate Lazy Diagnosis:
+
+* the ring buffer bounds how much history survives to the snapshot (the
+  paper's 64 KB sufficed for every bug; §7 discusses when it would not);
+* the MTC period bounds the partial order's resolution — once it grows
+  past the minimum inter-event gap (91 us), cross-thread ordering
+  dissolves and with it the ability to rank interleavings.
+"""
+
+import pytest
+
+from repro.bench import client_for
+from repro.bench.tables import render_table
+from repro.corpus import bug
+from repro.core import PipelineConfig
+from repro.core.pipeline import LazyDiagnosis
+from repro.pt import KB, TraceConfig
+from repro.runtime import SnorlaxServer
+
+BUG = "pbzip2-n/a"
+
+
+def _diagnose_with(trace_config: TraceConfig, mtc_period_ns: int):
+    spec = bug(BUG)
+    module = spec.module()
+    client = client_for(spec, tracing=True, trace_config=trace_config)
+    failing = client.find_runs(True, 1)[0]
+    server = SnorlaxServer(
+        module, config=PipelineConfig(mtc_period_ns=mtc_period_ns)
+    )
+    report = server.diagnose_failure(failing, client)
+    truth = spec.ground_truth.resolve(module)
+    return report, report.ordered_target_uids() == truth
+
+
+def test_ablation_buffer_and_timing(benchmark, emit):
+    benchmark.pedantic(
+        lambda: _diagnose_with(TraceConfig(), 4096), iterations=1, rounds=1
+    )
+    rows = []
+    # buffer sweep at the default timing period
+    for size_kb in (8, 64, 256):
+        cfg = TraceConfig(buffer_size=size_kb * KB)
+        report, exact = _diagnose_with(cfg, 4096)
+        rows.append(
+            (f"{size_kb} KB buffer, 4.1us MTC", "yes" if exact else "NO",
+             f"{report.root_cause.f1:.2f}" if report.root_cause else "-")
+        )
+        assert exact, f"{size_kb} KB buffer should suffice for this bug"
+    # timing-period sweep at the default buffer: past the ~91us minimum
+    # gap the partial order can no longer separate the target events
+    for period_us, expect_exact in ((4.096, True), (32.768, True)):
+        cfg = TraceConfig(mtc_period_ns=int(period_us * 1000))
+        report, exact = _diagnose_with(cfg, int(period_us * 1000))
+        rows.append(
+            (f"64 KB buffer, {period_us}us MTC", "yes" if exact else "NO",
+             f"{report.root_cause.f1:.2f}" if report.root_cause else "-")
+        )
+        if expect_exact:
+            assert exact, f"{period_us}us period should still order events"
+    emit(
+        "ablation_trace_config",
+        render_table(
+            "Ablation: trace configuration vs diagnosis quality (pbzip2)",
+            ["configuration", "exact diagnosis", "top F1"],
+            rows,
+        ),
+    )

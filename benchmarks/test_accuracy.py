@@ -1,0 +1,41 @@
+"""§6.1 accuracy: Snorlax diagnoses every evaluated bug with 100%
+accuracy from a single failure plus 10 successful traces.
+
+For each of the 11 C/C++ evaluation bugs: one failing execution is
+found by repetition, the server collects successful traces at the
+failure PC, Lazy Diagnosis runs, and the diagnosed pattern is compared
+against the developer-verified ground truth (exact events, exact order).
+Ordering accuracy A_O (normalized Kendall tau, §6.1) must be 100% and
+the root-cause pattern must be the unique top-F1 pattern with F1 = 1.
+"""
+
+from repro.bench import render_table, run_accuracy
+from repro.corpus import snorlax_bugs
+
+
+def test_accuracy_all_bugs(benchmark, accuracy_outcomes, emit):
+    spec = next(s for s in snorlax_bugs() if s.bug_id == "pbzip2-n/a")
+    benchmark.pedantic(lambda: run_accuracy(spec), iterations=1, rounds=3)
+    rows = []
+    for spec in snorlax_bugs():
+        o = accuracy_outcomes[spec.bug_id]
+        rows.append(
+            (spec.system, spec.bug_id, o.bug_kind, f"{o.f1:.2f}",
+             "yes" if o.unambiguous else "NO",
+             f"{o.ordering_accuracy:.0f}%", "yes" if o.exact else "NO")
+        )
+    emit(
+        "accuracy",
+        render_table(
+            "§6.1 accuracy: 11 evaluation bugs (paper: 100% accuracy, A_O = 100%)",
+            ["system", "bug", "diagnosed kind", "F1", "unambiguous", "A_O", "exact"],
+            rows,
+        ),
+    )
+    assert len(accuracy_outcomes) == 11
+    for bug_id, o in accuracy_outcomes.items():
+        assert o.diagnosed, f"{bug_id}: no diagnosis"
+        assert o.exact, f"{bug_id}: diagnosed events differ from ground truth"
+        assert o.f1 == 1.0, f"{bug_id}: root cause F1 {o.f1} != 1.0"
+        assert o.unambiguous, f"{bug_id}: tied top patterns"
+        assert o.ordering_accuracy == 100.0, f"{bug_id}: A_O {o.ordering_accuracy}"

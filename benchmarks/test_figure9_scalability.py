@@ -1,0 +1,50 @@
+"""Figure 9: overhead scalability with application thread count.
+
+The paper doubles threads from 2 to 32: Snorlax grows 0.87% -> 1.98%
+(per-thread trace buffers), while Gist's blocking instrumentation grows
+3.14% -> 38.9%.  Shape assertions: Snorlax stays low and grows mildly;
+Gist starts higher and blows up by an order of magnitude; at 32 threads
+Gist is several times worse than Snorlax.
+"""
+
+import pytest
+
+from repro.bench import measure_scalability_point, render_table
+
+THREADS = (2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return [measure_scalability_point(n) for n in THREADS]
+
+
+def test_figure9_scalability(benchmark, sweep, emit):
+    benchmark.pedantic(
+        lambda: measure_scalability_point(2, seeds=(1,)), iterations=1, rounds=3
+    )
+    rows = [
+        (p.threads, f"{p.snorlax_percent:.2f}", f"{p.gist_percent:.2f}")
+        for p in sweep
+    ]
+    emit(
+        "figure9",
+        render_table(
+            "Figure 9: overhead vs thread count "
+            "(paper: Snorlax 0.87->1.98%, Gist 3.14->38.9%)",
+            ["threads", "Snorlax %", "Gist %"],
+            rows,
+        ),
+    )
+    first, last = sweep[0], sweep[-1]
+    # Snorlax: low everywhere, modest growth
+    for p in sweep:
+        assert p.snorlax_percent < 5.0, f"Snorlax {p.snorlax_percent:.2f}% @ {p.threads}"
+    assert last.snorlax_percent > first.snorlax_percent  # per-thread buffers cost
+    assert last.snorlax_percent / first.snorlax_percent < 6.0
+    # Gist: starts higher, grows by ~an order of magnitude
+    assert first.gist_percent > first.snorlax_percent
+    assert last.gist_percent / first.gist_percent > 4.0
+    assert last.gist_percent > 4.0 * last.snorlax_percent
+    # monotone growth for Gist
+    assert all(a.gist_percent <= b.gist_percent for a, b in zip(sweep, sweep[1:]))

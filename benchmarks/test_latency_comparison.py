@@ -1,0 +1,75 @@
+"""§6.3 diagnosis latency: Snorlax vs Gist.
+
+Snorlax diagnoses after a single failure (always-on tracing); Gist
+needs the failure to recur while its iteratively-refined slice is
+monitored — 3.7 recurrences on average in its paper — and monitors one
+bug per execution, so tracking B bugs multiplies its latency by B
+(paper example: Chromium's 684 open race bugs -> 2523x vs Snorlax).
+"""
+
+import statistics
+
+import pytest
+
+from repro.baselines import GistDiagnoser, SpaceSampling
+from repro.bench import render_table
+from repro.corpus import snorlax_bugs
+
+CHROMIUM_OPEN_RACES = 684
+
+
+@pytest.fixture(scope="module")
+def gist_results(accuracy_outcomes):
+    results = {}
+    for spec in snorlax_bugs():
+        module = spec.module()
+        truth = spec.ground_truth.resolve(module)
+        # Gist slices backward from the *failing* instruction (the crash
+        # PC), which the accuracy runs already located.
+        failing_uid = accuracy_outcomes[spec.bug_id].report.failing_uid
+        diagnoser = GistDiagnoser(module)
+        results[spec.bug_id] = diagnoser.diagnose(failing_uid, truth)
+    return results
+
+
+def test_latency_comparison(benchmark, gist_results, accuracy_outcomes, emit):
+    spec = snorlax_bugs()[0]
+    module = spec.module()
+    truth = spec.ground_truth.resolve(module)
+    failing_uid = accuracy_outcomes[spec.bug_id].report.failing_uid
+    diagnoser = GistDiagnoser(module)
+    benchmark.pedantic(
+        lambda: diagnoser.diagnose(failing_uid, truth), iterations=1, rounds=3
+    )
+    rows = []
+    recurrences = []
+    for spec in snorlax_bugs():
+        r = gist_results[spec.bug_id]
+        recurrences.append(r.recurrences_needed)
+        rows.append(
+            (spec.bug_id, 1, r.recurrences_needed,
+             f"{r.recurrences_needed}x", r.final_monitored)
+        )
+    avg = statistics.fmean(recurrences)
+    sampling = SpaceSampling(CHROMIUM_OPEN_RACES)
+    chromium_factor = sampling.expected_latency_factor(avg)
+    rows.append(
+        ("AVERAGE", 1, f"{avg:.1f} (paper: 3.7)",
+         f"{avg:.1f}x", ""))
+    rows.append(
+        (f"with {CHROMIUM_OPEN_RACES} bugs tracked (space sampling)", 1,
+         f"{chromium_factor:.0f}", f"{chromium_factor:.0f}x (paper: 2523x)", ""))
+    emit(
+        "latency",
+        render_table(
+            "§6.3 diagnosis latency: failures needed before diagnosis",
+            ["bug", "Snorlax", "Gist recurrences", "Gist/Snorlax", "Gist monitored instrs"],
+            rows,
+        ),
+    )
+    for bug_id, r in gist_results.items():
+        assert r.diagnosed, f"{bug_id}: Gist never covered the targets"
+        assert r.recurrences_needed >= 2, f"{bug_id}: Gist can't win on latency"
+    # the paper's headline factors
+    assert 2.0 <= avg <= 8.0
+    assert chromium_factor >= 1000  # paper: 2523x for Chromium

@@ -1,0 +1,37 @@
+"""Table 2: average time elapsed between the two target events of each
+order violation (dT of Figure 1b), with standard deviations, in us."""
+
+import pytest
+
+from repro.bench import measure_cih, render_table
+from repro.corpus import table_bugs
+
+RUNS = 10
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return [measure_cih(spec, runs=RUNS) for spec in table_bugs(2)]
+
+
+def test_table2_order_violation_gaps(benchmark, measurements, emit):
+    spec = table_bugs(2)[0]
+    benchmark.pedantic(lambda: measure_cih(spec, runs=1), iterations=1, rounds=3)
+    rows = [
+        (m.system, m.bug_id, f"{m.mean_us(0):.0f}", f"{m.std_us(0):.0f}",
+         f"{m.min_us():.0f}", m.runs_needed)
+        for m in measurements
+    ]
+    emit(
+        "table2",
+        render_table(
+            "Table 2: order violations -- dT between target events (us)",
+            ["system", "bug", "dT avg", "dT std", "min", "execs to reproduce x10"],
+            rows,
+        ),
+    )
+    assert len(measurements) == 18
+    for m in measurements:
+        assert len(m.gaps_ns) == RUNS
+        assert m.min_us() >= 91, f"{m.bug_id}: gap below the paper's 91 us floor"
+        assert 100 <= m.mean_us(0) <= 4300, f"{m.bug_id}: average outside band"

@@ -1,0 +1,41 @@
+"""Table 3: average times elapsed for atomicity violations (dT1 between
+first and second access, dT2 between second and third; Figure 1c)."""
+
+import pytest
+
+from repro.bench import measure_cih, render_table
+from repro.corpus import table_bugs
+
+RUNS = 10
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return [measure_cih(spec, runs=RUNS) for spec in table_bugs(3)]
+
+
+def test_table3_atomicity_gaps(benchmark, measurements, emit):
+    spec = table_bugs(3)[0]
+    benchmark.pedantic(lambda: measure_cih(spec, runs=1), iterations=1, rounds=3)
+    rows = [
+        (m.system, m.bug_id,
+         f"{m.mean_us(0):.0f}", f"{m.std_us(0):.0f}",
+         f"{m.mean_us(1):.0f}", f"{m.std_us(1):.0f}",
+         f"{m.min_us():.0f}")
+        for m in measurements
+    ]
+    emit(
+        "table3",
+        render_table(
+            "Table 3: atomicity violations -- dT1, dT2 between target events (us)",
+            ["system", "bug", "dT1 avg", "dT1 std", "dT2 avg", "dT2 std", "min"],
+            rows,
+        ),
+    )
+    assert len(measurements) == 27
+    for m in measurements:
+        assert len(m.gaps_ns) == RUNS
+        assert m.n_gaps == 2, f"{m.bug_id}: atomicity bugs have two gaps"
+        assert m.min_us() >= 91, f"{m.bug_id}: gap below the paper's 91 us floor"
+        for k in (0, 1):
+            assert 100 <= m.mean_us(k) <= 4800, f"{m.bug_id}: dT{k+1} outside band"

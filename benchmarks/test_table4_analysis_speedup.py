@@ -1,0 +1,81 @@
+"""Table 4: server-side analysis time per trace and the speedup of the
+scope-restricted hybrid analysis over a whole-program static analysis.
+
+The paper reports 2.5 s average per-trace analysis and a geometric-mean
+speedup of 24x, larger for larger programs (the trace is a fixed-size
+window; the program is not).  We time both analyses on one
+representative bug per system and assert the shape: hybrid always wins,
+and the biggest system's speedup exceeds the smallest's.
+"""
+
+import math
+import statistics
+
+import pytest
+
+from repro.baselines import speedup_vs_hybrid
+from repro.bench import client_for, render_table
+from repro.corpus import profile, snorlax_bugs
+from repro.core.points_to import PointsToAnalysis
+
+
+def _executed_set(spec):
+    client = client_for(spec, tracing=True)
+    run = client.find_runs(True, 1)[0]
+    snap = run.snapshot
+    traces = snap.decode(spec.module())
+    uids = set()
+    for t in traces.values():
+        uids |= t.executed_uids
+    return uids
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    per_system = {}
+    for spec in snorlax_bugs():
+        if spec.system in per_system:
+            continue
+        executed = _executed_set(spec)
+        per_system[spec.system] = (spec, speedup_vs_hybrid(spec.module(), executed))
+    return per_system
+
+
+def test_table4_speedups(benchmark, speedups, emit):
+    # benchmark the hybrid analysis itself (the per-trace server cost)
+    spec, row0 = next(iter(speedups.values()))
+    executed = _executed_set(spec)
+    benchmark.pedantic(
+        lambda: PointsToAnalysis(spec.module(), executed).run(),
+        iterations=1,
+        rounds=5,
+    )
+    rows = []
+    for system, (spec_, r) in sorted(
+        speedups.items(), key=lambda kv: -kv[1][1]["instructions_total"]
+    ):
+        rows.append(
+            (system, f"{profile(system).kloc} KLOC", r["instructions_total"],
+             r["instructions_hybrid"], f"{r['whole_seconds']*1000:.1f}",
+             f"{r['hybrid_seconds']*1000:.1f}", f"{r['speedup']:.1f}x")
+        )
+    geomean = math.exp(
+        statistics.fmean(math.log(r["speedup"]) for _, r in speedups.values())
+    )
+    rows.append(("GEOMEAN", "", "", "", "", "", f"{geomean:.1f}x (paper: 24x)"))
+    emit(
+        "table4",
+        render_table(
+            "Table 4: hybrid (scope-restricted) vs whole-program analysis",
+            ["system", "real size", "instrs", "analyzed", "whole ms", "hybrid ms", "speedup"],
+            rows,
+        ),
+    )
+    assert len(speedups) == 7  # the evaluation's 7 C/C++ systems
+    for system, (_, r) in speedups.items():
+        assert r["speedup"] > 1.0, f"{system}: hybrid not faster"
+    # larger programs benefit more (paper: "speedup is greater for
+    # larger programs")
+    by_size = sorted(speedups.items(), key=lambda kv: kv[1][1]["instructions_total"])
+    assert by_size[-1][1][1]["speedup"] > by_size[0][1][1]["speedup"]
+    assert geomean >= 3.0

@@ -1,0 +1,69 @@
+"""§6 trace statistics.
+
+The paper reports that a 64 KB per-thread ring buffer held on average
+6764 control events and 6695 timing packets per thread, that timing
+packets occupied ~49% of the buffer, and that the longest gap between
+timing packets (65 us) stayed below the 91 us minimum inter-event gap —
+the condition that makes the coarse timing sufficient.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench import client_for, render_table
+from repro.corpus import snorlax_bugs
+
+
+@pytest.fixture(scope="module")
+def trace_stats():
+    per_bug = {}
+    for spec in snorlax_bugs():
+        client = client_for(spec, tracing=True)
+        run = client.find_runs(True, 1)[0]
+        stats = run.driver.stats()
+        # longest gap between timing packets while a thread was running
+        # (blocked spans are context switches, bracketed by exact TSCs)
+        max_gap_us = max(s.max_timing_gap_ns for s in stats.values()) / 1000.0
+        per_bug[spec.bug_id] = (stats, max_gap_us)
+    return per_bug
+
+
+def test_trace_statistics(benchmark, trace_stats, emit):
+    spec = snorlax_bugs()[0]
+    client = client_for(spec, tracing=True)
+    benchmark.pedantic(lambda: client.run_once(0), iterations=1, rounds=3)
+    rows = []
+    control_counts, timing_counts, fractions, gaps = [], [], [], []
+    for bug_id, (stats, max_gap_us) in trace_stats.items():
+        ctrl = statistics.fmean(s.control_packets for s in stats.values())
+        tim = statistics.fmean(s.timing_packets for s in stats.values())
+        frac = statistics.fmean(s.timing_fraction() for s in stats.values())
+        control_counts.append(ctrl)
+        timing_counts.append(tim)
+        fractions.append(frac)
+        gaps.append(max_gap_us)
+        rows.append(
+            (bug_id, f"{ctrl:.0f}", f"{tim:.0f}", f"{100*frac:.0f}%", f"{max_gap_us:.1f}")
+        )
+    rows.append(
+        ("AVERAGE (paper: 6764 / 6695 / 49% / <=65us)",
+         f"{statistics.fmean(control_counts):.0f}",
+         f"{statistics.fmean(timing_counts):.0f}",
+         f"{100*statistics.fmean(fractions):.0f}%",
+         f"max {max(gaps):.1f}"))
+    emit(
+        "trace_stats",
+        render_table(
+            "Trace statistics per thread (failing run of each bug)",
+            ["bug", "control pkts", "timing pkts", "timing bytes", "max timing gap us"],
+            rows,
+        ),
+    )
+    # the CIH safety condition: timing packets always arrive more often
+    # than the minimum 91 us between target events
+    assert max(gaps) < 91.0, f"timing gap {max(gaps):.1f}us exceeds the 91us floor"
+    # timing packets dominate byte volume on delay-heavy workloads, as in
+    # the paper (49% of the buffer)
+    assert statistics.fmean(fractions) > 0.25
+    assert statistics.fmean(timing_counts) > 50

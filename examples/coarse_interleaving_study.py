@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Mini coarse-interleaving study (§3 of the paper) on a few bugs.
+
+For each chosen bug: instrument its target instructions (the simulated
+equivalent of the paper's clock_gettime injection), reproduce the bug
+ten times by plain repetition, and report the elapsed time between the
+target events.  The headline claim: every gap is far above the ~1 ns
+granularity a fine-grained record/replay system would need — which is
+why the coarse PT timestamps suffice for diagnosis.
+
+Run:  python examples/coarse_interleaving_study.py
+"""
+
+import math
+
+from repro.bench import measure_cih, render_table
+from repro.corpus import bug
+
+BUGS = ["pbzip2-n/a", "aget-n/a", "sqlite-1672", "memcached-127", "jdk-6822370"]
+
+
+def main() -> None:
+    rows = []
+    global_min = float("inf")
+    for bug_id in BUGS:
+        spec = bug(bug_id)
+        m = measure_cih(spec, runs=10)
+        gaps = " / ".join(
+            f"{m.mean_us(i):.0f}±{m.std_us(i):.0f}" for i in range(m.n_gaps)
+        )
+        rows.append(
+            (spec.system, bug_id, spec.ground_truth.pattern, gaps,
+             f"{m.min_us():.0f}", m.runs_needed)
+        )
+        global_min = min(global_min, m.min_us())
+    print(
+        render_table(
+            "Time elapsed between target events (us), 10 failing runs each",
+            ["system", "bug", "pattern", "dT avg±std", "min", "execs needed"],
+            rows,
+        )
+    )
+    orders = math.log10(global_min * 1000 / 1.0)
+    print(
+        f"\nsmallest gap observed: {global_min:.0f} us — "
+        f"{orders:.1f} orders of magnitude above 1 ns recording granularity."
+    )
+    print("Coarse timing is enough to order these events; that is the paper's")
+    print("coarse interleaving hypothesis.")
+
+
+if __name__ == "__main__":
+    main()

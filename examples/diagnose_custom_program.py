@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Bring your own program: write IR, inject a race, diagnose it.
+
+This example shows the full public surface without the corpus: a small
+cache server written in the textual IR, whose invalidation thread clears
+an entry between another thread's check and use (an RWR atomicity
+violation).  We trace it, crash it, and let Lazy Diagnosis name the
+interleaving.
+
+Run:  python examples/diagnose_custom_program.py
+"""
+
+import random
+
+from repro import SnorlaxClient, SnorlaxServer, parse_module
+
+SOURCE = """
+module cacheserver
+
+struct Entry { bytes: i64 }
+struct Cache { hot: ptr<Entry>, hits: i64 }
+
+global g_cache: ptr<Cache> = null
+
+func lookup_worker(n: i64, d_window: i64, d_idle: i64) -> void {
+entry:
+  %i = alloca i64
+  store 0, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = cmp lt %iv, %n
+  cbr %c, body, done
+body:
+  %cache = load @g_cache
+  %hp = fieldaddr %cache, hot
+  %e1 = load %hp                 @ cache.c:31
+  %nz = cast %e1 to i64
+  %ok = cmp ne %nz, 0
+  cbr %ok, use, skip
+use:
+  delay %d_window
+  %e2 = load %hp                 @ cache.c:35
+  %bp = fieldaddr %e2, bytes
+  %b = load %bp                  @ cache.c:36
+  %pos = cmp ge %b, 0
+  cbr %pos, skip, skip
+skip:
+  delay %d_idle
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  ret
+}
+
+func invalidate_once(d_gap: i64) -> void {
+entry:
+  %cache = load @g_cache
+  %hp = fieldaddr %cache, hot
+  store null, %hp                @ cache.c:80
+  %z = cmp eq 0, 1
+  cbr %z, never, cont
+never:
+  ret
+cont:
+  delay %d_gap
+  %fresh = malloc Entry
+  %fb = fieldaddr %fresh, bytes
+  store 128, %fb
+  store %fresh, %hp              @ cache.c:85
+  ret
+}
+
+func invalidator(n: i64, off: i64, d_gap: i64, d_per: i64) -> void {
+entry:
+  delay %off
+  %k = alloca i64
+  store 0, %k
+  br loop
+loop:
+  %kv = load %k
+  %c = cmp lt %kv, %n
+  cbr %c, body, done
+body:
+  call @invalidate_once(%d_gap)
+  delay %d_per
+  %k2 = add %kv, 1
+  store %k2, %k
+  br loop
+done:
+  ret
+}
+
+func main(n: i64, d_window: i64, d_idle: i64, off: i64, d_per: i64) -> void {
+entry:
+  %cache = malloc Cache
+  %first = malloc Entry
+  %fb = fieldaddr %first, bytes
+  store 64, %fb
+  %hp = fieldaddr %cache, hot
+  store %first, %hp
+  store %cache, @g_cache
+  call @invalidate_once(2000)    ; benign maintenance pass at startup
+  %t1 = spawn @lookup_worker(%n, %d_window, %d_idle)
+  %t2 = spawn @invalidator(%n, %off, %d_gap_unused, %d_per)
+  join %t1
+  join %t2
+  ret
+}
+"""
+SOURCE = SOURCE.replace("%d_gap_unused", "3000000")
+
+Q = 250_000  # 250us quantum: events stay coarsely interleaved
+
+
+def workload(seed: int) -> tuple:
+    rng = random.Random(seed)
+    cycle = 3 * Q
+    slot = rng.choice([0.5, 1.5, 2.5])  # in-window (racy) vs idle (benign)
+    off = int(rng.randint(0, 3) * cycle + slot * Q)
+    return (6, 2 * Q, Q, off, 3 * Q)
+
+
+def main() -> None:
+    module = parse_module(SOURCE)
+    client = SnorlaxClient(module, workload)
+    print("serving lookups until the invalidation race bites...")
+    failing = client.find_runs(want_failing=True, count=1)[0]
+    failure = failing.failure
+    loc = module.instruction(failure.failing_uid).loc
+    print(f"crash: {failure.report.detail} at {loc}\n")
+
+    report = SnorlaxServer(module).diagnose_failure(failing, client)
+    print(report.render())
+    print()
+    kinds = report.root_cause.signature.kind
+    print(f"diagnosed pattern class: {kinds} — the check at cache.c:31 and the")
+    print("use at cache.c:35 are not atomic against the clear at cache.c:80.")
+
+
+if __name__ == "__main__":
+    main()

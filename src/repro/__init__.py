@@ -1,0 +1,62 @@
+"""repro: Lazy Diagnosis of In-Production Concurrency Bugs (SOSP 2017).
+
+A from-scratch reproduction of the Snorlax system: an IR + multithreaded
+execution simulator + PT-like hardware tracing substrate, the Lazy
+Diagnosis analysis pipeline on top, a Gist-style baseline, and the
+54-bug / 13-system corpus the paper's evaluation uses.
+
+Quickstart::
+
+    from repro import corpus, SnorlaxClient, SnorlaxServer
+
+    spec = corpus.bug("pbzip2-n/a")
+    client = SnorlaxClient(spec.module(), spec.workload)
+    failing = client.find_runs(want_failing=True, count=1)[0]
+    report = SnorlaxServer(spec.module()).diagnose_failure(failing, client)
+    print(report.render())
+"""
+
+from repro import baselines, bench, core, corpus, ir, pt, runtime, sim
+from repro.core import (
+    DiagnosisReport,
+    LazyDiagnosis,
+    PipelineConfig,
+    PointsToAnalysis,
+    TraceSample,
+    ordering_accuracy,
+)
+from repro.ir import IRBuilder, Module, parse_module, print_module
+from repro.pt import PTDriver, TraceConfig, decode_thread_trace
+from repro.runtime import SnorlaxClient, SnorlaxServer
+from repro.sim import Machine, RandomScheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "bench",
+    "core",
+    "corpus",
+    "ir",
+    "pt",
+    "runtime",
+    "sim",
+    "DiagnosisReport",
+    "LazyDiagnosis",
+    "PipelineConfig",
+    "PointsToAnalysis",
+    "TraceSample",
+    "ordering_accuracy",
+    "IRBuilder",
+    "Module",
+    "parse_module",
+    "print_module",
+    "PTDriver",
+    "TraceConfig",
+    "decode_thread_trace",
+    "SnorlaxClient",
+    "SnorlaxServer",
+    "Machine",
+    "RandomScheduler",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baselines: Gist-style instrumentation diagnosis and whole-program static analysis."""
+
+from repro.baselines.gist import (
+    GistCostModel,
+    GistDiagnoser,
+    GistInstrumentation,
+    GistResult,
+    SpaceSampling,
+)
+from repro.baselines.slicing import BackwardSlicer
+from repro.baselines.static_only import (
+    StaticAnalysisResult,
+    run_whole_program,
+    speedup_vs_hybrid,
+)
+
+__all__ = [
+    "GistCostModel",
+    "GistDiagnoser",
+    "GistInstrumentation",
+    "GistResult",
+    "SpaceSampling",
+    "BackwardSlicer",
+    "StaticAnalysisResult",
+    "run_whole_program",
+    "speedup_vs_hybrid",
+]

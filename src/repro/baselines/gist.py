@@ -1,0 +1,138 @@
+"""Gist baseline: the state-of-the-art comparator of the paper's §6.3.
+
+Gist (SOSP'15) diagnoses failures by *instrumenting* the program: it
+computes a static backward slice from the failing instruction, monitors
+an adaptively-refined window of that slice, and needs the failure to
+recur several times (3.7 on average in its paper) before the root cause
+is isolated.  Monitoring shared accesses requires synchronization, whose
+contention grows with thread count — the scalability gap of Figure 9.
+
+Three aspects are modeled here, each matching what §6.3 attributes to
+Gist:
+
+* ``GistInstrumentation`` — a per-access software probe with a blocking-
+  synchronization cost model (base + contention * (threads - 1)).
+* ``GistDiagnoser`` — iterative slice refinement across failure
+  recurrences; diagnosis latency is the number of recurrences needed.
+* ``SpaceSampling`` — one bug monitored per execution: with B bugs
+  tracked, the expected latency multiplies by B (the paper's Chromium
+  example: 684 open races -> 2523x vs Snorlax).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.slicing import BackwardSlicer
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+
+
+@dataclass
+class GistCostModel:
+    """Per-monitored-access instrumentation cost (ns).
+
+    ``contention_ns`` is charged once per *other* runnable thread: the
+    instrumentation serializes its updates on shared monitor state, so
+    every concurrent thread adds queuing delay.
+    """
+
+    base_ns: int = 105
+    contention_ns: int = 4
+
+
+class GistInstrumentation:
+    """Machine ``instrumentation`` hook monitoring a set of instructions."""
+
+    def __init__(self, monitored_uids: set[int], costs: GistCostModel | None = None):
+        self.monitored = set(monitored_uids)
+        self.costs = costs or GistCostModel()
+        self.events_recorded = 0
+
+    def before_instruction(self, machine, tid: int, instr: Instruction) -> int:
+        if instr.uid not in self.monitored:
+            return 0
+        if not (instr.is_memory_access or instr.is_lock_op):
+            return 0
+        self.events_recorded += 1
+        # Contenders on the monitor's lock: threads currently on-CPU or
+        # queued behind a lock (sleeping threads don't touch the monitor).
+        active = sum(
+            1
+            for t in machine.threads.values()
+            if t.alive and t.state in ("runnable", "blocked-lock")
+        )
+        return self.costs.base_ns + self.costs.contention_ns * max(0, active - 1)
+
+
+@dataclass
+class GistAttempt:
+    recurrence: int
+    slice_depth: int
+    monitored: int
+    covered: bool  # did the monitored window cover all target events?
+
+
+@dataclass
+class GistResult:
+    diagnosed: bool
+    recurrences_needed: int  # failing executions observed before diagnosis
+    attempts: list[GistAttempt] = field(default_factory=list)
+    final_monitored: int = 0
+
+
+class GistDiagnoser:
+    """Iterative slice refinement across failure recurrences.
+
+    Starting from a narrow dependence window around the failing
+    instruction, each *recurrence* of the failure lets Gist widen the
+    monitored window (its "refinement").  Diagnosis completes on the
+    first recurrence whose window covers every target event of the bug —
+    the information Snorlax extracts from a single failure because its
+    trace is always on.
+    """
+
+    def __init__(self, module: Module, initial_depth: int = 1, growth: int = 1):
+        self.module = module
+        self.slicer = BackwardSlicer(module)
+        self.initial_depth = initial_depth
+        self.growth = growth
+
+    def diagnose(
+        self, failing_uid: int, target_uids: list[int], max_recurrences: int = 64
+    ) -> GistResult:
+        result = GistResult(False, 0)
+        depth = self.initial_depth
+        targets = set(target_uids)
+        for recurrence in range(1, max_recurrences + 1):
+            window = self.slicer.slice_from(failing_uid, max_depth=depth)
+            covered = targets <= window
+            result.attempts.append(
+                GistAttempt(recurrence, depth, len(window), covered)
+            )
+            if covered:
+                # One more recurrence must be observed *with* the full
+                # window monitored to capture the interleaving.
+                result.diagnosed = True
+                result.recurrences_needed = recurrence + 1
+                result.final_monitored = len(window)
+                return result
+            depth += self.growth
+        result.recurrences_needed = max_recurrences
+        return result
+
+
+@dataclass
+class SpaceSampling:
+    """Gist monitors one bug per execution (sampling in space, §6.3)."""
+
+    tracked_bugs: int = 1
+
+    def expected_latency_factor(self, recurrences_needed: int) -> float:
+        """Expected failing executions until diagnosis when only 1/B of
+        executions monitor the right bug."""
+        return recurrences_needed * self.tracked_bugs
+
+    def snorlax_latency(self) -> int:
+        """Snorlax needs exactly one failure regardless of bug count."""
+        return 1

@@ -1,0 +1,106 @@
+"""Static backward slicing (the analysis underlying the Gist baseline).
+
+Gist's static analysis "computes a static backward slice which includes
+all the program instructions that could affect the failing instruction"
+(§6.3).  The slice follows data dependences (through registers and — via
+a points-to analysis — through memory) and control dependences, growing
+outward from the failing instruction.  Gist refines the slice after
+every failure recurrence by widening the monitored window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.points_to import PointsToAnalysis
+from repro.ir.cfg import control_dependent_blocks
+from repro.ir.instructions import Free, Instruction, Load, Lock, Store, Unlock
+from repro.ir.module import Module
+from repro.ir.values import Value
+
+
+class BackwardSlicer:
+    def __init__(self, module: Module, analysis: PointsToAnalysis | None = None):
+        self.module = module
+        self.analysis = analysis or PointsToAnalysis(module).run()
+        self._stores_by_object: dict[object, list[Store]] = {}
+        self._locks_by_object: dict[object, list[Instruction]] = {}
+        self._control_deps: dict = {}
+        self._index_stores()
+
+    def _index_stores(self) -> None:
+        for instr in self.module.instructions():
+            if isinstance(instr, (Store, Free)):
+                # A free mutates the object's liveness: loads of the
+                # object are affected by it exactly like by a store.
+                pointer = instr.pointer_operand()
+                for obj in self.analysis.points_to(pointer):
+                    self._stores_by_object.setdefault(obj, []).append(instr)
+            elif isinstance(instr, (Lock, Unlock)):
+                for obj in self.analysis.points_to(instr.pointer):
+                    self._locks_by_object.setdefault(obj, []).append(instr)
+
+    def _control_dep_blocks(self, fn):
+        if fn not in self._control_deps:
+            self._control_deps[fn] = control_dependent_blocks(fn)
+        return self._control_deps[fn]
+
+    def slice_from(self, seed_uid: int, max_depth: int = 10**9) -> set[int]:
+        """All instruction uids that may affect ``seed_uid``.
+
+        ``max_depth`` bounds the dependence distance — Gist's iterative
+        refinement corresponds to growing this bound per recurrence.
+        """
+        seed = self.module.instruction(seed_uid)
+        sliced: set[int] = set()
+        work: deque[tuple[Instruction, int]] = deque([(seed, 0)])
+        while work:
+            instr, depth = work.popleft()
+            if instr.uid in sliced or depth > max_depth:
+                continue
+            sliced.add(instr.uid)
+            for dep in self._dependences(instr):
+                if dep.uid not in sliced:
+                    work.append((dep, depth + 1))
+        return sliced
+
+    def _dependences(self, instr: Instruction) -> list[Instruction]:
+        from repro.ir.instructions import Call, Ret
+        from repro.ir.values import FunctionRef
+
+        deps: list[Instruction] = []
+        # data deps through SSA operands
+        for op in instr.operands:
+            if isinstance(op, Instruction):
+                deps.append(op)
+        # a call's value flows from the callee's returns
+        if isinstance(instr, Call) and isinstance(instr.callee, FunctionRef):
+            for callee_instr in instr.callee.function.instructions():
+                if isinstance(callee_instr, Ret) and callee_instr.value is not None:
+                    deps.append(callee_instr)
+        # data deps through memory: loads depend on may-aliased stores
+        if isinstance(instr, Load):
+            for obj in self.analysis.points_to(instr.pointer):
+                deps.extend(self._stores_by_object.get(obj, ()))
+        # synchronization deps: a lock operation depends on (a) every
+        # lock/unlock that may touch the same mutex (cross-thread
+        # ordering) and (b) the lock operations preceding it in its own
+        # function (the lockset held at this point — what makes opposite
+        # acquisition orders reachable in a deadlock slice)
+        if isinstance(instr, (Lock, Unlock)):
+            for obj in self.analysis.points_to(instr.pointer):
+                deps.extend(self._locks_by_object.get(obj, ()))
+            fn = instr.parent.function if instr.parent else None
+            if fn is not None:
+                for other in fn.instructions():
+                    if other.uid == instr.uid:
+                        break
+                    if isinstance(other, (Lock, Unlock)):
+                        deps.append(other)
+        # control deps: the branches governing this block
+        block = instr.parent
+        if block is not None and block.function is not None:
+            governing = self._control_dep_blocks(block.function).get(block, ())
+            for brancher in governing:
+                deps.append(brancher.terminator)
+        return deps

@@ -1,0 +1,57 @@
+"""Whole-program static analysis baseline (Table 4's comparator).
+
+Runs the same inclusion-based points-to analysis as the hybrid stage but
+*eagerly*, over every instruction in the module — what a server would
+have to do without control-flow traces.  Table 4 reports Snorlax's
+speedup over this baseline (geometric mean 24x, growing with program
+size, because the trace covers a fixed-size window while the program
+does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.points_to import PointsToAnalysis
+from repro.ir.module import Module
+
+
+@dataclass
+class StaticAnalysisResult:
+    analysis: PointsToAnalysis
+    seconds: float
+    instructions: int
+
+
+def run_whole_program(module: Module, algorithm: str = "andersen") -> StaticAnalysisResult:
+    analysis = PointsToAnalysis(module, executed_uids=None, algorithm=algorithm).run()
+    return StaticAnalysisResult(
+        analysis=analysis,
+        seconds=analysis.stats.analysis_seconds,
+        instructions=analysis.stats.instructions_analyzed,
+    )
+
+
+def speedup_vs_hybrid(
+    module: Module,
+    executed_uids: set[int],
+    algorithm: str = "andersen",
+    repeats: int = 3,
+) -> dict:
+    """Time both scopes (best of ``repeats``); Table 4 row ingredients."""
+    whole_runs = [run_whole_program(module, algorithm) for _ in range(repeats)]
+    whole = min(whole_runs, key=lambda r: r.seconds)
+    hybrid_runs = [
+        PointsToAnalysis(module, executed_uids, algorithm).run()
+        for _ in range(repeats)
+    ]
+    hybrid = min(hybrid_runs, key=lambda a: a.stats.analysis_seconds)
+    hybrid_s = hybrid.stats.analysis_seconds
+    return {
+        "instructions_total": whole.instructions,
+        "instructions_hybrid": hybrid.stats.instructions_analyzed,
+        "whole_seconds": whole.seconds,
+        "hybrid_seconds": hybrid_s,
+        "speedup": whole.seconds / hybrid_s if hybrid_s > 0 else float("inf"),
+        "scope_reduction": hybrid.stats.scope_reduction,
+    }

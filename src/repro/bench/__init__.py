@@ -1,0 +1,36 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    AccuracyOutcome,
+    CihMeasurement,
+    OverheadMeasurement,
+    client_for,
+    extract_gaps,
+    measure_cih,
+    measure_tracing_overhead,
+    run_accuracy,
+)
+from repro.bench.scalability import (
+    ScalabilityPoint,
+    build_server_app,
+    measure_scalability_point,
+    scalability_sweep,
+)
+from repro.bench.tables import render_series, render_table
+
+__all__ = [
+    "AccuracyOutcome",
+    "CihMeasurement",
+    "OverheadMeasurement",
+    "client_for",
+    "extract_gaps",
+    "measure_cih",
+    "measure_tracing_overhead",
+    "run_accuracy",
+    "ScalabilityPoint",
+    "build_server_app",
+    "measure_scalability_point",
+    "scalability_sweep",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,255 @@
+"""Shared experiment harness for the benchmark suite.
+
+Implements the paper's measurement methodologies:
+
+* §3.2 coarse-interleaving study: reproduce each bug with timestamp
+  instrumentation at the target instructions only (no tracing, no
+  artificial delays), average the inter-event gaps over N failing runs.
+* §6.1 accuracy: single failure + server-collected successful traces,
+  diagnosis compared against the developer-verified ground truth.
+* §6.2 efficiency: traced vs. untraced run durations (Figure 8), and
+  hybrid vs. whole-program analysis times (Table 4).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.corpus.registry import BugSpec
+from repro.errors import CorpusError
+from repro.runtime.client import ClientRun, SnorlaxClient
+from repro.runtime.server import SnorlaxServer
+from repro.sim.failures import DeadlockReport
+
+US = 1_000.0  # ns per microsecond
+
+
+def client_for(spec: BugSpec, tracing: bool = True, **kwargs) -> SnorlaxClient:
+    return SnorlaxClient(
+        spec.module(), spec.workload, entry=spec.entry, tracing=tracing, **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# §3.2: coarse interleaving hypothesis measurements (Tables 1-3)
+# ---------------------------------------------------------------------------
+
+_SHAPE = {
+    "WR": "ab", "RW": "ab", "WW": "ab",
+    "RWR": "aba", "WWR": "aba", "RWW": "aba", "WRW": "aba",
+}
+
+
+@dataclass
+class CihMeasurement:
+    bug_id: str
+    system: str
+    gaps_ns: list[list[int]] = field(default_factory=list)  # per failing run
+    runs_needed: int = 0  # executions to reproduce `len(gaps_ns)` failures
+
+    @property
+    def n_gaps(self) -> int:
+        return len(self.gaps_ns[0]) if self.gaps_ns else 0
+
+    def mean_us(self, gap_index: int = 0) -> float:
+        values = [g[gap_index] for g in self.gaps_ns]
+        return statistics.fmean(values) / US
+
+    def std_us(self, gap_index: int = 0) -> float:
+        values = [g[gap_index] / US for g in self.gaps_ns]
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+
+    def min_us(self) -> float:
+        return min(g / US for run in self.gaps_ns for g in run)
+
+    def max_us(self) -> float:
+        return max(g / US for run in self.gaps_ns for g in run)
+
+
+def measure_cih(
+    spec: BugSpec, runs: int = 10, max_attempts: int = 5000, start_seed: int = 0
+) -> CihMeasurement:
+    """Reproduce the bug ``runs`` times, measuring target-event gaps.
+
+    Matches the paper's methodology: the program runs with timestamp
+    instrumentation injected at the target instructions (our event log),
+    with *no* tracing and no delay injection; failing executions are
+    found by plain repetition.
+    """
+    module = spec.module()
+    truth_uids = spec.ground_truth.resolve(module)
+    client = client_for(spec, tracing=False)
+    result = CihMeasurement(spec.bug_id, spec.system)
+    seed = start_seed
+    attempts = 0
+    while len(result.gaps_ns) < runs and attempts < max_attempts:
+        run = client.run_once(seed, watch_uids=set(truth_uids))
+        seed += 1
+        attempts += 1
+        if not run.failed:
+            continue
+        gaps = extract_gaps(spec, run, truth_uids)
+        if gaps is not None and all(g > 0 for g in gaps):
+            result.gaps_ns.append(gaps)
+    result.runs_needed = attempts
+    if len(result.gaps_ns) < runs:
+        raise CorpusError(
+            f"{spec.bug_id}: only {len(result.gaps_ns)}/{runs} measurable "
+            f"failures in {attempts} executions"
+        )
+    return result
+
+
+def extract_gaps(
+    spec: BugSpec, run: ClientRun, truth_uids: list[int]
+) -> list[int] | None:
+    """Gaps (ns) between consecutive target events of one failing run."""
+    failure = run.failure.report if run.failure else None
+    if failure is None:
+        return None
+    if spec.ground_truth.pattern == "deadlock":
+        if not isinstance(failure, DeadlockReport) or len(failure.cycle) < 2:
+            return None
+        # dT of Figure 1a: time between the two blocked acquisition attempts
+        times = sorted(e.since for e in failure.cycle)
+        return [times[-1] - times[0]]
+    times = _event_chain_times(spec, run, truth_uids)
+    if times is None:
+        return None
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def _event_chain_times(
+    spec: BugSpec, run: ClientRun, truth_uids: list[int]
+) -> list[int] | None:
+    """Timestamps of the target events, matched backward from the failure.
+
+    The last target event anchors at the failure (it *is* the failing
+    instruction for crashes); earlier events are each the latest
+    occurrence before their successor, with the thread-alternation
+    constraints of the pattern shape (ab / aba).
+    """
+    failure = run.failure.report
+    log = run.result.event_log
+    shape = _SHAPE.get(spec.ground_truth.pattern, "ab")
+    n = len(truth_uids)
+    events_by_uid: dict[int, list] = {}
+    for ev in log:
+        events_by_uid.setdefault(ev.uid, []).append(ev)
+
+    # resolve the final event
+    last_uid = truth_uids[-1]
+    if last_uid == failure.failing_uid:
+        t_last, tid_last = failure.time, failure.failing_tid
+    else:
+        cands = [e for e in events_by_uid.get(last_uid, []) if e.time <= failure.time]
+        if not cands:
+            return None
+        chosen = max(cands, key=lambda e: e.time)
+        t_last, tid_last = chosen.time, chosen.tid
+    times = [0] * n
+    tids = [0] * n
+    times[-1], tids[-1] = t_last, tid_last
+    for k in range(n - 2, -1, -1):
+        # shape "ab": the earlier event is in the other thread; shape
+        # "aba": the middle event is in the other thread, the first in
+        # the same thread as the last.
+        want_same_as_last = shape[k] == shape[-1]
+        cands = [
+            e
+            for e in events_by_uid.get(truth_uids[k], [])
+            if e.time < times[k + 1] and (e.tid == tids[-1]) == want_same_as_last
+        ]
+        if not cands:
+            return None
+        chosen = max(cands, key=lambda e: e.time)
+        times[k], tids[k] = chosen.time, chosen.tid
+    return times
+
+
+# ---------------------------------------------------------------------------
+# §6.1: accuracy (single failure -> diagnosis vs. ground truth)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AccuracyOutcome:
+    bug_id: str
+    diagnosed: bool
+    exact: bool  # diagnosed events == ground truth, in order
+    f1: float
+    unambiguous: bool
+    ordering_accuracy: float
+    bug_kind: str
+    report: object = None
+
+
+def run_accuracy(spec: BugSpec, start_seed: int = 0) -> AccuracyOutcome:
+    from repro.core.accuracy import ordering_accuracy
+
+    module = spec.module()
+    client = client_for(spec, tracing=True)
+    failing = client.find_runs(True, 1, start_seed=start_seed)
+    if not failing:
+        raise CorpusError(f"{spec.bug_id}: no failing run found")
+    server = SnorlaxServer(module)
+    report = server.diagnose_failure(failing[0], client)
+    truth = spec.ground_truth.resolve(module)
+    diag = report.ordered_target_uids()
+    return AccuracyOutcome(
+        bug_id=spec.bug_id,
+        diagnosed=report.diagnosed,
+        exact=diag == truth,
+        f1=report.root_cause.f1 if report.root_cause else 0.0,
+        unambiguous=report.unambiguous,
+        ordering_accuracy=ordering_accuracy(diag, truth),
+        bug_kind=report.bug_kind,
+        report=report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §6.2: tracing overhead (Figure 8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OverheadMeasurement:
+    label: str
+    fractions: list[float] = field(default_factory=list)
+
+    @property
+    def mean_percent(self) -> float:
+        return 100.0 * statistics.fmean(self.fractions) if self.fractions else 0.0
+
+    @property
+    def peak_percent(self) -> float:
+        return 100.0 * max(self.fractions) if self.fractions else 0.0
+
+
+def measure_tracing_overhead(
+    spec: BugSpec, seeds: int = 5, start_seed: int = 100_000
+) -> OverheadMeasurement:
+    """Traced vs. untraced duration on successful executions.
+
+    Uses successful runs (the production steady state Figure 8 measures);
+    identical seeds give identical schedules modulo the tracing costs.
+    """
+    traced = client_for(spec, tracing=True)
+    result = OverheadMeasurement(spec.system)
+    seed = start_seed
+    collected = 0
+    while collected < seeds and seed < start_seed + 500:
+        run = traced.run_once(seed)
+        if run.failed:
+            seed += 1
+            continue
+        base = traced.run_untraced(seed)
+        if base.outcome != "success" or base.duration <= 0:
+            seed += 1
+            continue
+        result.fractions.append((run.result.duration - base.duration) / base.duration)
+        collected += 1
+        seed += 1
+    return result

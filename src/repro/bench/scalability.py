@@ -1,0 +1,132 @@
+"""Figure 9's scalability workload: a server app with N worker threads.
+
+The paper doubles the application thread count from 2 to 32 and measures
+the runtime overhead of (a) Snorlax's always-on tracing and (b) Gist's
+instrumentation, averaged across applications.  We build one
+parameterizable server model — request workers that do per-request work
+and touch shared statistics under a lock — and measure both tools on it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.baselines.gist import GistCostModel, GistInstrumentation
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import I64, LOCK, VOID, ptr
+from repro.pt.driver import PTDriver
+from repro.sim.clock import CostModel
+from repro.sim.machine import Machine
+from repro.sim.scheduler import RandomScheduler
+
+
+def build_server_app(n_threads: int, requests: int = 12) -> Module:
+    """A request-serving app: N workers, shared stats, per-request work."""
+    m = Module(f"server-{n_threads}t")
+    stats = m.add_struct(
+        "ServerStats", [("requests", I64), ("bytes", I64), ("mu", LOCK)]
+    )
+    g = m.add_global("g_stats", ptr(stats))
+    b = IRBuilder(m)
+
+    b.begin_function("handle_request", I64, [("req", I64)])
+    with b.at_location("server.c", 50):
+        acc = b.alloca(I64, "acc")
+        b.store(b.param("req"), acc)
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, 2) as iv:
+            cur = b.load(acc)
+            odd = b.cmp("eq", b.mod(cur, 2), 1)
+            with b.if_else(odd) as otherwise:
+                b.store(b.add(b.mul(cur, 3), 1), acc)
+                with otherwise:
+                    b.store(b.add(cur, iv), acc)
+            b.delay(8000)  # parsing/formatting work per phase
+        b.ret(b.load(acc))
+
+    b.begin_function("worker", VOID, [("n", I64), ("d_req", I64)])
+    with b.at_location("server.c", 100):
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, b.param("n")) as iv:
+            b.delay(b.param("d_req"))  # wait for / read a request
+            size = b.call("handle_request", [iv], "size")
+            s = b.load(g, "s")
+            mu = b.fieldaddr(s, "mu", "mu")
+            b.lock(mu)
+            rp = b.fieldaddr(s, "requests", "rp")
+            b.store(b.add(b.load(rp), 1), rp)
+            bp = b.fieldaddr(s, "bytes", "bp")
+            b.store(b.add(b.load(bp), size), bp)
+            b.unlock(mu)
+        b.ret()
+
+    b.begin_function("main", VOID, [("n", I64), ("d_req", I64)])
+    s = b.malloc(stats, name="stats")
+    b.store_field(0, s, "requests")
+    b.store_field(0, s, "bytes")
+    mu = b.fieldaddr(s, "mu", "mu")
+    b.lock_init(mu)
+    b.store(s, g)
+    handles = []
+    for k in range(n_threads):
+        handles.append(b.spawn("worker", [b.param("n"), b.param("d_req")], f"t{k}"))
+    for h in handles:
+        b.join(h)
+    b.ret()
+    return m.finalize()
+
+
+@dataclass
+class ScalabilityPoint:
+    threads: int
+    snorlax_percent: float
+    gist_percent: float
+
+
+def _run(module: Module, seed: int, driver=None, instrumentation=None) -> int:
+    machine = Machine(
+        module,
+        scheduler=RandomScheduler(seed),
+        cost_model=CostModel(),
+        trace_driver=driver,
+        instrumentation=instrumentation,
+    )
+    result = machine.run("main", (10, 30_000))
+    if result.outcome != "success":
+        raise RuntimeError(f"scalability run failed: {result.outcome}")
+    return result.duration
+
+
+def measure_scalability_point(
+    n_threads: int, seeds: tuple[int, ...] = (1, 2, 3)
+) -> ScalabilityPoint:
+    module = build_server_app(n_threads)
+    # Gist monitors every shared access in its slice; on this app that is
+    # the stats block in the worker (the accesses a race detector guards).
+    monitored = {
+        i.uid
+        for i in module.function("worker").instructions()
+        if i.is_memory_access or i.is_lock_op
+    }
+    snorlax, gist = [], []
+    for seed in seeds:
+        base = _run(module, seed)
+        traced = _run(module, seed, driver=PTDriver())
+        instrumented = _run(
+            module,
+            seed,
+            instrumentation=GistInstrumentation(monitored, GistCostModel()),
+        )
+        snorlax.append(100.0 * (traced - base) / base)
+        gist.append(100.0 * (instrumented - base) / base)
+    return ScalabilityPoint(
+        n_threads, statistics.fmean(snorlax), statistics.fmean(gist)
+    )
+
+
+def scalability_sweep(
+    thread_counts: tuple[int, ...] = (2, 4, 8, 16, 32)
+) -> list[ScalabilityPoint]:
+    return [measure_scalability_point(n) for n in thread_counts]

@@ -1,0 +1,58 @@
+"""Lazy Diagnosis: the paper's primary contribution (Figure 2, steps 2-7)."""
+
+from repro.core.accuracy import kendall_tau_distance, ordering_accuracy
+from repro.core.andersen import AndersenResult
+from repro.core.constraints import AbstractObject, ConstraintSystem, generate_constraints
+from repro.core.patterns import (
+    PatternComputation,
+    PatternInstance,
+    PatternSignature,
+    compute_crash_patterns,
+    compute_deadlock_patterns,
+)
+from repro.core.pipeline import LazyDiagnosis, PipelineConfig, TraceSample
+from repro.core.points_to import PointsToAnalysis, PointsToStats
+from repro.core.report import DiagnosisReport, StageStats, TargetEventReport
+from repro.core.statistics import (
+    ExecutionObservation,
+    ScoredPattern,
+    cap_successful,
+    observe,
+    score_patterns,
+)
+from repro.core.steensgaard import SteensgaardResult
+from repro.core.trace_processing import ProcessedTrace, process_snapshot
+from repro.core.type_ranking import RankedCandidate, RankingResult, rank_candidates
+
+__all__ = [
+    "kendall_tau_distance",
+    "ordering_accuracy",
+    "AndersenResult",
+    "AbstractObject",
+    "ConstraintSystem",
+    "generate_constraints",
+    "PatternComputation",
+    "PatternInstance",
+    "PatternSignature",
+    "compute_crash_patterns",
+    "compute_deadlock_patterns",
+    "LazyDiagnosis",
+    "PipelineConfig",
+    "TraceSample",
+    "PointsToAnalysis",
+    "PointsToStats",
+    "DiagnosisReport",
+    "StageStats",
+    "TargetEventReport",
+    "ExecutionObservation",
+    "ScoredPattern",
+    "cap_successful",
+    "observe",
+    "score_patterns",
+    "SteensgaardResult",
+    "ProcessedTrace",
+    "process_snapshot",
+    "RankedCandidate",
+    "RankingResult",
+    "rank_candidates",
+]

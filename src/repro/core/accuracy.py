@@ -1,0 +1,51 @@
+"""Ordering accuracy: the paper's A_O metric (§6.1).
+
+A_O compares the order of target instructions a tool diagnoses against
+the manually verified ground truth using the normalized Kendall tau
+distance K: the number of instruction pairs the two orderings disagree
+on.  A_O = 100 * (1 - K / #pairs).  Snorlax reports 100% on every bug it
+evaluates; our accuracy bench asserts the same.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+
+def kendall_tau_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Pairwise disagreements between two orderings of the same items.
+
+    Items present in only one list are ignored (they contribute no
+    comparable pair).
+    """
+    pos_a = {x: i for i, x in enumerate(a)}
+    pos_b = {x: i for i, x in enumerate(b)}
+    common = [x for x in a if x in pos_b]
+    distance = 0
+    for x, y in combinations(common, 2):
+        if (pos_a[x] - pos_a[y]) * (pos_b[x] - pos_b[y]) < 0:
+            distance += 1
+    return distance
+
+
+def ordering_accuracy(diagnosed: Sequence[int], ground_truth: Sequence[int]) -> float:
+    """A_O as defined in the paper, in percent.
+
+    ``diagnosed`` and ``ground_truth`` are ordered lists of target
+    instruction uids.  The pair universe is the union of both lists, so
+    missing or extra instructions also cost accuracy (matching the
+    paper's "# of pairs in O_S  [union] O_M" denominator).
+    """
+    universe = list(dict.fromkeys(list(diagnosed) + list(ground_truth)))
+    n = len(universe)
+    if n < 2:
+        # A single (or empty) target list: exact match or total miss.
+        return 100.0 if list(diagnosed) == list(ground_truth) else 0.0
+    total_pairs = n * (n - 1) // 2
+    # Pairs not comparable in both lists count as disagreements: a tool
+    # that omits a target instruction should not get credit for it.
+    distance = kendall_tau_distance(diagnosed, ground_truth)
+    comparable = len([x for x in diagnosed if x in set(ground_truth)])
+    missing_pairs = total_pairs - comparable * (comparable - 1) // 2
+    return 100.0 * (1.0 - (distance + missing_pairs) / total_pairs)

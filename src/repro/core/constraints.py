@@ -1,0 +1,195 @@
+"""Points-to constraint generation (the four rules of Figure 3).
+
+Walks IR instructions and produces the constraint system both solvers
+consume.  Abstract objects are allocation sites: each ``alloca``,
+``malloc``, global variable, and function gets one object.  The analysis
+is field-insensitive (a pointer to a field may point to anything the
+base object may), which is the standard baseline for inclusion-based
+analysis and is conservative in exactly the way the paper's type-based
+ranking then compensates for.
+
+Scope restriction (§4.2): passing ``executed_uids`` limits constraint
+generation to instructions that appear in the control-flow trace, which
+is what makes the otherwise whole-program analysis cheap.  Call-graph
+edges are discovered on the fly by the solver for indirect calls; the
+generator emits parameter/return copy edges for direct calls and
+spawns, and registers indirect call sites for the solver to resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Call,
+    Cast,
+    FieldAddr,
+    IndexAddr,
+    Instruction,
+    Load,
+    Malloc,
+    Ret,
+    Spawn,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import (
+    Argument,
+    Constant,
+    FunctionRef,
+    GlobalVariable,
+    NullPointer,
+    Value,
+)
+
+
+@dataclass(frozen=True)
+class AbstractObject:
+    """An allocation site: the unit points-to sets are made of."""
+
+    kind: str  # "stack" | "heap" | "global" | "func"
+    uid: int  # allocation instruction / global uid (0 for functions)
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.name or self.uid}"
+
+
+@dataclass
+class ConstraintSystem:
+    """The solver input: base facts plus copy/load/store constraints."""
+
+    # pts(node) starts with these objects (rule 1: p = &l)
+    addr_of: dict[Value, set[AbstractObject]] = field(default_factory=dict)
+    # pts(dst) >= pts(src)  (rule 2: p = q)
+    copies: list[tuple[Value, Value]] = field(default_factory=list)
+    # pts(dst) >= pts(*src)  (rule 4: p = *q)
+    loads: list[tuple[Value, Value]] = field(default_factory=list)
+    # pts(*dst) >= pts(src)  (rule 3: *p = q)
+    stores: list[tuple[Value, Value]] = field(default_factory=list)
+    # unresolved indirect call/spawn sites for on-the-fly resolution
+    indirect_calls: list[tuple[Instruction, Value]] = field(default_factory=list)
+    # objects by site uid, for cross-checking against the simulator
+    objects: dict[int, AbstractObject] = field(default_factory=dict)
+    functions_by_object: dict[AbstractObject, Function] = field(default_factory=dict)
+    returns_of: dict[Function, list[Value]] = field(default_factory=dict)
+    instructions_analyzed: int = 0
+
+    def add_addr_of(self, node: Value, obj: AbstractObject) -> None:
+        self.addr_of.setdefault(node, set()).add(obj)
+
+    def add_copy(self, dst: Value, src: Value) -> None:
+        if _is_trackable(src):
+            self.copies.append((dst, src))
+
+
+def _is_trackable(value: Value) -> bool:
+    """Values that can carry addresses (constants and null cannot)."""
+    return not isinstance(value, (Constant, NullPointer))
+
+
+def generate_constraints(
+    module: Module, executed_uids: set[int] | None = None
+) -> ConstraintSystem:
+    """Build the constraint system; ``executed_uids=None`` = whole program."""
+    system = ConstraintSystem()
+    for g in module.globals.values():
+        obj = AbstractObject("global", g.uid, g.name)
+        system.objects[g.uid] = obj
+        system.add_addr_of(g, obj)
+        if g.initializer is not None and _is_trackable(g.initializer):
+            # global holding an address at startup: *g >= init
+            system.stores.append((g, g.initializer))
+    for fn in module.functions.values():
+        fobj = AbstractObject("func", 0, fn.name)
+        system.functions_by_object[fobj] = fn
+        system.returns_of[fn] = []
+    for fn in module.functions.values():
+        for instr in fn.instructions():
+            if isinstance(instr, Ret) and instr.value is not None:
+                if _is_trackable(instr.value):
+                    # Returns are collected even outside the executed set:
+                    # they only matter if some executed call targets fn.
+                    system.returns_of[fn].append(instr.value)
+            if executed_uids is not None and instr.uid not in executed_uids:
+                continue
+            _constrain_instruction(system, instr)
+            system.instructions_analyzed += 1
+    return system
+
+
+def _function_object(system: ConstraintSystem, fn: Function) -> AbstractObject:
+    for obj, f in system.functions_by_object.items():
+        if f is fn:
+            return obj
+    raise KeyError(fn.name)
+
+
+def _constrain_operand(system: ConstraintSystem, value: Value) -> None:
+    """Base facts for operand kinds that are address constants."""
+    if isinstance(value, FunctionRef):
+        system.add_addr_of(value, _function_object(system, value.function))
+
+
+def _constrain_instruction(system: ConstraintSystem, instr: Instruction) -> None:
+    for op in instr.operands:
+        _constrain_operand(system, op)
+    if isinstance(instr, Alloca):
+        obj = AbstractObject("stack", instr.uid, instr.name)
+        system.objects[instr.uid] = obj
+        system.add_addr_of(instr, obj)
+    elif isinstance(instr, Malloc):
+        obj = AbstractObject("heap", instr.uid, instr.name)
+        system.objects[instr.uid] = obj
+        system.add_addr_of(instr, obj)
+    elif isinstance(instr, (Cast, FieldAddr, IndexAddr)):
+        # Field-insensitive: the derived pointer aliases the base object.
+        base = instr.operands[0]
+        system.add_copy(instr, base)
+    elif isinstance(instr, BinOp):
+        # Pointer arithmetic routed through integers: be conservative.
+        system.add_copy(instr, instr.lhs)
+        system.add_copy(instr, instr.rhs)
+    elif isinstance(instr, Load):
+        system.loads.append((instr, instr.pointer))
+    elif isinstance(instr, Store):
+        if _is_trackable(instr.value):
+            system.stores.append((instr.pointer, instr.value))
+    elif isinstance(instr, (Call, Spawn)):
+        callee = instr.callee
+        if isinstance(callee, FunctionRef):
+            _bind_call(system, instr, callee.function)
+        else:
+            system.indirect_calls.append((instr, callee))
+
+
+def _bind_call(system: ConstraintSystem, instr: Instruction, fn: Function) -> None:
+    """Parameter and return copy edges for a resolved call/spawn."""
+    args = instr.args  # type: ignore[attr-defined]
+    for param, arg in zip(fn.params, args):
+        if _is_trackable(arg):
+            system.add_copy(param, arg)
+    if isinstance(instr, Call):
+        for ret_value in system.returns_of.get(fn, []):
+            system.add_copy(instr, ret_value)
+
+
+def bind_indirect_call(
+    system: ConstraintSystem, instr: Instruction, fn: Function
+) -> list[tuple[Value, Value]]:
+    """Copy edges created when the solver resolves an indirect call.
+
+    Returned (dst, src) pairs are fed back into the solver worklist.
+    """
+    new_edges: list[tuple[Value, Value]] = []
+    args = instr.args  # type: ignore[attr-defined]
+    for param, arg in zip(fn.params, args):
+        if _is_trackable(arg):
+            new_edges.append((param, arg))
+    if isinstance(instr, Call):
+        for ret_value in system.returns_of.get(fn, []):
+            new_edges.append((instr, ret_value))
+    return new_edges

@@ -1,0 +1,159 @@
+"""Diagnosis reports: the pipeline's user-facing output.
+
+A report names the bug class, the ordered target events (the root
+cause, per the paper's definition: the execution order of target events
+across threads), their source locations, the F1 evidence, and per-stage
+statistics for the efficiency benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.statistics import ScoredPattern
+from repro.ir.module import Module
+
+
+@dataclass
+class TargetEventReport:
+    uid: int
+    role: str  # R/W/L
+    location: str  # "file.c:123" or "<uid N>"
+    function: str
+    thread_slot: int
+
+
+@dataclass
+class StageStats:
+    """Per-stage instruction counts: the Figure 7 accuracy-contribution
+    inputs (each stage narrows what a developer must look at)."""
+
+    program_instructions: int = 0
+    executed_instructions: int = 0  # after trace processing (step 2)
+    alias_candidates: int = 0  # after hybrid points-to (step 4)
+    rank1_candidates: int = 0  # after type-based ranking (step 5)
+    patterns_generated: int = 0  # after bug pattern computation (step 6)
+    patterns_top_f1: int = 0  # tied-at-top patterns after statistics (step 7)
+    analysis_seconds: float = 0.0
+    candidates_explored: int = 0
+
+    def reductions(self) -> dict[str, float]:
+        """Stage-over-stage reduction factors (>= 1.0)."""
+
+        def ratio(a: int, b: int) -> float:
+            return a / b if b else float(a) if a else 1.0
+
+        return {
+            "trace_processing": ratio(
+                self.program_instructions, self.executed_instructions
+            ),
+            "points_to": ratio(self.executed_instructions, self.alias_candidates),
+            "type_ranking": ratio(self.alias_candidates, self.rank1_candidates),
+            "patterns": ratio(self.alias_candidates, self.patterns_generated),
+            "statistics": ratio(self.patterns_generated, self.patterns_top_f1),
+        }
+
+
+@dataclass
+class DiagnosisReport:
+    bug_kind: str  # "order-violation" | "atomicity-violation" | "deadlock" | ...
+    failing_uid: int
+    root_cause: ScoredPattern | None
+    ranked_patterns: list[ScoredPattern] = field(default_factory=list)
+    target_events: list[TargetEventReport] = field(default_factory=list)
+    stage_stats: StageStats = field(default_factory=StageStats)
+    notes: list[str] = field(default_factory=list)
+    # §7 fallback: when the coarse interleaving hypothesis does not hold
+    # (no pattern correlates with failure — the trace could not order the
+    # events), the likely-involved events are still reported, unordered.
+    unordered_candidates: list[TargetEventReport] = field(default_factory=list)
+
+    @property
+    def diagnosed(self) -> bool:
+        return self.root_cause is not None
+
+    @property
+    def unambiguous(self) -> bool:
+        """Exactly one pattern wins after tie-breaking.
+
+        The paper reports never seeing equal-F1 ties that required manual
+        resolution; our scorer additionally breaks F1 ties toward the
+        simplest pattern, so ambiguity means two patterns share both the
+        top F1 *and* the event count.
+        """
+        if not self.ranked_patterns:
+            return False
+        top = self.ranked_patterns[0]
+        return (
+            sum(
+                1
+                for p in self.ranked_patterns
+                if p.f1 == top.f1
+                and len(p.signature.events) == len(top.signature.events)
+                and p.rank == top.rank
+            )
+            == 1
+        )
+
+    def ordered_target_uids(self) -> list[int]:
+        return [e.uid for e in self.target_events]
+
+    def render(self) -> str:
+        lines = [
+            f"=== Lazy Diagnosis report ===",
+            f"bug kind:      {self.bug_kind}",
+            f"failing instr: uid={self.failing_uid}",
+        ]
+        if self.root_cause is None:
+            lines.append("root cause:    NOT DIAGNOSED")
+            if self.unordered_candidates:
+                lines.append(
+                    "events likely involved (ordering could not be "
+                    "established; coarse interleaving hypothesis may not "
+                    "hold for this bug):"
+                )
+                for ev in self.unordered_candidates:
+                    lines.append(
+                        f"  - [{ev.role}] {ev.function} at {ev.location} "
+                        f"(uid={ev.uid})"
+                    )
+        else:
+            lines.append(f"root cause:    {self.root_cause.signature}")
+            lines.append(
+                f"evidence:      F1={self.root_cause.f1:.3f} "
+                f"(P={self.root_cause.precision:.2f}, R={self.root_cause.recall:.2f})"
+            )
+            lines.append("target events (in diagnosed order):")
+            for i, ev in enumerate(self.target_events, 1):
+                lines.append(
+                    f"  {i}. [{ev.role}] T{ev.thread_slot} {ev.function} "
+                    f"at {ev.location} (uid={ev.uid})"
+                )
+        if len(self.ranked_patterns) > 1:
+            lines.append("runner-up patterns:")
+            for p in self.ranked_patterns[1:4]:
+                lines.append(f"  - {p}")
+        st = self.stage_stats
+        lines.append(
+            "stage funnel:  "
+            f"{st.program_instructions} program -> "
+            f"{st.executed_instructions} executed -> "
+            f"{st.alias_candidates} aliasing -> "
+            f"{st.rank1_candidates} rank-1 -> "
+            f"{st.patterns_generated} patterns -> "
+            f"{st.patterns_top_f1} top-F1"
+        )
+        lines.append(f"analysis time: {st.analysis_seconds * 1000:.1f} ms")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def describe_event(module: Module, uid: int, role: str, slot: int) -> TargetEventReport:
+    try:
+        instr = module.instruction(uid)
+    except Exception:
+        return TargetEventReport(uid, role, f"<uid {uid}>", "?", slot)
+    loc = str(instr.loc) if instr.loc else f"<uid {uid}>"
+    fn = instr.parent.function.name if instr.parent and instr.parent.function else "?"
+    return TargetEventReport(uid, role, loc, fn, slot)

@@ -1,0 +1,137 @@
+"""Statistical diagnosis: step 7 of Lazy Diagnosis (§4.5).
+
+Scores every pattern signature by its F1 across the gathered
+executions: precision = fraction of executions exhibiting the pattern
+that failed; recall = fraction of failing executions that exhibit it.
+A pattern present in every failing execution and no successful one gets
+F1 = 1.0 and is reported as the root cause.
+
+Unlike cooperative-bug-isolation work the paper cites, there is no
+sampling here: every failing execution contributes (Snorlax diagnoses
+after a *single* failure), and successful executions are capped at 10x
+the failing ones — the paper's empirically determined bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.patterns import PatternInstance, PatternSignature
+
+SUCCESS_TRACE_CAP_FACTOR = 10
+"""Max successful traces per failing trace (paper §5)."""
+
+
+@dataclass
+class ExecutionObservation:
+    """One execution's pattern evidence."""
+
+    label: str
+    failing: bool
+    signatures: set[PatternSignature] = field(default_factory=set)
+    instances: dict[PatternSignature, PatternInstance] = field(default_factory=dict)
+
+
+@dataclass
+class ScoredPattern:
+    signature: PatternSignature
+    precision: float
+    recall: float
+    f1: float
+    failing_support: int  # failing executions exhibiting the pattern
+    success_support: int
+    rank: int  # best type rank seen for this signature
+    example: PatternInstance | None = None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.signature}  F1={self.f1:.3f} "
+            f"(P={self.precision:.2f}, R={self.recall:.2f}, "
+            f"fail {self.failing_support}, ok {self.success_support})"
+        )
+
+
+def observe(
+    label: str, failing: bool, computation
+) -> ExecutionObservation:
+    obs = ExecutionObservation(label, failing)
+    for inst in computation.patterns:
+        obs.signatures.add(inst.signature)
+        prev = obs.instances.get(inst.signature)
+        if prev is None or inst.rank < prev.rank:
+            obs.instances[inst.signature] = inst
+    return obs
+
+
+def score_patterns(observations: list[ExecutionObservation]) -> list[ScoredPattern]:
+    """F1-rank all signatures seen in any observation.
+
+    Ties break toward better (lower) type rank — that is how type-based
+    ranking reduces diagnosis latency without discarding candidates —
+    then toward higher failing support.
+    """
+    failing_total = sum(1 for o in observations if o.failing)
+    if failing_total == 0:
+        return []
+    all_sigs: set[PatternSignature] = set()
+    for o in observations:
+        all_sigs |= o.signatures
+    scored: list[ScoredPattern] = []
+    for sig in all_sigs:
+        fail_support = sum(1 for o in observations if o.failing and sig in o.signatures)
+        ok_support = sum(
+            1 for o in observations if not o.failing and sig in o.signatures
+        )
+        present_total = fail_support + ok_support
+        precision = fail_support / present_total if present_total else 0.0
+        recall = fail_support / failing_total
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        best_rank = 3
+        example: PatternInstance | None = None
+        for o in observations:
+            inst = o.instances.get(sig)
+            if inst is not None and inst.rank < best_rank:
+                best_rank = inst.rank
+                if o.failing or example is None:
+                    example = inst
+            if o.failing and sig in o.instances and (
+                example is None or not example.dynamics
+            ):
+                example = o.instances[sig]
+        # prefer an example from a failing run (it carries the real gaps)
+        for o in observations:
+            if o.failing and sig in o.instances:
+                example = o.instances[sig]
+                break
+        scored.append(
+            ScoredPattern(
+                sig, precision, recall, f1, fail_support, ok_support, best_rank, example
+            )
+        )
+    # Ties break toward: (a) fewer events — a pair that explains the
+    # failure beats a triple that merely embeds it (the UAF read has a
+    # previous-iteration read before every free, making an RWR triple
+    # exactly as correlated as the true WR pair); then (b) better type
+    # rank; then (c) higher failing support.
+    scored.sort(
+        key=lambda s: (
+            -s.f1,
+            len(s.signature.events),
+            s.rank,
+            -s.failing_support,
+            str(s.signature),
+        )
+    )
+    return scored
+
+
+def cap_successful(observations: list[ExecutionObservation]) -> list[ExecutionObservation]:
+    """Apply the paper's 10x cap on successful executions."""
+    failing = [o for o in observations if o.failing]
+    ok = [o for o in observations if not o.failing]
+    cap = SUCCESS_TRACE_CAP_FACTOR * max(1, len(failing))
+    return failing + ok[:cap]

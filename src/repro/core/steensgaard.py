@@ -1,0 +1,163 @@
+"""Unification-based (Steensgaard-style) points-to analysis.
+
+The almost-linear-time alternative the paper contrasts inclusion-based
+analysis against (§4.2): assignments *unify* the two sides' equivalence
+classes instead of adding subset edges, so the result is coarser — every
+alias set is symmetric — but the solve is near-linear via union-find.
+
+Snorlax itself uses the inclusion-based analysis; this module exists as
+the precision baseline for the ablation bench (DESIGN.md §5): it lets
+us measure how many more candidate instructions type-based ranking and
+pattern computation would have to consider under the cheaper analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import AbstractObject, ConstraintSystem
+from repro.ir.values import Value
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: dict[object, object] = {}
+        self._rank: dict[object, int] = {}
+
+    def find(self, x: object) -> object:
+        parent = self._parent
+        if x not in parent:
+            parent[x] = x
+            self._rank[x] = 0
+            return x
+        root = x
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[x] is not root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: object, b: object) -> object:
+        ra, rb = self.find(a), self.find(b)
+        if ra is rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+
+@dataclass
+class SteensgaardStats:
+    unions: int = 0
+    nodes: int = 0
+
+
+class SteensgaardResult:
+    def __init__(
+        self,
+        uf: _UnionFind,
+        class_objects: dict[object, set[AbstractObject]],
+        pointee_class: dict[object, object],
+        stats: SteensgaardStats,
+    ):
+        self._uf = uf
+        self._class_objects = class_objects
+        self._pointee_class = pointee_class
+        self.stats = stats
+
+    def points_to(self, value: Value) -> frozenset[AbstractObject]:
+        root = self._uf.find(value)
+        target = self._pointee_class.get(root)
+        if target is None:
+            return frozenset()
+        return frozenset(self._class_objects.get(self._uf.find(target), ()))
+
+    def may_alias(self, a: Value, b: Value) -> bool:
+        pa, pb = self.points_to(a), self.points_to(b)
+        return bool(pa & pb)
+
+
+def solve(system: ConstraintSystem) -> SteensgaardResult:
+    """Unify per the four rules; derive class points-to sets afterward."""
+    uf = _UnionFind()
+    stats = SteensgaardStats()
+    # Each equivalence class has at most one pointee class; unifying two
+    # classes with pointees unifies the pointees too (the cascade that
+    # makes Steensgaard coarse).
+    pointee: dict[object, object] = {}
+    class_objects: dict[object, set[AbstractObject]] = {}
+
+    def pointee_of(root: object) -> object:
+        if root not in pointee:
+            placeholder = ("pointee", len(pointee), id(root))
+            pointee[root] = uf.find(placeholder)
+        return pointee[root]
+
+    def unify(a: object, b: object) -> object:
+        ra, rb = uf.find(a), uf.find(b)
+        if ra is rb:
+            return ra
+        stats.unions += 1
+        pa, pb = pointee.get(ra), pointee.get(rb)
+        oa = class_objects.pop(ra, set())
+        ob = class_objects.pop(rb, set())
+        root = uf.union(ra, rb)
+        pointee.pop(ra, None)
+        pointee.pop(rb, None)
+        merged = oa | ob
+        if merged:
+            class_objects[root] = merged
+        if pa is not None and pb is not None:
+            pointee[root] = unify(pa, pb)
+        elif pa is not None or pb is not None:
+            pointee[root] = uf.find(pa if pa is not None else pb)
+        return root
+
+    # rule 1: p = &l  -> the pointee class of p contains object l
+    for node, objs in system.addr_of.items():
+        root = uf.find(node)
+        target = pointee_of(root)
+        troot = uf.find(target)
+        pointee[root] = troot
+        class_objects.setdefault(troot, set()).update(objs)
+        # The object's own variable (its contents) lives in a class too:
+        for obj in objs:
+            unify(target, ("contents", obj))
+    # rule 2: p = q -> unify(p, q)'s pointees; Steensgaard unifies the
+    # pointee classes rather than the pointers themselves.
+    for dst, src in system.copies:
+        a, b = uf.find(dst), uf.find(src)
+        unify(pointee_of(a), pointee_of(b))
+        pointee[uf.find(a)] = uf.find(pointee_of(uf.find(a)))
+    # rule 4: p = *q -> pointee(p) ~ pointee(pointee(q))
+    for dst, pointer in system.loads:
+        pr = uf.find(pointer)
+        inner = pointee_of(uf.find(pointee_of(pr)))
+        unify(pointee_of(uf.find(dst)), inner)
+    # rule 3: *p = q -> pointee(pointee(p)) ~ pointee(q)
+    for pointer, src in system.stores:
+        pr = uf.find(pointer)
+        inner = pointee_of(uf.find(pointee_of(pr)))
+        unify(inner, pointee_of(uf.find(src)))
+    # indirect calls: unify each argument's pointee with every function's
+    # parameter pointee (maximally coarse, as unification must be)
+    for instr, callee in system.indirect_calls:
+        for fn in system.functions_by_object.values():
+            args = instr.args  # type: ignore[attr-defined]
+            if len(args) != len(fn.params):
+                continue
+            for param, arg in zip(fn.params, args):
+                unify(pointee_of(uf.find(param)), pointee_of(uf.find(arg)))
+
+    # normalize roots
+    final_objects: dict[object, set[AbstractObject]] = {}
+    for root, objs in class_objects.items():
+        final_objects.setdefault(uf.find(root), set()).update(objs)
+    final_pointee: dict[object, object] = {}
+    for root, target in pointee.items():
+        final_pointee[uf.find(root)] = uf.find(target)
+    stats.nodes = len(final_pointee)
+    return SteensgaardResult(uf, final_objects, final_pointee, stats)

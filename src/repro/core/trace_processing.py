@@ -1,0 +1,156 @@
+"""Trace processing: steps 2 and 3 of Lazy Diagnosis (Figure 2).
+
+Consumes a decoded trace snapshot and produces the two artifacts the
+rest of the pipeline runs on:
+
+* the **executed instruction set** — static uids that appear in any
+  thread's decoded trace (step 2; an instruction executed many times
+  counts once).  Hybrid points-to analysis restricts its scope to this
+  set.
+* the **partially-ordered dynamic instruction trace** (step 3) — every
+  decoded dynamic instruction with its ``[t_lo, t_hi)`` interval.  Two
+  dynamic instructions from different threads are ordered iff their
+  intervals are disjoint; same-thread instructions are totally ordered
+  by program order.  The timing granularity of the trace (the MTC
+  period) is far coarser than instruction execution, which is exactly
+  why a partial — not total — order is all the hardware can give us,
+  and, per the coarse interleaving hypothesis, all that diagnosis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pt.decoder import DynamicInstruction, ThreadTrace
+
+
+@dataclass
+class ProcessedTrace:
+    """The per-execution artifact every later pipeline stage consumes."""
+
+    label: str  # e.g. "failure" or "success-3"
+    failing: bool
+    executed_uids: set[int] = field(default_factory=set)
+    dynamic: list[DynamicInstruction] = field(default_factory=list)
+    by_uid: dict[int, list[DynamicInstruction]] = field(default_factory=dict)
+    threads: set[int] = field(default_factory=set)
+    anchor: DynamicInstruction | None = None  # the failure / breakpoint hit
+    anchors: list[DynamicInstruction] = field(default_factory=list)
+    snapshot_time: int = 0
+    max_timing_gap: int = 0
+
+    def add_instance(self, inst: DynamicInstruction) -> None:
+        self.dynamic.append(inst)
+        self.by_uid.setdefault(inst.uid, []).append(inst)
+        self.executed_uids.add(inst.uid)
+        self.threads.add(inst.tid)
+
+    def instances(self, uid: int) -> list[DynamicInstruction]:
+        return self.by_uid.get(uid, [])
+
+    def ordered_before(self, a: DynamicInstruction, b: DynamicInstruction) -> bool:
+        """a definitely executed before b (partial order of §4.1)."""
+        return a.before(b)
+
+    def concurrent(self, a: DynamicInstruction, b: DynamicInstruction) -> bool:
+        """Neither ordering is certain (overlapping intervals, two threads)."""
+        return not a.before(b) and not b.before(a)
+
+    def last_instance_before(
+        self, uid: int, bound: DynamicInstruction
+    ) -> DynamicInstruction | None:
+        """Latest dynamic instance of ``uid`` ordered before ``bound``."""
+        best: DynamicInstruction | None = None
+        for d in self.instances(uid):
+            if d.before(bound) and (best is None or best.before(d)):
+                best = d
+        return best
+
+
+def process_snapshot(
+    label: str,
+    thread_traces: dict[int, ThreadTrace],
+    failing: bool,
+    anchor_uid: int | None = None,
+    anchor_tid: int | None = None,
+    anchor_time: int | None = None,
+) -> ProcessedTrace:
+    """Build a :class:`ProcessedTrace` from decoded per-thread traces.
+
+    ``anchor_uid`` is the failure PC (for failing executions) or the
+    breakpoint PC (for successful executions collected at the previous
+    failure location, step 8).  The anchor instruction itself usually is
+    not in the decoded stream — it is the stop position — so a precise
+    dynamic instance is synthesized for it at ``anchor_time`` (the
+    failure/snapshot timestamp the error tracker reports).
+    """
+    pt = ProcessedTrace(label=label, failing=failing)
+    for tid, trace in thread_traces.items():
+        if trace.desync:
+            continue
+        pt.threads.add(tid)
+        pt.executed_uids |= trace.executed_uids
+        pt.dynamic.extend(trace.instructions)
+        pt.max_timing_gap = max(pt.max_timing_gap, trace.max_timing_gap())
+        pt.snapshot_time = max(pt.snapshot_time, trace.end_time)
+    for d in pt.dynamic:
+        pt.by_uid.setdefault(d.uid, []).append(d)
+    for instances in pt.by_uid.values():
+        instances.sort(key=lambda d: (d.t_lo, d.seq))
+    if anchor_uid is not None:
+        t = anchor_time if anchor_time is not None else pt.snapshot_time
+        tid = anchor_tid if anchor_tid is not None else _position_thread(
+            thread_traces, anchor_uid
+        )
+        seq = 1 + max(
+            (d.seq for d in pt.dynamic if d.tid == tid), default=-1
+        )
+        anchor = DynamicInstruction(anchor_uid, tid, seq, t, t)
+        pt.anchor = anchor
+        pt.executed_uids.add(anchor_uid)
+        pt.dynamic.append(anchor)
+        pt.by_uid.setdefault(anchor_uid, []).append(anchor)
+    return pt
+
+
+def _position_thread(thread_traces: dict[int, ThreadTrace], uid: int) -> int:
+    for tid, trace in thread_traces.items():
+        if trace.stop_uid == uid:
+            return tid
+    return min(thread_traces) if thread_traces else 0
+
+
+def attach_anchor(
+    trace: ProcessedTrace,
+    uid: int,
+    tid: int | None,
+    time: int | None,
+    prefer_decoded: bool = True,
+) -> DynamicInstruction:
+    """Resolve an anchor instruction to a dynamic instance.
+
+    If the anchor was decoded in the anchoring thread (e.g. a backing
+    load recovered by backward data-flow — it *did* execute before the
+    failure), its last decoded instance is the anchor.  Otherwise a
+    precise instance is synthesized at ``time`` (the failure / snapshot
+    timestamp from the error tracker), which covers the failing
+    instruction itself: the decoder stops right before it.
+    """
+    if tid is None:
+        tid = min(trace.threads) if trace.threads else 0
+    if prefer_decoded:
+        decoded = [d for d in trace.instances(uid) if d.tid == tid]
+        if decoded:
+            anchor = decoded[-1]
+            trace.anchors.append(anchor)
+            if trace.anchor is None:
+                trace.anchor = anchor
+            return anchor
+    t = time if time is not None else trace.snapshot_time
+    seq = 1 + max((d.seq for d in trace.dynamic if d.tid == tid), default=-1)
+    anchor = DynamicInstruction(uid, tid, seq, t, t)
+    trace.add_instance(anchor)
+    trace.anchors.append(anchor)
+    if trace.anchor is None:
+        trace.anchor = anchor
+    return anchor

@@ -1,0 +1,129 @@
+"""The bug corpus: 54 concurrency bugs across 13 application models.
+
+Importing :mod:`repro.corpus` (or calling any registry accessor) loads
+every app module, which registers its bugs.  See ``registry.py`` for
+the spec format and ``templates.py`` for the failure mechanics.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.appkit import AppProfile, profile
+from repro.corpus.registry import (
+    BugSpec,
+    EventLocator,
+    GroundTruth,
+    all_bugs,
+    bug,
+    bugs_by_system,
+    register,
+    snorlax_bugs,
+    systems,
+    table_bugs,
+)
+from repro.corpus.templates import TEMPLATES, BugShape
+
+
+class _TemplatedBug:
+    """Lazily instantiates a template; keeps build/workload/truth in sync."""
+
+    def __init__(self, shape: BugShape, pattern: str):
+        self.shape = shape
+        self.pattern = pattern
+        self._built = None
+
+    def _ensure(self):
+        if self._built is None:
+            self._built = TEMPLATES[self.pattern](self.shape)
+        return self._built
+
+    def build_module(self):
+        # A fresh build every call (templates are deterministic); the
+        # registry caches the shared instance itself.
+        return TEMPLATES[self.pattern](self.shape)[0]
+
+    @property
+    def ground_truth(self) -> GroundTruth:
+        return self._ensure()[1]
+
+    def workload(self, seed: int) -> tuple:
+        return self._ensure()[2](seed)
+
+
+def make_spec(
+    system: str,
+    bug_id: str,
+    table: int,
+    pattern: str,
+    quantum_us: int,
+    description: str,
+    *,
+    file: str,
+    struct_name: str,
+    target_field: str,
+    aux_field: str,
+    global_name: str,
+    worker_name: str,
+    rival_name: str,
+    helper_name: str,
+    base_line: int,
+    snorlax_eval: bool = False,
+    iters: int = 6,
+) -> BugSpec:
+    """Register one templated bug with app-specific vocabulary."""
+    shape = BugShape(
+        profile=profile(system),
+        bug_id=bug_id,
+        file=file,
+        struct_name=struct_name,
+        target_field=target_field,
+        aux_field=aux_field,
+        global_name=global_name,
+        worker_name=worker_name,
+        rival_name=rival_name,
+        helper_name=helper_name,
+        base_line=base_line,
+        quantum_us=quantum_us,
+        iters=iters,
+    )
+    templated = _TemplatedBug(shape, pattern)
+    spec = BugSpec(
+        bug_id=bug_id,
+        system=system,
+        language=profile(system).language,
+        table=table,
+        description=description,
+        builder=templated.build_module,
+        workload=templated.workload,
+        truth_source=lambda: templated.ground_truth,
+        target_dt_us=_nominal_dt(pattern, quantum_us),
+        snorlax_eval=snorlax_eval,
+    )
+    return register(spec)
+
+
+def _nominal_dt(pattern: str, quantum_us: int) -> tuple[float, ...]:
+    """The intended mean gap(s) between target events, in us."""
+    if pattern in ("WR", "WW", "deadlock"):
+        return (float(quantum_us),)
+    if pattern == "RW":
+        return (2.0 * quantum_us,)
+    return (float(quantum_us), float(quantum_us))  # atomicity: dT1, dT2
+
+
+__all__ = [
+    "AppProfile",
+    "profile",
+    "BugSpec",
+    "EventLocator",
+    "GroundTruth",
+    "all_bugs",
+    "bug",
+    "bugs_by_system",
+    "register",
+    "snorlax_bugs",
+    "systems",
+    "table_bugs",
+    "TEMPLATES",
+    "BugShape",
+    "make_spec",
+]

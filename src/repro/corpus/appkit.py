@@ -1,0 +1,211 @@
+"""App-model construction kit.
+
+Real systems are big: MySQL is 650 KLOC, of which any one workload
+touches a sliver.  That size difference is what scope restriction
+exploits (Table 4's speedups grow with program size), so the app models
+must have realistic *cold* bulk around the executed core.  ``AppProfile``
+scales a deterministic cold-code synthesizer per system: functions with
+varied CFG shapes (reduction loops, field walks, dispatch chains,
+guard ladders) that the buggy workload never calls.
+
+The kit also provides *warm* helpers — small branchy functions the
+workload does call around target events.  Their conditional branches are
+what keep the PT trace's timing intervals tight (a branch-free thread
+would leave its accesses unordered).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import I64, VOID, PointerType, ptr
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    name: str
+    language: str  # "C/C++" | "Java"
+    main_file: str  # e.g. "pbzip2.cpp", "sql/mysqld.cc"
+    kloc: int  # real system size, drives cold-code volume
+    seed: int  # determinism for the synthesizer
+
+    @property
+    def cold_function_count(self) -> int:
+        # ~1 synthesized function per 2 KLOC, at least 2: large systems
+        # get visibly larger modules without dwarfing build time.
+        return max(2, self.kloc // 2)
+
+
+PROFILES: dict[str, AppProfile] = {
+    "mysql": AppProfile("mysql", "C/C++", "sql/mysqld.cc", 650, 101),
+    "httpd": AppProfile("httpd", "C/C++", "server/core.c", 223, 102),
+    "memcached": AppProfile("memcached", "C/C++", "memcached.c", 9, 103),
+    "sqlite": AppProfile("sqlite", "C/C++", "sqlite3.c", 100, 104),
+    "transmission": AppProfile("transmission", "C/C++", "libtransmission/session.c", 60, 105),
+    "pbzip2": AppProfile("pbzip2", "C/C++", "pbzip2.cpp", 2, 106),
+    "aget": AppProfile("aget", "C/C++", "Aget.c", 1, 107),
+    "jdk": AppProfile("jdk", "Java", "java/util/concurrent", 120, 108),
+    "derby": AppProfile("derby", "Java", "impl/store/raw/RawStore.java", 140, 109),
+    "groovy": AppProfile("groovy", "Java", "runtime/MetaClassImpl.java", 80, 110),
+    "dbcp": AppProfile("dbcp", "Java", "dbcp/PoolingDataSource.java", 12, 111),
+    "log4j": AppProfile("log4j", "Java", "core/Logger.java", 30, 112),
+    "lucene": AppProfile("lucene", "Java", "index/IndexWriter.java", 90, 113),
+}
+
+
+def profile(system: str) -> AppProfile:
+    return PROFILES[system]
+
+
+# -- warm helpers -------------------------------------------------------------
+
+
+def add_warm_worker(
+    b: IRBuilder, name: str, file: str, line: int, spin_iters: int = 3
+) -> Function:
+    """A small branchy helper: ``i64 name(i64 n)``.
+
+    Loops ``spin_iters`` times doing arithmetic with a conditional per
+    iteration plus a ~1.5 us delay — enough control-flow events to emit
+    TNT packets and keep the trace's timing intervals tight, cheap
+    enough (a few us) not to perturb the workload's dT structure.
+    """
+    fn = b.begin_function(name, I64, [("n", I64)])
+    with b.at_location(file, line):
+        acc = b.alloca(I64, "acc")
+        b.store(b.param("n"), acc)
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, spin_iters) as iv:
+            cur = b.load(acc)
+            parity = b.mod(cur, 2)
+            is_odd = b.cmp("eq", parity, 1)
+            with b.if_else(is_odd) as otherwise:
+                tripled = b.mul(b.load(acc), 3)
+                b.store(b.add(tripled, 1), acc)
+                with otherwise:
+                    b.store(b.add(b.load(acc), 7), acc)
+            b.delay(1500)
+            b.store(b.add(b.load(acc), iv), acc)
+        b.ret(b.load(acc))
+    return fn
+
+
+# -- cold-code synthesizer -------------------------------------------------------
+
+
+def add_cold_code(module: Module, b: IRBuilder, prof: AppProfile) -> int:
+    """Synthesize the system's never-executed bulk; returns #functions.
+
+    Shapes are drawn deterministically from the profile seed so every
+    build of an app model is identical.  Functions reference each other
+    (call chains) and module structs, giving the whole-program points-to
+    baseline real work to chew on.
+    """
+    rng = random.Random(prof.seed)
+    count = prof.cold_function_count
+    names: list[str] = []
+    record = module.add_struct(f"{prof.name}_cold_rec")
+    record.set_body(
+        [("key", I64), ("value", I64), ("next", PointerType(record))]
+    )
+    for k in range(count):
+        name = f"{prof.name}_cold_{k}"
+        shape = rng.choice(("reduce", "walk", "ladder", "chain"))
+        line = 2000 + 10 * k
+        if shape == "reduce":
+            _cold_reduce(b, name, prof.main_file, line, rng)
+        elif shape == "walk":
+            _cold_walk(b, name, prof.main_file, line, record, rng)
+        elif shape == "ladder":
+            _cold_ladder(b, name, prof.main_file, line, rng)
+        else:
+            _cold_chain(b, name, prof.main_file, line, names, rng)
+        names.append(name)
+    return count
+
+
+def ptr_self(name: str, module: Module):
+    """Pointer to a (possibly still-opaque) named struct."""
+    if name in module.structs:
+        return PointerType(module.structs[name])
+    st = module.add_struct(name)
+    return PointerType(st)
+
+
+def _cold_reduce(b: IRBuilder, name: str, file: str, line: int, rng: random.Random) -> None:
+    b.begin_function(name, I64, [("n", I64)])
+    with b.at_location(file, line):
+        acc = b.alloca(I64, "acc")
+        b.store(rng.randint(1, 9), acc)
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, b.param("n")) as iv:
+            op = rng.choice(("add", "xor", "mul"))
+            b.store(b.binop(op, b.load(acc), b.add(iv, rng.randint(1, 5))), acc)
+        b.ret(b.load(acc))
+
+
+def _cold_walk(b: IRBuilder, name: str, file: str, line: int, record, rng: random.Random) -> None:
+    b.begin_function(name, I64, [("head", PointerType(record)), ("limit", I64)])
+    with b.at_location(file, line):
+        cur = b.alloca(PointerType(record), "cur")
+        b.store(b.param("head"), cur)
+        total = b.alloca(I64, "total")
+        b.store(0, total)
+        steps = b.alloca(I64, "steps")
+
+        def cond():
+            node = b.load(cur)
+            nz = b.cmp("ne", b.cast(node, I64), 0)
+            under = b.cmp("lt", b.load(steps), b.param("limit"))
+            return b.binop("and", nz, under)
+
+        b.store(0, steps)
+        with b.while_(cond):
+            node = b.load(cur)
+            v = b.load_field(node, "value")
+            b.store(b.add(b.load(total), v), total)
+            b.store(b.load_field(node, "next"), cur)
+            b.store(b.add(b.load(steps), 1), steps)
+        b.ret(b.load(total))
+
+
+def _cold_ladder(b: IRBuilder, name: str, file: str, line: int, rng: random.Random) -> None:
+    b.begin_function(name, I64, [("code", I64)])
+    with b.at_location(file, line):
+        out = b.alloca(I64, "out")
+        b.store(0, out)
+        rungs = rng.randint(2, 5)
+        for r in range(rungs):
+            hit = b.cmp("eq", b.param("code"), rng.randint(0, 100))
+            with b.if_then(hit):
+                b.store(rng.randint(1, 1000), out)
+        b.ret(b.load(out))
+
+
+def _cold_chain(
+    b: IRBuilder, name: str, file: str, line: int, names: list[str], rng: random.Random
+) -> None:
+    b.begin_function(name, I64, [("n", I64)])
+    with b.at_location(file, line):
+        if not names:
+            b.ret(b.param("n"))
+            return
+        callee = rng.choice(names)
+        fn = b.module.function(callee)
+        args = []
+        for p in fn.params:
+            if p.ty == I64:
+                args.append(b.param("n"))
+            else:
+                args.append(b.null(p.ty.pointee))  # type: ignore[attr-defined]
+        inner = b.call(callee, args)
+        big = b.cmp("gt", inner, 512)
+        result = b.alloca(I64, "result")
+        b.store(inner, result)
+        with b.if_then(big):
+            b.store(b.mod(inner, 512), result)
+        b.ret(b.load(result))

@@ -1,0 +1,17 @@
+"""App models: importing this package registers all 54 corpus bugs."""
+
+from repro.corpus.apps import (  # noqa: F401
+    aget,
+    dbcp,
+    derby,
+    groovy,
+    httpd,
+    jdk,
+    log4j,
+    lucene,
+    memcached,
+    mysql,
+    pbzip2,
+    sqlite,
+    transmission,
+)

@@ -1,0 +1,34 @@
+"""aget application model (1 KLOC profile): 3 corpus bugs.
+
+aget-n/a is the well-known ``bwritten`` torn-update bug (the signal
+handler snapshots the download counter mid-update); aget-2 and aget-3
+model the resume-offset publish race and the per-thread progress
+check/use race.
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "aget", "aget-n/a", 3, "WRW", 280,
+    "bwritten updated in two steps by a worker; SIGINT handler snapshots it torn",
+    file="Download.c", struct_name="DownloadState", target_field="bwritten",
+    aux_field="nthreads", global_name="g_dl_state", worker_name="http_get_worker",
+    rival_name="sigint_save_log", helper_name="aget_recv_chunk", base_line=120,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "aget", "aget-2", 2, "RW", 240,
+    "worker reads the resume offset table before the log loader publishes it",
+    file="Resume.c", struct_name="ResumeTable", target_field="offsets",
+    aux_field="count", global_name="g_resume", worker_name="worker_seek_start",
+    rival_name="read_log_publish", helper_name="aget_parse_header", base_line=60,
+)
+
+make_spec(
+    "aget", "aget-3", 3, "RWR", 450,
+    "progress entry re-read after the reaper cleared a finished thread's slot",
+    file="Aget.c", struct_name="ProgressSlot", target_field="entry",
+    aux_field="done", global_name="g_progress", worker_name="update_progress_bar",
+    rival_name="reap_finished_thread", helper_name="aget_format_eta", base_line=210,
+)

@@ -1,0 +1,35 @@
+"""Apache Commons DBCP application model (Java; 12 KLOC profile): 4 bugs."""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "dbcp", "dbcp-44", 1, "deadlock", 560,
+    "pool monitor lock vs connection lock acquired in opposite orders by borrow and evict",
+    file="dbcp/AbandonedObjectPool.java", struct_name="ObjectPool", target_field="borrows",
+    aux_field="evictions", global_name="g_pool", worker_name="borrow_object",
+    rival_name="evictor_sweep", helper_name="dbcp_validate_conn", base_line=90,
+)
+
+make_spec(
+    "dbcp", "dbcp-270", 2, "RW", 640,
+    "caller reads the datasource delegate before the factory publishes it",
+    file="dbcp/PoolingDataSource.java", struct_name="DataSourceState", target_field="delegate",
+    aux_field="timeout", global_name="g_datasource", worker_name="get_connection",
+    rival_name="factory_init", helper_name="dbcp_parse_url", base_line=150,
+)
+
+make_spec(
+    "dbcp", "dbcp-65", 3, "RWR", 390,
+    "idle-object list head re-read after the evictor unlinked it",
+    file="pool/GenericObjectPool.java", struct_name="IdleList", target_field="head",
+    aux_field="idleCount", global_name="g_idle_list", worker_name="borrow_idle",
+    rival_name="evict_idle", helper_name="dbcp_test_on_borrow", base_line=480,
+)
+
+make_spec(
+    "dbcp", "dbcp-398", 3, "WWR", 830,
+    "active-count staged during close, clobbered by a concurrent borrow",
+    file="pool/GenericObjectPool.java", struct_name="PoolCounters", target_field="active",
+    aux_field="maxActive", global_name="g_pool_counters", worker_name="close_pool",
+    rival_name="borrow_increment", helper_name="dbcp_notify_waiters", base_line=620,
+)

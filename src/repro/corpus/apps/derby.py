@@ -1,0 +1,36 @@
+"""Apache Derby application model (Java; 140 KLOC profile): 4 corpus bugs."""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "derby", "derby-1573", 1, "deadlock", 2400,
+    "raw-store container lock vs page latch acquired in opposite orders",
+    file="impl/store/raw/data/BaseContainer.java", struct_name="ContainerHandle",
+    target_field="opens", aux_field="latches", global_name="g_container",
+    worker_name="open_container", rival_name="checkpoint_pages",
+    helper_name="derby_format_page", base_line=220,
+)
+
+make_spec(
+    "derby", "derby-5561", 2, "RW", 1750,
+    "connection reads the database context before boot publishes it",
+    file="impl/db/BasicDatabase.java", struct_name="DbContext", target_field="store",
+    aux_field="locale", global_name="g_db_context", worker_name="embed_connection",
+    rival_name="boot_database", helper_name="derby_parse_attributes", base_line=130,
+)
+
+make_spec(
+    "derby", "derby-2861", 3, "RWR", 2900,
+    "lock-table entry re-read after the deadlock detector aborted and removed it",
+    file="impl/services/locks/LockSet.java", struct_name="LockEntry", target_field="control",
+    aux_field="holders", global_name="g_lock_set", worker_name="lock_object",
+    rival_name="abort_waiter", helper_name="derby_hash_lockable", base_line=410,
+)
+
+make_spec(
+    "derby", "derby-4129", 3, "WRW", 1500,
+    "transaction-table commit LSN written in two steps, read torn by backup",
+    file="impl/store/raw/xact/XactFactory.java", struct_name="XactTable", target_field="commitLSN",
+    aux_field="txnCount", global_name="g_xact_table", worker_name="commit_transaction",
+    rival_name="online_backup_scan", helper_name="derby_flush_log", base_line=700,
+)

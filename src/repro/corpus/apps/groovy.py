@@ -1,0 +1,36 @@
+"""Apache Groovy application model (Java; 80 KLOC profile): 4 corpus bugs."""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "groovy", "groovy-4736", 1, "deadlock", 980,
+    "metaclass registry lock vs class-info lock in opposite orders",
+    file="runtime/metaclass/MetaClassRegistryImpl.java", struct_name="MetaRegistry",
+    target_field="lookups", aux_field="updates", global_name="g_meta_registry",
+    worker_name="get_meta_class", rival_name="set_meta_class",
+    helper_name="groovy_resolve_category", base_line=260,
+)
+
+make_spec(
+    "groovy", "groovy-7590", 2, "WR", 1350,
+    "class-info cache entry evicted and freed while a call-site still reads it",
+    file="reflection/ClassInfo.java", struct_name="ClassInfoEntry", target_field="cachedClass",
+    aux_field="version", global_name="g_class_info", worker_name="call_site_invoke",
+    rival_name="cache_evict_entry", helper_name="groovy_select_method", base_line=180,
+)
+
+make_spec(
+    "groovy", "groovy-5198", 3, "RWR", 760,
+    "method cache slot re-read after a concurrent metaclass update invalidated it",
+    file="runtime/MetaClassImpl.java", struct_name="MethodCache", target_field="slot",
+    aux_field="misses", global_name="g_method_cache", worker_name="invoke_method",
+    rival_name="invalidate_cache", helper_name="groovy_hash_signature", base_line=940,
+)
+
+make_spec(
+    "groovy", "groovy-8123", 3, "WWR", 2100,
+    "AST transform phase flag staged by the compiler, clobbered by a parallel unit",
+    file="control/CompilationUnit.java", struct_name="PhaseState", target_field="phase",
+    aux_field="errors", global_name="g_phase_state", worker_name="run_phase_ops",
+    rival_name="parallel_unit_advance", helper_name="groovy_apply_transform", base_line=520,
+)

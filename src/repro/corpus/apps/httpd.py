@@ -1,0 +1,51 @@
+"""Apache httpd application model (223 KLOC profile): 5 corpus bugs.
+
+Ids echo the real tracker entries: #25520 (buffered log writer restores
+a stale buffer pointer), #21287 (mod_mem_cache object cleaned up twice),
+#42031 (worker/listener mutex cycle), #45605 (scoreboard slot reused
+before the child publishes it), #46215 (connection-count staging race).
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "httpd", "httpd-42031", 1, "deadlock", 650,
+    "accept mutex vs scoreboard mutex taken in opposite orders on graceful restart",
+    file="server/mpm/worker/worker.c", struct_name="WorkerPool", target_field="accepts",
+    aux_field="restarts", global_name="g_worker_pool", worker_name="listener_thread",
+    rival_name="graceful_restart", helper_name="httpd_poll_sockets", base_line=900,
+)
+
+make_spec(
+    "httpd", "httpd-21287", 2, "WW", 520,
+    "mod_mem_cache: two threads pass the cleanup check and both free the object",
+    file="modules/cache/mod_mem_cache.c", struct_name="CacheObject", target_field="cleanup",
+    aux_field="refcount", global_name="g_cache_obj", worker_name="decrement_refcount",
+    rival_name="decrement_refcount_alias", helper_name="httpd_cache_hash", base_line=600,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "httpd", "httpd-45605", 2, "RW", 430,
+    "request thread reads a scoreboard slot before the child initializes it",
+    file="server/scoreboard.c", struct_name="ScoreboardSlot", target_field="status",
+    aux_field="generation", global_name="g_scoreboard", worker_name="status_handler",
+    rival_name="child_init_slot", helper_name="httpd_format_status", base_line=310,
+)
+
+make_spec(
+    "httpd", "httpd-25520", 3, "RWW", 480,
+    "buffered log writer saves/restores outbuf non-atomically across a flush",
+    file="modules/loggers/mod_log_config.c", struct_name="BufferedLog", target_field="outbuf",
+    aux_field="outcnt", global_name="g_buffered_log", worker_name="flush_log_buffer",
+    rival_name="rotate_log_buffer", helper_name="httpd_format_log_entry", base_line=1340,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "httpd", "httpd-46215", 3, "WWR", 560,
+    "idle-worker count staged during maintenance, overwritten by a finishing worker",
+    file="server/mpm/event/event.c", struct_name="EventStats", target_field="idlers",
+    aux_field="connections", global_name="g_event_stats", worker_name="perform_idle_maintenance",
+    rival_name="worker_finish", helper_name="httpd_update_timeouts", base_line=2110,
+)

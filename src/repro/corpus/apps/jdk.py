@@ -1,0 +1,52 @@
+"""JDK application model (Java; 120 KLOC profile): 5 corpus bugs.
+
+Ids echo OpenJDK tracker entries: JDK-6822370 (ReferenceHandler vs
+finalizer lock cycle), JDK-7011862 (logger config read before
+publication), JDK-8073704 (FutureTask state double-transition),
+JDK-6487638 (ConcurrentHashMap segment re-read race), JDK-4949631
+(System.out torn state snapshot).  Java systems participate in the
+coarse-interleaving study (Tables 1-3) exactly as in the paper — they
+are not part of the Snorlax C/C++ evaluation.
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "jdk", "jdk-6822370", 1, "deadlock", 1300,
+    "Reference pending-list lock vs finalizer queue lock in opposite orders",
+    file="java/lang/ref/Reference.java", struct_name="PendingList", target_field="enqueued",
+    aux_field="finalized", global_name="g_pending", worker_name="reference_handler",
+    rival_name="finalizer_thread", helper_name="jdk_scan_references", base_line=140,
+)
+
+make_spec(
+    "jdk", "jdk-7011862", 2, "RW", 860,
+    "logging handler reads LogManager config before readConfiguration publishes it",
+    file="java/util/logging/LogManager.java", struct_name="LogConfig", target_field="handlers",
+    aux_field="levels", global_name="g_log_config", worker_name="publish_record",
+    rival_name="read_configuration", helper_name="jdk_format_record", base_line=480,
+)
+
+make_spec(
+    "jdk", "jdk-8073704", 2, "WW", 1600,
+    "FutureTask completion raced: two threads both pass the state check and finish it",
+    file="java/util/concurrent/FutureTask.java", struct_name="TaskState", target_field="state",
+    aux_field="waiters", global_name="g_task", worker_name="finish_completion",
+    rival_name="finish_completion_alias", helper_name="jdk_unpark_waiters", base_line=300,
+)
+
+make_spec(
+    "jdk", "jdk-6487638", 3, "RWR", 1900,
+    "HashMap bucket re-read after a concurrent resize transferred it",
+    file="java/util/HashMap.java", struct_name="BucketTable", target_field="bucket",
+    aux_field="size", global_name="g_map", worker_name="map_get",
+    rival_name="map_resize_transfer", helper_name="jdk_hash_spread", base_line=560,
+)
+
+make_spec(
+    "jdk", "jdk-4949631", 3, "WWR", 1150,
+    "BufferedWriter position staged during flush, clobbered by a concurrent write",
+    file="java/io/BufferedWriter.java", struct_name="CharBuffer", target_field="nextChar",
+    aux_field="nChars", global_name="g_char_buf", worker_name="flush_buffer",
+    rival_name="write_chars", helper_name="jdk_min_chunk", base_line=90,
+)

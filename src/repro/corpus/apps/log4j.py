@@ -1,0 +1,36 @@
+"""Apache Log4j application model (Java; 30 KLOC profile): 4 corpus bugs."""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "log4j", "log4j-50213", 1, "deadlock", 720,
+    "logger hierarchy lock vs appender lock in opposite orders on reconfigure",
+    file="core/LoggerContext.java", struct_name="LoggerHierarchy", target_field="logs",
+    aux_field="reconfigs", global_name="g_hierarchy", worker_name="log_event",
+    rival_name="reconfigure", helper_name="log4j_layout_event", base_line=340,
+)
+
+make_spec(
+    "log4j", "log4j-1507", 2, "WR", 300,
+    "appender stopped and its manager freed while a logger still writes through it",
+    file="core/appender/OutputStreamAppender.java", struct_name="StreamManager",
+    target_field="stream", aux_field="bytesWritten", global_name="g_stream_manager",
+    worker_name="append_event", rival_name="stop_appender",
+    helper_name="log4j_encode_bytes", base_line=110,
+)
+
+make_spec(
+    "log4j", "log4j-43867", 3, "WRW", 940,
+    "ring-buffer sequence published in two steps, snapshotted torn by the flusher",
+    file="core/async/RingBuffer.java", struct_name="RingCursor", target_field="sequence",
+    aux_field="capacity", global_name="g_ring", worker_name="publish_event",
+    rival_name="flush_cursor_check", helper_name="log4j_claim_slot", base_line=200,
+)
+
+make_spec(
+    "log4j", "log4j-1189", 3, "RWR", 530,
+    "configuration map entry re-read after a reconfigure swapped it out",
+    file="core/config/ConfigurationSource.java", struct_name="ConfigMap", target_field="entry",
+    aux_field="version", global_name="g_config_map", worker_name="resolve_logger_config",
+    rival_name="swap_configuration", helper_name="log4j_match_pattern", base_line=430,
+)

@@ -1,0 +1,35 @@
+"""Apache Lucene application model (Java; 90 KLOC profile): 4 corpus bugs."""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "lucene", "lucene-3842", 1, "deadlock", 1450,
+    "IndexWriter commit lock vs merge scheduler lock in opposite orders",
+    file="index/IndexWriter.java", struct_name="WriterLocks", target_field="commits",
+    aux_field="merges", global_name="g_writer", worker_name="commit_internal",
+    rival_name="concurrent_merge", helper_name="lucene_flush_segment", base_line=3100,
+)
+
+make_spec(
+    "lucene", "lucene-5216", 2, "RW", 1150,
+    "searcher reads the segment infos before the refresh thread publishes them",
+    file="search/SearcherManager.java", struct_name="SegmentView", target_field="infos",
+    aux_field="generation", global_name="g_segment_view", worker_name="acquire_searcher",
+    rival_name="refresh_publish", helper_name="lucene_warm_reader", base_line=95,
+)
+
+make_spec(
+    "lucene", "lucene-1544", 3, "RWR", 670,
+    "doc-values slice re-read after a merge retired the segment",
+    file="index/SegmentReader.java", struct_name="DocValuesSlice", target_field="slice",
+    aux_field="docCount", global_name="g_doc_values", worker_name="read_doc_values",
+    rival_name="merge_retire_segment", helper_name="lucene_seek_term", base_line=780,
+)
+
+make_spec(
+    "lucene", "lucene-4738", 3, "WWR", 3200,
+    "pending-delete count staged by flush, clobbered by an applying reader",
+    file="index/BufferedUpdatesStream.java", struct_name="PendingDeletes", target_field="pending",
+    aux_field="gen", global_name="g_pending_deletes", worker_name="flush_deletes",
+    rival_name="apply_deletes", helper_name="lucene_resolve_terms", base_line=240,
+)

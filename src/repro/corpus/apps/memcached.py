@@ -1,0 +1,33 @@
+"""memcached application model (9 KLOC profile): 3 corpus bugs.
+
+#127 is the classic item-refcount/stats race used throughout the
+concurrency-debugging literature; #271 and #672 are the slab-rebalance
+publish race and the LRU-tail staging race.
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "memcached", "memcached-127", 3, "WWR", 350,
+    "item stats staged by do_item_update, clobbered by a concurrent do_item_remove",
+    file="items.c", struct_name="ItemStats", target_field="curr_items",
+    aux_field="total_items", global_name="g_item_stats", worker_name="do_item_update",
+    rival_name="do_item_remove", helper_name="memcached_hash_key", base_line=260,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "memcached", "memcached-271", 2, "RW", 300,
+    "worker reads the slab class pointer before the rebalancer publishes it",
+    file="slabs.c", struct_name="SlabClass", target_field="chunk_size",
+    aux_field="perslab", global_name="g_slabclass", worker_name="slabs_alloc_worker",
+    rival_name="slab_rebalance_publish", helper_name="memcached_grow_slab_list", base_line=180,
+)
+
+make_spec(
+    "memcached", "memcached-672", 3, "RWR", 620,
+    "LRU tail pointer re-read after the maintainer crawled and unlinked it",
+    file="items.c", struct_name="LruQueue", target_field="tail",
+    aux_field="size", global_name="g_lru", worker_name="item_alloc_evict",
+    rival_name="lru_maintainer_unlink", helper_name="memcached_touch_item", base_line=520,
+)

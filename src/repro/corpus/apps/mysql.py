@@ -1,0 +1,80 @@
+"""MySQL application model (650 KLOC profile): 8 corpus bugs.
+
+The bug ids echo real MySQL bug-tracker entries used by prior
+concurrency-bug work (Gist, CTrigger, PCT): #169 (binlog rotation
+use-after-close), #791 (slave reads ``active_mi`` before init), #644
+(HASH search/delete race), #3596 (``THD::proc_info`` cleared between
+check and use), #12848 (binlog stats torn update), #5268 (query cache
+flag overwrite), #614 (double release of a closed table handle) and
+#2011 (log/index mutex cycle).
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "mysql", "mysql-2011", 1, "deadlock", 820,
+    "LOCK_log vs LOCK_index acquired in opposite orders by rotation and purge",
+    file="sql/log.cc", struct_name="MYSQL_LOG", target_field="rotations",
+    aux_field="purges", global_name="g_mysql_log", worker_name="rotate_binlog",
+    rival_name="purge_logs", helper_name="mysql_scan_log_entry", base_line=1400,
+)
+
+make_spec(
+    "mysql", "mysql-169", 2, "WR", 540,
+    "binlog closed and freed by rotation while an insert thread still writes it",
+    file="sql/log.cc", struct_name="IO_CACHE", target_field="write_pos",
+    aux_field="end_of_file", global_name="g_binlog_cache", worker_name="write_binlog_entry",
+    rival_name="rotate_and_close", helper_name="mysql_format_event", base_line=820,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "mysql", "mysql-791", 2, "RW", 380,
+    "slave SQL thread reads active_mi before the master-info is initialized",
+    file="sql/slave.cc", struct_name="MasterInfo", target_field="host",
+    aux_field="port", global_name="g_active_mi", worker_name="slave_sql_thread",
+    rival_name="init_master_info", helper_name="mysql_parse_relay_event", base_line=2600,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "mysql", "mysql-614", 2, "WW", 460,
+    "two client threads double-release a closed table share",
+    file="sql/sql_base.cc", struct_name="TableShare", target_field="closed",
+    aux_field="version", global_name="g_table_share", worker_name="close_table_share",
+    rival_name="close_table_share_alias", helper_name="mysql_flush_table", base_line=3100,
+)
+
+make_spec(
+    "mysql", "mysql-644", 3, "RWR", 330,
+    "HASH bucket pointer re-read after a concurrent delete invalidated it",
+    file="mysys/hash.c", struct_name="HashSlot", target_field="bucket",
+    aux_field="records", global_name="g_hash", worker_name="hash_search",
+    rival_name="hash_delete", helper_name="mysql_hash_key", base_line=440,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "mysql", "mysql-3596", 3, "RWR", 260,
+    "THD::proc_info cleared by the owner between another thread's check and use",
+    file="sql/sql_class.cc", struct_name="THD", target_field="proc_info",
+    aux_field="query_id", global_name="g_thd", worker_name="show_processlist",
+    rival_name="clear_proc_info", helper_name="mysql_render_status", base_line=150,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "mysql", "mysql-12848", 3, "WRW", 700,
+    "binlog group-commit counter updated in two steps, observed torn by stats",
+    file="sql/log.cc", struct_name="BinlogStats", target_field="commits",
+    aux_field="group_size", global_name="g_binlog_stats", worker_name="group_commit",
+    rival_name="report_status", helper_name="mysql_sync_binlog", base_line=5200,
+)
+
+make_spec(
+    "mysql", "mysql-5268", 3, "WWR", 440,
+    "query-cache invalidation flag staged by one thread, clobbered by another",
+    file="sql/sql_cache.cc", struct_name="QueryCache", target_field="flush_state",
+    aux_field="hits", global_name="g_query_cache", worker_name="cache_invalidate",
+    rival_name="cache_insert", helper_name="mysql_hash_query", base_line=980,
+)

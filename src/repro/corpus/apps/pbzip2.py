@@ -1,0 +1,26 @@
+"""pbzip2 application model (2 KLOC profile): 2 corpus bugs.
+
+The famous pbzip2 crash (no tracker id; "pbzip2-n/a") is the canonical
+use-after-free order violation: main tears down the FIFO queue while a
+consumer thread still dereferences it.  pbzip2-2 models the
+block-counter check/use race in the output reorderer.
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "pbzip2", "pbzip2-n/a", 2, "WR", 420,
+    "main frees the FIFO queue at exit while a consumer still reads fifo->head",
+    file="pbzip2.cpp", struct_name="Queue", target_field="head",
+    aux_field="qsize", global_name="g_fifo", worker_name="consumer_decompress",
+    rival_name="main_teardown", helper_name="pbzip2_crc_block", base_line=890,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "pbzip2", "pbzip2-2", 3, "RWR", 360,
+    "output block pointer re-read after the writer thread consumed and cleared it",
+    file="pbzip2.cpp", struct_name="OutSlot", target_field="block",
+    aux_field="seq", global_name="g_out_slot", worker_name="reorder_output",
+    rival_name="file_writer", helper_name="pbzip2_write_chunk", base_line=1210,
+)

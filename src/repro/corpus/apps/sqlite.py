@@ -1,0 +1,42 @@
+"""SQLite application model (100 KLOC profile): 4 corpus bugs.
+
+#1672 is the db-mutex/pager-mutex ordering deadlock the paper's
+evaluation (and Gist's) uses; the others model the shared-cache publish
+race (#3871), the page-cache check/recycle race (#553) and the
+WAL-counter staging race (#9312).
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "sqlite", "sqlite-1672", 1, "deadlock", 480,
+    "database mutex vs pager mutex acquired in opposite orders by commit and checkpoint",
+    file="src/btree.c", struct_name="BtShared", target_field="commits",
+    aux_field="checkpoints", global_name="g_bt_shared", worker_name="commit_txn",
+    rival_name="wal_checkpoint", helper_name="sqlite_balance_page", base_line=2040,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "sqlite", "sqlite-3871", 2, "RW", 740,
+    "connection reads the shared-cache schema pointer before the loader publishes it",
+    file="src/callback.c", struct_name="SchemaCache", target_field="schema",
+    aux_field="generation", global_name="g_schema_cache", worker_name="prepare_statement",
+    rival_name="load_schema", helper_name="sqlite_parse_sql", base_line=410,
+)
+
+make_spec(
+    "sqlite", "sqlite-553", 3, "RWR", 900,
+    "page-cache entry re-read after the recycler reclaimed it mid-lookup",
+    file="src/pcache.c", struct_name="PCacheSlot", target_field="page",
+    aux_field="nref", global_name="g_pcache", worker_name="pcache_fetch",
+    rival_name="pcache_recycle", helper_name="sqlite_page_hash", base_line=150,
+)
+
+make_spec(
+    "sqlite", "sqlite-9312", 3, "WRW", 1100,
+    "WAL frame counter written in two steps, snapshotted torn by a reader",
+    file="src/wal.c", struct_name="WalIndexHdr", target_field="mxFrame",
+    aux_field="nPage", global_name="g_wal_hdr", worker_name="wal_append_frames",
+    rival_name="wal_snapshot_reader", helper_name="sqlite_wal_checksum", base_line=760,
+)

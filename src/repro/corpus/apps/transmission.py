@@ -1,0 +1,42 @@
+"""Transmission application model (60 KLOC profile): 4 corpus bugs.
+
+#1818 is the session-bandwidth read-before-init crash from the Gist and
+Snorlax evaluations; the others model the announcer teardown race
+(#2789), the piece-availability check/invalidate race (#3049) and the
+peer-stat torn update (#4024).
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "transmission", "transmission-1818", 2, "RW", 560,
+    "event thread dereferences session->bandwidth before tr_sessionInit publishes it",
+    file="libtransmission/session.c", struct_name="TrSession", target_field="bandwidth",
+    aux_field="peer_limit", global_name="g_session", worker_name="libevent_thread",
+    rival_name="tr_session_init", helper_name="tr_event_dispatch", base_line=720,
+    snorlax_eval=True,
+)
+
+make_spec(
+    "transmission", "transmission-2789", 2, "WR", 980,
+    "announcer freed during shutdown while the timer callback still reads it",
+    file="libtransmission/announcer.c", struct_name="TrAnnouncer", target_field="next_announce",
+    aux_field="tier_count", global_name="g_announcer", worker_name="announce_timer_cb",
+    rival_name="announcer_shutdown", helper_name="tr_build_announce_url", base_line=1510,
+)
+
+make_spec(
+    "transmission", "transmission-3049", 3, "RWR", 520,
+    "piece availability pointer re-read after the swarm recomputed and swapped it",
+    file="libtransmission/peer-mgr.c", struct_name="SwarmPieces", target_field="availability",
+    aux_field="piece_count", global_name="g_swarm", worker_name="choose_piece_to_request",
+    rival_name="rebuild_availability", helper_name="tr_score_peers", base_line=880,
+)
+
+make_spec(
+    "transmission", "transmission-4024", 3, "WRW", 430,
+    "peer transfer stats updated in two writes, snapshotted torn by the UI poll",
+    file="libtransmission/peer-io.c", struct_name="PeerStats", target_field="bytes_down",
+    aux_field="speed", global_name="g_peer_stats", worker_name="peer_io_read_done",
+    rival_name="ui_stat_poll", helper_name="tr_rate_update", base_line=330,
+)

@@ -1,0 +1,76 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures without also swallowing Python
+built-ins.  Subsystems define narrower classes here (rather than in their
+own modules) to avoid import cycles between the IR, simulator, and
+analysis layers, all of which need to signal errors about each other's
+artifacts.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad types, unknown operands, invalid structure."""
+
+
+class IRTypeError(IRError):
+    """An operation was applied to values of the wrong IR type."""
+
+
+class IRParseError(IRError):
+    """The textual IR could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class VerifierError(IRError):
+    """Module verification failed (dangling blocks, type mismatches...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator itself hit an unrecoverable condition.
+
+    Note: *guest* failures (crashes, deadlocks) are not exceptions; they
+    are reported through :class:`repro.sim.failures.FailureReport` so the
+    diagnosis pipeline can consume them.  SimulationError means the
+    simulation harness was misused (e.g. running a module that does not
+    verify, or exceeding the configured step budget).
+    """
+
+
+class StepLimitExceeded(SimulationError):
+    """The execution did not finish within the configured step budget."""
+
+
+class TraceError(ReproError):
+    """A control-flow trace could not be encoded or decoded."""
+
+
+class TraceDecodeError(TraceError):
+    """The PT-like byte stream could not be decoded back to a path."""
+
+
+class AnalysisError(ReproError):
+    """A static/hybrid analysis was run on inconsistent inputs."""
+
+
+class DiagnosisError(ReproError):
+    """The Lazy Diagnosis pipeline could not produce a result."""
+
+
+class CorpusError(ReproError):
+    """A corpus bug specification is unknown or inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """Client/server runtime protocol violation."""

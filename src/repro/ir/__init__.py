@@ -1,0 +1,134 @@
+"""The IR substrate: an LLVM-like typed intermediate representation.
+
+Public surface::
+
+    from repro.ir import Module, IRBuilder, parse_module, print_module
+    from repro.ir import types  # I64, ptr(...), etc.
+"""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Assert,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Delay,
+    FieldAddr,
+    Free,
+    IndexAddr,
+    Instruction,
+    Join,
+    Load,
+    Lock,
+    LockInit,
+    Malloc,
+    Ret,
+    SourceLoc,
+    Spawn,
+    Store,
+    Unlock,
+)
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.types import (
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    LOCK,
+    THREAD,
+    VOID,
+    WORD_SIZE,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    LockType,
+    PointerType,
+    StructType,
+    ThreadType,
+    Type,
+    VoidType,
+    ptr,
+)
+from repro.ir.values import (
+    Argument,
+    Constant,
+    FunctionRef,
+    GlobalVariable,
+    NullPointer,
+    Value,
+)
+from repro.ir.verifier import verify_module
+
+__all__ = [
+    "BasicBlock",
+    "IRBuilder",
+    "Function",
+    "Module",
+    "parse_module",
+    "print_module",
+    "print_function",
+    "print_instruction",
+    "verify_module",
+    # instructions
+    "Alloca",
+    "Assert",
+    "BinOp",
+    "Br",
+    "Call",
+    "Cast",
+    "Cmp",
+    "CondBr",
+    "Delay",
+    "FieldAddr",
+    "Free",
+    "IndexAddr",
+    "Instruction",
+    "Join",
+    "Load",
+    "Lock",
+    "LockInit",
+    "Malloc",
+    "Ret",
+    "SourceLoc",
+    "Spawn",
+    "Store",
+    "Unlock",
+    # values
+    "Argument",
+    "Constant",
+    "FunctionRef",
+    "GlobalVariable",
+    "NullPointer",
+    "Value",
+    # types
+    "F64",
+    "I1",
+    "I8",
+    "I32",
+    "I64",
+    "LOCK",
+    "THREAD",
+    "VOID",
+    "WORD_SIZE",
+    "ArrayType",
+    "FloatType",
+    "FunctionType",
+    "IntType",
+    "LockType",
+    "PointerType",
+    "StructType",
+    "ThreadType",
+    "Type",
+    "VoidType",
+    "ptr",
+]

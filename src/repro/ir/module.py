@@ -1,0 +1,132 @@
+"""Modules: the unit of compilation, execution, and analysis.
+
+A module owns struct types, global variables, and functions.  Before a
+module can be executed or analyzed it must be ``finalize()``d, which
+
+* verifies structural invariants (via :mod:`repro.ir.verifier`),
+* assigns module-unique ``uid`` integers to every instruction, basic
+  block, and global (uids are the "program counters" used by traces,
+  breakpoints and diagnosis reports), and
+* builds the uid lookup tables used throughout the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.types import StructType, Type
+from repro.ir.values import GlobalVariable, Value
+
+
+class Module:
+    def __init__(self, name: str):
+        self.name = name
+        self.structs: dict[str, StructType] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+        self.functions: dict[str, Function] = {}
+        self.finalized = False
+        self._instr_by_uid: dict[int, Instruction] = {}
+        self._block_by_uid: dict[int, BasicBlock] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_struct(self, name: str, fields: Sequence[tuple[str, Type]] | None = None) -> StructType:
+        if name in self.structs:
+            raise IRError(f"duplicate struct {name!r} in module {self.name}")
+        st = StructType(name, fields)
+        self.structs[name] = st
+        return st
+
+    def struct(self, name: str) -> StructType:
+        try:
+            return self.structs[name]
+        except KeyError:
+            raise IRError(f"module {self.name} has no struct {name!r}") from None
+
+    def add_global(self, name: str, value_type: Type, initializer: Value | None = None) -> GlobalVariable:
+        if name in self.globals:
+            raise IRError(f"duplicate global {name!r} in module {self.name}")
+        g = GlobalVariable(name, value_type, initializer)
+        self.globals[name] = g
+        return g
+
+    def global_var(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise IRError(f"module {self.name} has no global {name!r}") from None
+
+    def add_function(self, name: str, ret: Type, params: Sequence[tuple[str, Type]]) -> Function:
+        if name in self.functions:
+            raise IRError(f"duplicate function {name!r} in module {self.name}")
+        fn = Function(name, ret, params)
+        self.functions[name] = fn
+        return fn
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"module {self.name} has no function {name!r}") from None
+
+    # -- finalization ------------------------------------------------------
+
+    def finalize(self, verify: bool = True) -> "Module":
+        """Verify and assign uids.  Idempotent."""
+        if self.finalized:
+            return self
+        if verify:
+            from repro.ir.verifier import verify_module
+
+            verify_module(self)
+        next_uid = 1  # uid 0 is reserved as "no instruction"
+        for g in self.globals.values():
+            g.uid = next_uid
+            next_uid += 1
+        for fn in self.functions.values():
+            for block in fn.blocks:
+                block.uid = next_uid
+                self._block_by_uid[next_uid] = block
+                next_uid += 1
+                for index, instr in enumerate(block.instructions):
+                    instr.uid = next_uid
+                    instr.block_index = index
+                    self._instr_by_uid[next_uid] = instr
+                    next_uid += 1
+        self.finalized = True
+        return self
+
+    def _require_finalized(self) -> None:
+        if not self.finalized:
+            raise IRError(f"module {self.name} is not finalized")
+
+    def instruction(self, uid: int) -> Instruction:
+        self._require_finalized()
+        try:
+            return self._instr_by_uid[uid]
+        except KeyError:
+            raise IRError(f"module {self.name} has no instruction uid={uid}") from None
+
+    def block(self, uid: int) -> BasicBlock:
+        self._require_finalized()
+        try:
+            return self._block_by_uid[uid]
+        except KeyError:
+            raise IRError(f"module {self.name} has no block uid={uid}") from None
+
+    def instructions(self) -> Iterator[Instruction]:
+        for fn in self.functions.values():
+            yield from fn.instructions()
+
+    def instruction_count(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Module {self.name} structs={len(self.structs)} "
+            f"globals={len(self.globals)} functions={len(self.functions)}>"
+        )

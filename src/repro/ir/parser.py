@@ -1,0 +1,545 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+The grammar is line-oriented:
+
+* ``module NAME``
+* ``struct Name { field: type, ... }``  (may span lines until ``}``)
+* ``global name: type [= initializer]``
+* ``func name(p: type, ...) -> type {`` ... ``}`` with ``label:`` lines
+  introducing basic blocks and one instruction per line.
+
+Comments run from ``#`` or ``;`` to end of line.  An optional trailing
+`` @ file:line`` attaches a source location to an instruction.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import IRParseError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assert,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    Delay,
+    FieldAddr,
+    Free,
+    IndexAddr,
+    Join,
+    Lock,
+    LockInit,
+    Malloc,
+    Ret,
+    SourceLoc,
+    Spawn,
+    Store,
+    Unlock,
+)
+from repro.ir.module import Module
+from repro.ir.types import (
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    LOCK,
+    THREAD,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+)
+from repro.ir.values import Constant, FunctionRef, NullPointer, Value
+
+_BASE_TYPES: dict[str, Type] = {
+    "void": VOID,
+    "i1": I1,
+    "i8": I8,
+    "i32": I32,
+    "i64": I64,
+    "f64": F64,
+    "lock": LOCK,
+    "thread": THREAD,
+}
+
+_LOC_RE = re.compile(r"\s+@\s+([\w./\-]+):(\d+)\s*$")
+_BINOPS = {"add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr"}
+
+
+def parse_module(text: str, finalize: bool = True) -> Module:
+    return _Parser(text).parse(finalize=finalize)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.pos = 0
+        self.module: Module | None = None
+
+    # -- line plumbing ------------------------------------------------------
+
+    def _next_line(self) -> tuple[int, str] | None:
+        while self.pos < len(self.lines):
+            raw = self.lines[self.pos]
+            self.pos += 1
+            line = _strip_comment(raw).strip()
+            if line:
+                return self.pos, line
+        return None
+
+    def _fail(self, message: str, lineno: int | None = None) -> IRParseError:
+        return IRParseError(message, lineno if lineno is not None else self.pos)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse(self, finalize: bool = True) -> Module:
+        first = self._next_line()
+        if first is None:
+            raise self._fail("empty input")
+        lineno, line = first
+        if not line.startswith("module "):
+            raise self._fail("input must start with 'module NAME'", lineno)
+        self.module = Module(line[len("module "):].strip())
+        # Two passes over the rest: declarations (structs/globals/function
+        # signatures) first so bodies may reference anything, then bodies.
+        decl_start = self.pos
+        self._parse_declarations()
+        self.pos = decl_start
+        self._parse_bodies()
+        if finalize:
+            self.module.finalize()
+        return self.module
+
+    def _parse_declarations(self) -> None:
+        while True:
+            item = self._next_line()
+            if item is None:
+                return
+            lineno, line = item
+            if line.startswith("struct "):
+                self._parse_struct(lineno, line)
+            elif line.startswith("global "):
+                continue  # parsed in the body pass (needs struct types only)
+            elif line.startswith("func "):
+                self._parse_func_signature(lineno, line)
+                self._skip_func_body(lineno)
+            else:
+                raise self._fail(f"unexpected top-level line: {line!r}", lineno)
+
+    def _parse_bodies(self) -> None:
+        while True:
+            item = self._next_line()
+            if item is None:
+                return
+            lineno, line = item
+            if line.startswith("struct "):
+                self._skip_struct(lineno, line)
+            elif line.startswith("global "):
+                self._parse_global(lineno, line)
+            elif line.startswith("func "):
+                self._parse_func_body(lineno, line)
+            else:
+                raise self._fail(f"unexpected top-level line: {line!r}", lineno)
+
+    # -- structs -----------------------------------------------------------
+
+    def _collect_struct_text(self, lineno: int, line: str) -> tuple[str, str]:
+        m = re.match(r"struct\s+(\w+)\s*\{", line)
+        if not m:
+            raise self._fail(f"malformed struct declaration: {line!r}", lineno)
+        name = m.group(1)
+        body = line[m.end():]
+        while "}" not in body:
+            item = self._next_line()
+            if item is None:
+                raise self._fail(f"unterminated struct {name}", lineno)
+            body += " " + item[1]
+        body = body[: body.index("}")]
+        return name, body
+
+    def _parse_struct(self, lineno: int, line: str) -> None:
+        assert self.module is not None
+        name, body = self._collect_struct_text(lineno, line)
+        st = self.module.add_struct(name)
+        fields: list[tuple[str, Type]] = []
+        for part in _split_top_level(body):
+            if not part.strip():
+                continue
+            fname, _, ftext = part.partition(":")
+            if not ftext:
+                raise self._fail(f"malformed field {part!r} in struct {name}", lineno)
+            fields.append((fname.strip(), self._parse_type(ftext.strip(), lineno)))
+        st.set_body(fields)
+
+    def _skip_struct(self, lineno: int, line: str) -> None:
+        self._collect_struct_text(lineno, line)
+
+    # -- globals ------------------------------------------------------------
+
+    def _parse_global(self, lineno: int, line: str) -> None:
+        assert self.module is not None
+        m = re.match(r"global\s+(\w+)\s*:\s*(.+?)(?:\s*=\s*(.+))?$", line)
+        if not m:
+            raise self._fail(f"malformed global: {line!r}", lineno)
+        name, ty_text, init_text = m.group(1), m.group(2), m.group(3)
+        ty = self._parse_type(ty_text.strip(), lineno)
+        init: Value | None = None
+        if init_text is not None:
+            init = self._parse_literal(init_text.strip(), ty, lineno)
+        self.module.add_global(name, ty, init)
+
+    # -- functions ------------------------------------------------------------
+
+    _FUNC_RE = re.compile(r"func\s+(\w+)\s*\((.*)\)\s*->\s*(.+?)\s*\{$")
+
+    def _parse_func_signature(self, lineno: int, line: str) -> Function:
+        assert self.module is not None
+        m = self._FUNC_RE.match(line)
+        if not m:
+            raise self._fail(f"malformed function header: {line!r}", lineno)
+        name, params_text, ret_text = m.group(1), m.group(2), m.group(3)
+        params: list[tuple[str, Type]] = []
+        for part in _split_top_level(params_text):
+            if not part.strip():
+                continue
+            pname, _, ptext = part.partition(":")
+            if not ptext:
+                raise self._fail(f"malformed parameter {part!r}", lineno)
+            params.append((pname.strip(), self._parse_type(ptext.strip(), lineno)))
+        ret = self._parse_type(ret_text, lineno)
+        return self.module.add_function(name, ret, params)
+
+    def _skip_func_body(self, lineno: int) -> None:
+        while True:
+            item = self._next_line()
+            if item is None:
+                raise self._fail("unterminated function body", lineno)
+            if item[1] == "}":
+                return
+
+    def _parse_func_body(self, lineno: int, line: str) -> None:
+        assert self.module is not None
+        m = self._FUNC_RE.match(line)
+        if not m:
+            raise self._fail(f"malformed function header: {line!r}", lineno)
+        fn = self.module.function(m.group(1))
+        body: list[tuple[int, str]] = []
+        while True:
+            item = self._next_line()
+            if item is None:
+                raise self._fail("unterminated function body", lineno)
+            if item[1] == "}":
+                break
+            body.append(item)
+        self._parse_instructions(fn, body)
+
+    def _parse_instructions(self, fn: Function, body: list[tuple[int, str]]) -> None:
+        # Create all blocks first so forward branches resolve.
+        blocks: dict[str, BasicBlock] = {}
+        for lno, text in body:
+            if text.endswith(":") and re.fullmatch(r"\w+:", text):
+                label = text[:-1]
+                if label in blocks:
+                    raise self._fail(f"duplicate label {label!r}", lno)
+                blocks[label] = fn.add_block(label)
+        if not blocks:
+            raise self._fail(f"function {fn.name} has no blocks")
+        env: dict[str, Value] = {p.name: p for p in fn.params}
+        builder = _InstructionParser(self, fn, blocks, env)
+        current: BasicBlock | None = None
+        for lno, text in body:
+            if text.endswith(":") and re.fullmatch(r"\w+:", text):
+                current = blocks[text[:-1]]
+                continue
+            if current is None:
+                raise self._fail(f"instruction before first label: {text!r}", lno)
+            builder.parse_into(current, text, lno)
+
+    # -- types ----------------------------------------------------------------
+
+    def _parse_type(self, text: str, lineno: int) -> Type:
+        assert self.module is not None
+        text = text.strip()
+        if text in _BASE_TYPES:
+            return _BASE_TYPES[text]
+        if text.startswith("ptr<") and text.endswith(">"):
+            return PointerType(self._parse_type(text[4:-1], lineno))
+        m = re.fullmatch(r"\[\s*(\d+)\s*x\s+(.+)\]", text)
+        if m:
+            return ArrayType(self._parse_type(m.group(2), lineno), int(m.group(1)))
+        m = re.fullmatch(r"fn\((.*)\)\s*->\s*(.+)", text)
+        if m:
+            params = [
+                self._parse_type(p, lineno)
+                for p in _split_top_level(m.group(1))
+                if p.strip()
+            ]
+            return FunctionType(self._parse_type(m.group(2), lineno), params)
+        if text in self.module.structs:
+            return self.module.structs[text]
+        raise self._fail(f"unknown type {text!r}", lineno)
+
+    # -- literals ----------------------------------------------------------
+
+    def _parse_literal(self, text: str, ty: Type, lineno: int) -> Value:
+        if text == "null":
+            if not isinstance(ty, PointerType):
+                raise self._fail(f"null literal needs a pointer type, got {ty}", lineno)
+            return NullPointer(ty)
+        if text in ("true", "false"):
+            return Constant(I1, 1 if text == "true" else 0)
+        try:
+            if isinstance(ty, FloatType):
+                return Constant(ty, float(text))
+            return Constant(ty, int(text, 0))
+        except ValueError:
+            raise self._fail(f"bad literal {text!r} for type {ty}", lineno) from None
+
+
+class _InstructionParser:
+    """Parses one instruction line into a block, resolving operands."""
+
+    def __init__(
+        self,
+        parser: _Parser,
+        fn: Function,
+        blocks: dict[str, BasicBlock],
+        env: dict[str, Value],
+    ):
+        self.parser = parser
+        self.module = parser.module
+        assert self.module is not None
+        self.fn = fn
+        self.blocks = blocks
+        self.env = env
+        self.builder = IRBuilder.__new__(IRBuilder)  # reuse coercions only
+        self.builder.module = self.module
+        self.builder._fresh = 0
+        self.builder._loc = None
+
+    def parse_into(self, block: BasicBlock, text: str, lineno: int) -> None:
+        loc: SourceLoc | None = None
+        m = _LOC_RE.search(text)
+        if m:
+            loc = SourceLoc(m.group(1), int(m.group(2)))
+            text = text[: m.start()]
+        name = ""
+        if text.startswith("%"):
+            name_part, _, rest = text.partition("=")
+            name = name_part.strip()[1:]
+            text = rest.strip()
+            if not name or not text:
+                raise self.parser._fail(f"malformed assignment: {text!r}", lineno)
+        instr = self._parse_body(text, name, lineno)
+        instr.loc = loc
+        block.append(instr)
+        if name:
+            instr.name = name
+            self.env[name] = instr
+
+    # -- operand helpers ----------------------------------------------------
+
+    def _operand(self, text: str, expected: Type | None, lineno: int) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            if name not in self.env:
+                raise self.parser._fail(f"unknown value %{name}", lineno)
+            return self.env[name]
+        if text.startswith("@"):
+            name = text[1:]
+            assert self.module is not None
+            if name in self.module.globals:
+                return self.module.globals[name]
+            if name in self.module.functions:
+                return FunctionRef(self.module.functions[name])
+            raise self.parser._fail(f"unknown global @{name}", lineno)
+        if expected is None:
+            expected = I64
+        return self.parser._parse_literal(text, expected, lineno)
+
+    def _split_args(self, text: str, lineno: int) -> list[str]:
+        return [p for p in _split_top_level(text) if p.strip()]
+
+    # -- instruction bodies ---------------------------------------------------
+
+    def _parse_body(self, text: str, name: str, lineno: int):
+        op, _, rest = text.partition(" ")
+        rest = rest.strip()
+        fail = self.parser._fail
+        parse_type = lambda t: self.parser._parse_type(t, lineno)  # noqa: E731
+
+        if op == "alloca":
+            from repro.ir.instructions import Alloca
+
+            return Alloca(parse_type(rest), name)
+        if op == "malloc":
+            parts = self._split_args(rest, lineno)
+            ty = parse_type(parts[0])
+            count = self._operand(parts[1], I64, lineno) if len(parts) > 1 else None
+            return Malloc(ty, count, name)
+        if op == "free":
+            return Free(self._operand(rest, None, lineno))
+        if op == "load":
+            from repro.ir.instructions import Load
+
+            return Load(self._operand(rest, None, lineno), name)
+        if op == "store":
+            parts = self._split_args(rest, lineno)
+            if len(parts) != 2:
+                raise fail(f"store takes 2 operands: {text!r}", lineno)
+            pointer = self._operand(parts[1], None, lineno)
+            pointee = getattr(pointer.ty, "pointee", None)
+            value = self._operand(parts[0], pointee, lineno)
+            return Store(value, pointer)
+        if op == "fieldaddr":
+            parts = self._split_args(rest, lineno)
+            if len(parts) != 2:
+                raise fail(f"fieldaddr takes pointer, field: {text!r}", lineno)
+            return FieldAddr(self._operand(parts[0], None, lineno), parts[1].strip(), name)
+        if op == "indexaddr":
+            parts = self._split_args(rest, lineno)
+            if len(parts) != 2:
+                raise fail(f"indexaddr takes pointer, index: {text!r}", lineno)
+            return IndexAddr(
+                self._operand(parts[0], None, lineno),
+                self._operand(parts[1], I64, lineno),
+                name,
+            )
+        if op in _BINOPS:
+            from repro.ir.instructions import BinOp
+
+            parts = self._split_args(rest, lineno)
+            if len(parts) != 2:
+                raise fail(f"{op} takes 2 operands: {text!r}", lineno)
+            lhs = self._operand(parts[0], I64, lineno)
+            rhs = self._operand(parts[1], lhs.ty, lineno)
+            return BinOp(op, lhs, rhs, name)
+        if op == "cmp":
+            from repro.ir.instructions import Cmp
+
+            cmp_op, _, operands = rest.partition(" ")
+            parts = self._split_args(operands, lineno)
+            if len(parts) != 2:
+                raise fail(f"cmp takes 2 operands: {text!r}", lineno)
+            lhs = self._operand(parts[0], I64, lineno)
+            rhs = self._operand(parts[1], lhs.ty, lineno)
+            return Cmp(cmp_op, lhs, rhs, name)
+        if op == "cast":
+            m = re.fullmatch(r"(.+?)\s+to\s+(.+)", rest)
+            if not m:
+                raise fail(f"malformed cast: {text!r}", lineno)
+            src_text, to_text = m.group(1).strip(), m.group(2).strip()
+            to_ty = parse_type(to_text)
+            tm = re.fullmatch(r"(\S+)\s+(-?\d+)", src_text)
+            if tm and not src_text.startswith(("%", "@")):
+                src_ty = parse_type(tm.group(1))
+                src: Value = Constant(src_ty, int(tm.group(2)))
+            else:
+                src = self._operand(src_text, None, lineno)
+            return Cast(src, to_ty, name)
+        if op == "br":
+            target = self.blocks.get(rest)
+            if target is None:
+                raise fail(f"unknown label {rest!r}", lineno)
+            return Br(target)
+        if op == "cbr":
+            parts = self._split_args(rest, lineno)
+            if len(parts) != 3:
+                raise fail(f"cbr takes cond, then, else: {text!r}", lineno)
+            cond = self._operand(parts[0], I1, lineno)
+            then_b = self.blocks.get(parts[1].strip())
+            else_b = self.blocks.get(parts[2].strip())
+            if then_b is None or else_b is None:
+                raise fail(f"unknown label in cbr: {text!r}", lineno)
+            return CondBr(cond, then_b, else_b)
+        if op == "ret" or text == "ret":
+            if rest:
+                return Ret(self._operand(rest, self.fn.return_type, lineno))
+            return Ret()
+        if op in ("call", "spawn"):
+            m = re.fullmatch(r"(@\w+|%\w+)\s*\((.*)\)", rest)
+            if not m:
+                raise fail(f"malformed {op}: {text!r}", lineno)
+            callee = self._operand(m.group(1), None, lineno)
+            fn_ty = _callee_type(callee)
+            arg_texts = self._split_args(m.group(2), lineno)
+            if fn_ty is not None and len(arg_texts) == len(fn_ty.params):
+                args = [
+                    self._operand(t, pty, lineno)
+                    for t, pty in zip(arg_texts, fn_ty.params)
+                ]
+            else:
+                args = [self._operand(t, None, lineno) for t in arg_texts]
+            if op == "call":
+                return Call(callee, args, name)
+            return Spawn(callee, args, name)
+        if op == "lockinit":
+            return LockInit(self._operand(rest, None, lineno))
+        if op == "lock":
+            return Lock(self._operand(rest, None, lineno))
+        if op == "unlock":
+            return Unlock(self._operand(rest, None, lineno))
+        if op == "join":
+            return Join(self._operand(rest, None, lineno))
+        if op == "delay":
+            return Delay(self._operand(rest, I64, lineno))
+        if op == "assert":
+            m = re.fullmatch(r'(.+?)\s*,\s*"(.*)"', rest)
+            if m:
+                cond = self._operand(m.group(1), I1, lineno)
+                return Assert(cond, m.group(2))
+            return Assert(self._operand(rest, I1, lineno))
+        raise fail(f"unknown instruction {op!r}", lineno)
+
+
+def _callee_type(callee: Value) -> FunctionType | None:
+    if isinstance(callee, FunctionRef):
+        return callee.function.type
+    ty = callee.ty
+    if isinstance(ty, PointerType) and isinstance(ty.pointee, FunctionType):
+        return ty.pointee
+    return None
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not nested inside (), <>, [], or quotes."""
+    parts: list[str] = []
+    depth = 0
+    in_quotes = False
+    current: list[str] = []
+    for ch in text:
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+        elif in_quotes:
+            current.append(ch)
+        elif ch in "(<[":
+            depth += 1
+            current.append(ch)
+        elif ch in ")>]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts

@@ -1,0 +1,156 @@
+"""Textual IR printer.
+
+Renders a module in the assembly-like syntax accepted by
+:mod:`repro.ir.parser`, so ``parse(print_module(m))`` round-trips.
+Instruction results print as ``%name``; globals and functions as
+``@name``; integer literals carry their type only where the parser needs
+it (``cast``) and print bare elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Assert,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Delay,
+    FieldAddr,
+    Free,
+    IndexAddr,
+    Instruction,
+    Join,
+    Load,
+    Lock,
+    LockInit,
+    Malloc,
+    Ret,
+    Spawn,
+    Store,
+    Unlock,
+)
+from repro.ir.module import Module
+from repro.ir.values import (
+    Argument,
+    Constant,
+    FunctionRef,
+    GlobalVariable,
+    NullPointer,
+    Value,
+)
+
+
+def print_module(module: Module) -> str:
+    lines: list[str] = [f"module {module.name}", ""]
+    for st in module.structs.values():
+        fields = ", ".join(f"{f.name}: {f.ty}" for f in st.fields)
+        lines.append(f"struct {st.name} {{ {fields} }}")
+    if module.structs:
+        lines.append("")
+    for g in module.globals.values():
+        init = ""
+        if g.initializer is not None:
+            init = f" = {operand(g.initializer)}"
+        lines.append(f"global {g.name}: {g.value_type}{init}")
+    if module.globals:
+        lines.append("")
+    for fn in module.functions.values():
+        lines.append(print_function(fn))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{p.name}: {p.ty}" for p in fn.params)
+    lines = [f"func {fn.name}({params}) -> {fn.return_type} {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"  {print_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def operand(value: Value) -> str:
+    if isinstance(value, Constant):
+        return str(value.value)
+    if isinstance(value, NullPointer):
+        return "null"
+    if isinstance(value, GlobalVariable):
+        return f"@{value.name}"
+    if isinstance(value, FunctionRef):
+        return f"@{value.function.name}"
+    if isinstance(value, (Argument, Instruction)):
+        return f"%{value.name}"
+    raise TypeError(f"cannot print operand {value!r}")
+
+
+def print_instruction(instr: Instruction) -> str:
+    text = _instruction_body(instr)
+    if instr.loc is not None:
+        text += f"  @ {instr.loc.file}:{instr.loc.line}"
+    return text
+
+
+def _instruction_body(instr: Instruction) -> str:
+    if isinstance(instr, Alloca):
+        return f"%{instr.name} = alloca {instr.allocated_type}"
+    if isinstance(instr, Malloc):
+        count = f", {operand(instr.count)}" if instr.count is not None else ""
+        return f"%{instr.name} = malloc {instr.allocated_type}{count}"
+    if isinstance(instr, Free):
+        return f"free {operand(instr.pointer)}"
+    if isinstance(instr, Load):
+        return f"%{instr.name} = load {operand(instr.pointer)}"
+    if isinstance(instr, Store):
+        return f"store {operand(instr.value)}, {operand(instr.pointer)}"
+    if isinstance(instr, FieldAddr):
+        return f"%{instr.name} = fieldaddr {operand(instr.pointer)}, {instr.field_name}"
+    if isinstance(instr, IndexAddr):
+        return f"%{instr.name} = indexaddr {operand(instr.pointer)}, {operand(instr.index)}"
+    if isinstance(instr, BinOp):
+        return f"%{instr.name} = {instr.op} {operand(instr.lhs)}, {operand(instr.rhs)}"
+    if isinstance(instr, Cmp):
+        return f"%{instr.name} = cmp {instr.op} {operand(instr.lhs)}, {operand(instr.rhs)}"
+    if isinstance(instr, Cast):
+        src = instr.value
+        if isinstance(src, Constant):
+            return f"%{instr.name} = cast {src.ty} {src.value} to {instr.ty}"
+        return f"%{instr.name} = cast {operand(src)} to {instr.ty}"
+    if isinstance(instr, Br):
+        return f"br {instr.target.name}"
+    if isinstance(instr, CondBr):
+        return (
+            f"cbr {operand(instr.cond)}, "
+            f"{instr.then_block.name}, {instr.else_block.name}"
+        )
+    if isinstance(instr, Ret):
+        return f"ret {operand(instr.value)}" if instr.value is not None else "ret"
+    if isinstance(instr, Call):
+        args = ", ".join(operand(a) for a in instr.args)
+        callee = operand(instr.callee)
+        if instr.name and str(instr.ty) != "void":
+            return f"%{instr.name} = call {callee}({args})"
+        return f"call {callee}({args})"
+    if isinstance(instr, LockInit):
+        return f"lockinit {operand(instr.pointer)}"
+    if isinstance(instr, Lock):
+        return f"lock {operand(instr.pointer)}"
+    if isinstance(instr, Unlock):
+        return f"unlock {operand(instr.pointer)}"
+    if isinstance(instr, Spawn):
+        args = ", ".join(operand(a) for a in instr.args)
+        return f"%{instr.name} = spawn {operand(instr.callee)}({args})"
+    if isinstance(instr, Join):
+        return f"join {operand(instr.handle)}"
+    if isinstance(instr, Delay):
+        return f"delay {operand(instr.duration)}"
+    if isinstance(instr, Assert):
+        return f'assert {operand(instr.cond)}, "{instr.message}"'
+    raise TypeError(f"cannot print instruction {instr!r}")

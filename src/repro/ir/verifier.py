@@ -1,0 +1,155 @@
+"""Module verifier: structural invariants checked before finalization.
+
+Checks (each produces a :class:`repro.errors.VerifierError` naming the
+offending function/block):
+
+* every block ends in exactly one terminator, which is its last
+  instruction;
+* branch targets belong to the same function;
+* instruction operands that are themselves instructions belong to the
+  same function and their definition dominates the use (same-block uses
+  must be defined earlier; cross-block uses require the defining block
+  to dominate the using block — there are no phis, so values that merge
+  across paths must go through allocas);
+* direct calls/spawns reference functions that exist in the module;
+* opaque structs are never allocated.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerifierError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Br,
+    Call,
+    CondBr,
+    Instruction,
+    Malloc,
+    Ret,
+    Spawn,
+)
+from repro.ir.module import Module
+from repro.ir.types import StructType
+from repro.ir.values import Argument, FunctionRef, GlobalVariable
+
+
+def verify_module(module: Module) -> None:
+    for fn in module.functions.values():
+        _verify_function(module, fn)
+
+
+def _verify_function(module: Module, fn: Function) -> None:
+    if not fn.blocks:
+        raise VerifierError(f"function {fn.name} has no blocks")
+    from repro.ir.cfg import dominators
+
+    block_set = set(fn.blocks)
+    # Terminator checks must pass before dominator analysis can run.
+    for block in fn.blocks:
+        if not block.instructions:
+            raise VerifierError(f"empty block in {block.label()}")
+        if not block.instructions[-1].is_terminator:
+            raise VerifierError(f"block does not end in a terminator in {block.label()}")
+    dom = dominators(fn)
+    for block in fn.blocks:
+        _verify_block(module, fn, block, block_set, dom)
+
+
+def _verify_block(
+    module: Module,
+    fn: Function,
+    block: BasicBlock,
+    block_set: set[BasicBlock],
+    dom: dict[BasicBlock, set[BasicBlock]],
+) -> None:
+    where = f"in {block.label()}"
+    defined: set[Instruction] = set()
+    for i, instr in enumerate(block.instructions):
+        if instr.is_terminator and i != len(block.instructions) - 1:
+            raise VerifierError(f"terminator {instr.opcode} not at block end {where}")
+        _verify_operands(module, fn, block, instr, defined, dom)
+        _verify_targets(fn, block, instr, block_set)
+        _verify_allocation(instr, where)
+        defined.add(instr)
+
+
+def _verify_operands(
+    module: Module,
+    fn: Function,
+    block: BasicBlock,
+    instr: Instruction,
+    defined: set[Instruction],
+    dom: dict[BasicBlock, set[BasicBlock]],
+) -> None:
+    where = f"{instr.opcode} in {block.label()}"
+    for op in instr.operands:
+        if isinstance(op, Instruction):
+            def_block = op.parent
+            if def_block is None or def_block.function is not fn:
+                raise VerifierError(
+                    f"operand {op.short()} of {where} belongs to another function"
+                )
+            if def_block is block:
+                if op not in defined:
+                    raise VerifierError(
+                        f"use of {op.short()} before definition in {where}"
+                    )
+            elif block in dom and def_block not in dom[block]:
+                raise VerifierError(
+                    f"operand {op.short()} of {where} does not dominate its use; "
+                    f"route merging dataflow through an alloca"
+                )
+        elif isinstance(op, Argument):
+            if op.function is not None and op.function is not fn:
+                raise VerifierError(
+                    f"argument {op.short()} of another function used in {where}"
+                )
+        elif isinstance(op, GlobalVariable):
+            if module.globals.get(op.name) is not op:
+                raise VerifierError(f"foreign global {op.short()} used in {where}")
+        elif isinstance(op, FunctionRef):
+            if module.functions.get(op.function.name) is not op.function:
+                raise VerifierError(f"foreign function {op.short()} used in {where}")
+
+
+def _verify_targets(
+    fn: Function, block: BasicBlock, instr: Instruction, block_set: set[BasicBlock]
+) -> None:
+    where = f"in {block.label()}"
+    if isinstance(instr, Br):
+        targets = [instr.target]
+    elif isinstance(instr, CondBr):
+        targets = [instr.then_block, instr.else_block]
+    else:
+        return
+    for t in targets:
+        if t not in block_set:
+            raise VerifierError(
+                f"branch to block {t.name!r} of another function {where}"
+            )
+
+
+def _verify_allocation(instr: Instruction, where: str) -> None:
+    if isinstance(instr, (Alloca, Malloc)):
+        ty = instr.allocated_type
+        if isinstance(ty, StructType) and ty.is_opaque:
+            raise VerifierError(f"allocation of opaque struct {ty.name} {where}")
+    if isinstance(instr, Ret):
+        fn = instr.parent.function if instr.parent else None
+        if fn is not None:
+            want = fn.return_type
+            got = instr.value.ty if instr.value is not None else None
+            if instr.value is None:
+                from repro.ir.types import VoidType
+
+                if not isinstance(want, VoidType):
+                    raise VerifierError(f"ret without value in non-void {fn.name}")
+            elif got != want:
+                raise VerifierError(
+                    f"ret type mismatch in {fn.name}: {got} vs declared {want}"
+                )
+    if isinstance(instr, (Call, Spawn)) and isinstance(instr.callee, FunctionRef):
+        # arity/types were checked at construction; nothing more needed here
+        pass

@@ -1,0 +1,28 @@
+"""PT-like control-flow tracing with coarse timing (the hardware substrate)."""
+
+from repro.pt.decoder import (
+    DynamicInstruction,
+    ThreadTrace,
+    decode_thread_trace,
+    executed_set,
+)
+from repro.pt.driver import PTDriver, TraceSnapshot, overhead_fraction
+from repro.pt.encoder import EncoderStats, ThreadEncoder
+from repro.pt.ringbuffer import RingBuffer
+from repro.pt.timing import KB, MB, TraceConfig
+
+__all__ = [
+    "DynamicInstruction",
+    "ThreadTrace",
+    "decode_thread_trace",
+    "executed_set",
+    "PTDriver",
+    "TraceSnapshot",
+    "overhead_fraction",
+    "EncoderStats",
+    "ThreadEncoder",
+    "RingBuffer",
+    "KB",
+    "MB",
+    "TraceConfig",
+]

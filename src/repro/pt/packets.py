@@ -1,0 +1,183 @@
+"""Binary packet format of the PT-like trace.
+
+The format is a simplified Intel PT: genuinely byte-encoded so that
+ring-buffer wraparound truncates history the way real hardware does,
+and decoding has to re-synchronize at a PSB boundary.
+
+Packet encodings (first byte is the tag):
+
+======  =========  ==============================================
+packet  size       layout
+======  =========  ==============================================
+PAD     1          0x00
+TNT     2          0x40+count (1..6), then a payload byte whose
+                   low ``count`` bits are taken/not-taken flags,
+                   oldest branch in bit 0
+TIP     9          0x60, u64 LE instruction uid where execution
+                   (re)starts — indirect-call targets, uncompressed
+                   returns, post-PSB anchors, final flush position
+MTC     2          0x50, low 8 bits of (time // mtc_period)
+TSC     9          0x70, u64 LE full virtual time in ns
+PSB     16         0x82 0x02 x 8 — decoder sync point
+======  =========  ==============================================
+
+Returns are TNT-compressed exactly like real PT: a return whose call
+was seen since the last PSB is encoded as a taken TNT bit; otherwise it
+gets a TIP.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import TraceDecodeError
+
+TAG_PAD = 0x00
+TAG_TNT_BASE = 0x40  # TAG_TNT_BASE + count, count in 1..6
+TAG_MTC = 0x50
+TAG_TIP = 0x60
+TAG_TSC = 0x70
+TAG_FUP = 0x78
+PSB_BYTES = bytes([0x82, 0x02] * 8)
+
+TNT_MAX_BITS = 6
+
+
+@dataclass(frozen=True)
+class Packet:
+    kind: str  # "tnt" | "tip" | "mtc" | "tsc" | "psb" | "pad"
+    offset: int  # byte offset in the decoded stream
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TntPacket(Packet):
+    bits: tuple[bool, ...] = ()
+
+
+@dataclass(frozen=True)
+class TipPacket(Packet):
+    uid: int = 0
+
+
+@dataclass(frozen=True)
+class MtcPacket(Packet):
+    counter: int = 0
+
+
+@dataclass(frozen=True)
+class TscPacket(Packet):
+    time: int = 0
+
+
+@dataclass(frozen=True)
+class FupPacket(Packet):
+    """An async position marker: post-PSB anchor or snapshot stop point."""
+
+    uid: int = 0
+
+
+@dataclass(frozen=True)
+class PsbPacket(Packet):
+    pass
+
+
+def encode_tnt(bits: list[bool]) -> bytes:
+    if not 1 <= len(bits) <= TNT_MAX_BITS:
+        raise ValueError(f"TNT packet carries 1..{TNT_MAX_BITS} bits, got {len(bits)}")
+    payload = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            payload |= 1 << i
+    return bytes([TAG_TNT_BASE + len(bits), payload])
+
+
+def encode_tip(uid: int) -> bytes:
+    return bytes([TAG_TIP]) + struct.pack("<Q", uid)
+
+
+def encode_mtc(counter: int) -> bytes:
+    return bytes([TAG_MTC, counter & 0xFF])
+
+
+def encode_tsc(time: int) -> bytes:
+    return bytes([TAG_TSC]) + struct.pack("<Q", time)
+
+
+def encode_fup(uid: int) -> bytes:
+    return bytes([TAG_FUP]) + struct.pack("<Q", uid)
+
+
+def encode_psb() -> bytes:
+    return PSB_BYTES
+
+
+def find_psb(data: bytes, start: int = 0) -> int:
+    """Offset of the first full PSB at or after ``start``, or -1."""
+    return data.find(PSB_BYTES, start)
+
+
+def parse_packets(data: bytes, start: int = 0):
+    """Yield packets from ``data`` beginning at ``start``.
+
+    ``start`` must point at a packet boundary (normally a PSB found via
+    :func:`find_psb`).  Raises :class:`TraceDecodeError` on unknown tags;
+    a truncated trailing packet ends iteration silently (the ring was
+    snapshotted mid-write, which is legal).
+    """
+    i = start
+    n = len(data)
+    while i < n:
+        tag = data[i]
+        if tag == TAG_PAD:
+            i += 1
+            continue
+        if tag == PSB_BYTES[0]:
+            if data[i : i + len(PSB_BYTES)] == PSB_BYTES:
+                yield PsbPacket("psb", i)
+                i += len(PSB_BYTES)
+                continue
+            if i + len(PSB_BYTES) > n:
+                return  # truncated trailing PSB
+            raise TraceDecodeError(f"corrupt PSB at offset {i}")
+        if TAG_TNT_BASE < tag <= TAG_TNT_BASE + TNT_MAX_BITS:
+            count = tag - TAG_TNT_BASE
+            if i + 1 >= n:
+                return
+            payload = data[i + 1]
+            bits = tuple(bool(payload >> b & 1) for b in range(count))
+            yield TntPacket("tnt", i, bits)
+            i += 2
+            continue
+        if tag == TAG_MTC:
+            if i + 1 >= n:
+                return
+            yield MtcPacket("mtc", i, data[i + 1])
+            i += 2
+            continue
+        if tag == TAG_TIP:
+            if i + 9 > n:
+                return
+            (uid,) = struct.unpack_from("<Q", data, i + 1)
+            yield TipPacket("tip", i, uid)
+            i += 9
+            continue
+        if tag == TAG_TSC:
+            if i + 9 > n:
+                return
+            (time,) = struct.unpack_from("<Q", data, i + 1)
+            yield TscPacket("tsc", i, time)
+            i += 9
+            continue
+        if tag == TAG_FUP:
+            if i + 9 > n:
+                return
+            (uid,) = struct.unpack_from("<Q", data, i + 1)
+            yield FupPacket("fup", i, uid)
+            i += 9
+            continue
+        raise TraceDecodeError(f"unknown packet tag 0x{tag:02x} at offset {i}")

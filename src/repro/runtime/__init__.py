@@ -1,0 +1,19 @@
+"""Client/server runtime: production tracing + collection policy."""
+
+from repro.runtime.client import ClientRun, SnorlaxClient, Workload
+from repro.runtime.errortracker import FailureCode, classify
+from repro.runtime.protocol import FailureNotification, TraceRequest, TraceResponse
+from repro.runtime.server import ServerStats, SnorlaxServer
+
+__all__ = [
+    "ClientRun",
+    "SnorlaxClient",
+    "Workload",
+    "FailureCode",
+    "classify",
+    "FailureNotification",
+    "TraceRequest",
+    "TraceResponse",
+    "ServerStats",
+    "SnorlaxServer",
+]

@@ -1,0 +1,42 @@
+"""Error tracker: the client-side failure classifier.
+
+Stands in for Ubuntu's ErrorTracker / the JVM's hang detection (paper
+§4.4, §5): it turns a finished execution into the failure code the
+Snorlax client ships to the server — crash vs. deadlock vs. assert,
+with the failing PC and thread.  Successful executions produce no
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.failures import ExecutionResult, FailureReport
+
+
+@dataclass(frozen=True)
+class FailureCode:
+    """What the OS error tracker knows, before any diagnosis."""
+
+    kind: str  # "crash" | "deadlock" | "hang" | "assert"
+    failing_uid: int
+    failing_tid: int
+    time: int
+    report: FailureReport
+
+
+def classify(result: ExecutionResult) -> FailureCode | None:
+    """Classify an execution result; None means a clean run."""
+    if result.outcome == "success":
+        return None
+    failure = result.failure
+    if failure is None:
+        # step-limit or other harness-level outcome: not a guest failure
+        return None
+    return FailureCode(
+        kind=failure.kind,
+        failing_uid=failure.failing_uid,
+        failing_tid=failure.failing_tid,
+        time=failure.time,
+        report=failure,
+    )

@@ -1,0 +1,41 @@
+"""Client/server message types.
+
+The real Snorlax speaks over the network; here the messages are plain
+dataclasses so tests can exercise the protocol surface (what the server
+may ask of a client, what a client may reply) without sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.pipeline import TraceSample
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """Server -> client: produce a trace at these PCs (step 8)."""
+
+    label: str
+    seed: int
+    breakpoint_uids: Sequence[int] = ()
+
+
+@dataclass
+class TraceResponse:
+    """Client -> server: the run's outcome and (maybe) a trace sample."""
+
+    label: str
+    outcome: str
+    sample: TraceSample | None = None
+
+
+@dataclass(frozen=True)
+class FailureNotification:
+    """Client -> server: an in-production failure occurred (step 1)."""
+
+    bug_hint: str
+    failing_uid: int
+    failing_tid: int
+    time: int

@@ -1,0 +1,137 @@
+"""The Snorlax server: trace collection policy + the analysis pipeline.
+
+The server receives the first failing trace (step 1 of Figure 2), then
+instructs clients to generate traces from successful executions at the
+failure location (step 8), falling back to predecessor basic blocks
+when the failure PC itself cannot be reached in successful runs (§4.1 —
+e.g. the failure is in error-handling code).  Once enough evidence is
+gathered it runs Lazy Diagnosis (steps 2-7) and returns the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import LazyDiagnosis, PipelineConfig, TraceSample
+from repro.core.report import DiagnosisReport
+from repro.errors import DiagnosisError
+from repro.ir.cfg import predecessor_chain
+from repro.ir.module import Module
+from repro.runtime.client import ClientRun, SnorlaxClient
+from repro.runtime.protocol import TraceRequest, TraceResponse
+
+
+@dataclass
+class ServerStats:
+    failing_traces: int = 0
+    success_traces: int = 0
+    executions_requested: int = 0
+    breakpoint_fallbacks: int = 0
+
+
+@dataclass
+class SnorlaxServer:
+    module: Module
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    success_traces_wanted: int = 10
+    max_collection_attempts: int = 2000
+    stats: ServerStats = field(default_factory=ServerStats)
+
+    def diagnose_failure(
+        self, failing_run: ClientRun, client: SnorlaxClient, start_seed: int = 10_000
+    ) -> DiagnosisReport:
+        """The full server-side flow for one in-production failure."""
+        if failing_run.failure is None or failing_run.snapshot is None:
+            raise DiagnosisError("failing run carries no failure/snapshot")
+        failing_sample = self.sample_from_run("failure", failing_run)
+        self.stats.failing_traces += 1
+        successes = self.collect_successful_traces(
+            client, failing_run.failure.failing_uid, start_seed
+        )
+        pipeline = LazyDiagnosis(self.module, self.config)
+        return pipeline.diagnose([failing_sample], successes)
+
+    def collect_successful_traces(
+        self, client: SnorlaxClient, failing_uid: int, start_seed: int
+    ) -> list[TraceSample]:
+        """Step 8: successful-execution traces at the failure location.
+
+        Tries the failure PC first; if no successful run ever reaches it,
+        widens the breakpoint to predecessor blocks, nearest first.
+        """
+        samples: list[TraceSample] = []
+        breakpoints = [failing_uid]
+        seed = start_seed
+        attempts = 0
+        misses_at_pc = 0
+        while (
+            len(samples) < self.success_traces_wanted
+            and attempts < self.max_collection_attempts
+        ):
+            # Vary how many executions of the failure PC pass before the
+            # trace is captured: production traces come from executions
+            # of arbitrary maturity, which is what lets benign
+            # occurrences of near-miss interleavings show up.
+            skip = attempts % 7
+            run = client.run_once(
+                seed, breakpoint_uids=breakpoints, breakpoint_skip=skip
+            )
+            seed += 1
+            attempts += 1
+            self.stats.executions_requested += 1
+            if run.failed:
+                continue  # only successful executions feed step 8
+            if run.snapshot is None:
+                # Only zero-skip misses hint that the PC is unreachable
+                # in successful runs (e.g. failure in error-handling
+                # code); a miss with skip > 0 just means the location
+                # executes fewer times than we asked to wait.
+                if skip == 0:
+                    misses_at_pc += 1
+                if misses_at_pc >= 25 and len(breakpoints) == 1:
+                    breakpoints = self._widen_breakpoints(failing_uid)
+                    self.stats.breakpoint_fallbacks += 1
+                continue
+            samples.append(
+                self.sample_from_run(f"success-{len(samples)}", run)
+            )
+            self.stats.success_traces += 1
+        return samples
+
+    def _widen_breakpoints(self, failing_uid: int) -> list[int]:
+        """Predecessor-block fallback: arm earlier PCs too (§4.1)."""
+        instr = self.module.instruction(failing_uid)
+        block = instr.parent
+        uids = [failing_uid]
+        if block is not None:
+            for pred in predecessor_chain(block, max_depth=4):
+                if pred.instructions:
+                    uids.append(pred.instructions[0].uid)
+        return uids
+
+    def sample_from_run(self, label: str, run: ClientRun) -> TraceSample:
+        if run.snapshot is None:
+            raise DiagnosisError(f"run {run.seed} has no trace snapshot")
+        return TraceSample(
+            label=label,
+            failing=run.failed,
+            buffers=dict(run.snapshot.buffers),
+            positions=dict(run.snapshot.positions),
+            failure=run.failure.report if run.failure else None,
+            snapshot_time=run.snapshot.time,
+        )
+
+    # -- message-level API (exercises the protocol types) ------------------
+
+    def handle_trace_request(
+        self, client: SnorlaxClient, request: TraceRequest
+    ) -> TraceResponse:
+        run = client.run_once(request.seed, breakpoint_uids=request.breakpoint_uids)
+        sample = None
+        if run.snapshot is not None:
+            sample = self.sample_from_run(request.label, run)
+        return TraceResponse(
+            label=request.label,
+            outcome=run.result.outcome,
+            sample=sample,
+        )

@@ -1,0 +1,40 @@
+"""The execution substrate: a deterministic multithreaded IR interpreter."""
+
+from repro.sim.clock import MS, US, CostModel, VirtualClock
+from repro.sim.events import EventLog, TargetEvent
+from repro.sim.failures import (
+    CrashReport,
+    DeadlockEntry,
+    DeadlockReport,
+    ExecutionResult,
+    FailureReport,
+    ThreadStats,
+)
+from repro.sim.machine import Machine
+from repro.sim.memory import GuestFault, Memory, MemoryObject
+from repro.sim.scheduler import FixedOrderScheduler, RandomScheduler, Scheduler
+from repro.sim.sync import LockTable, WaitEdge
+
+__all__ = [
+    "MS",
+    "US",
+    "CostModel",
+    "VirtualClock",
+    "EventLog",
+    "TargetEvent",
+    "CrashReport",
+    "DeadlockEntry",
+    "DeadlockReport",
+    "ExecutionResult",
+    "FailureReport",
+    "ThreadStats",
+    "Machine",
+    "GuestFault",
+    "Memory",
+    "MemoryObject",
+    "FixedOrderScheduler",
+    "RandomScheduler",
+    "Scheduler",
+    "LockTable",
+    "WaitEdge",
+]

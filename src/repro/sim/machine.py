@@ -1,0 +1,779 @@
+"""The multithreaded IR interpreter.
+
+``Machine`` executes a finalized :class:`repro.ir.Module` under a
+scheduling policy, producing an :class:`ExecutionResult`.  It plays the
+role of the paper's client hardware: programs run to completion, crash
+(fail-stop memory errors / assertion failures), deadlock (wait-for-graph
+cycle), or hang (global stall without a cycle).
+
+Extension points:
+
+* ``trace_driver`` — receives control-flow and timing callbacks; the
+  PT-like driver in :mod:`repro.pt.driver` implements this interface to
+  build per-thread ring buffers and charge tracing overhead.
+* ``instrumentation`` — a per-instruction hook charged before execution;
+  the Gist baseline implements its monitoring (and its contention
+  overhead model) here.
+* ``event_log`` — ground-truth timestamping of watched target
+  instructions (the §3.2 study's clock_gettime instrumentation).
+* ``breakpoints`` — uid-keyed callbacks, used by the runtime client to
+  snapshot traces at a previous failure location (step 8 in Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.errors import SimulationError, StepLimitExceeded
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Assert,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Delay,
+    FieldAddr,
+    Free,
+    IndexAddr,
+    Instruction,
+    Join,
+    Load,
+    Lock,
+    LockInit,
+    Malloc,
+    Ret,
+    Spawn,
+    Store,
+    Unlock,
+)
+from repro.ir.module import Module
+from repro.ir.types import ArrayType
+from repro.ir.values import (
+    Argument,
+    Constant,
+    FunctionRef,
+    GlobalVariable,
+    NullPointer,
+    Value,
+)
+from repro.sim.clock import CostModel, VirtualClock
+from repro.sim.events import EventLog, TargetEvent
+from repro.sim.failures import (
+    CrashReport,
+    DeadlockEntry,
+    DeadlockReport,
+    ExecutionResult,
+    FailureReport,
+    ThreadStats,
+)
+from repro.sim.memory import GuestFault, Memory, MemoryObject
+from repro.sim.scheduler import RandomScheduler, Scheduler
+
+
+class TraceDriver(Protocol):
+    """What the machine needs from a control-flow tracing backend.
+
+    Every hook may return extra nanoseconds to charge the traced thread
+    (how the PT driver models its packet-write overhead).  ``uid``
+    payloads are instruction uids — the IR's equivalent of the
+    instruction pointers a real PT TIP/FUP packet carries.
+    """
+
+    def on_thread_start(self, tid: int, start_uid: int, time: int) -> int: ...
+
+    def on_cond_branch(self, tid: int, taken: bool, target_uid: int, time: int) -> int: ...
+
+    def on_indirect_call(self, tid: int, target_uid: int, time: int) -> int: ...
+
+    def on_call(self, tid: int, callee_uid: int, time: int) -> int: ...
+
+    def on_ret(self, tid: int, resume_uid: int | None, time: int) -> int: ...
+
+    def on_br(self, tid: int, target_uid: int, time: int) -> int: ...
+
+    def on_work(
+        self, tid: int, instr_uid: int, resume_uid: int, start: int, duration: int
+    ) -> int: ...
+
+    def on_block(self, tid: int, instr_uid: int, time: int) -> int: ...
+
+    def on_wake(self, tid: int, resume_uid: int, time: int) -> int: ...
+
+    def on_thread_end(self, tid: int, time: int) -> None: ...
+
+
+class Instrumentation(Protocol):
+    """A per-instruction software hook (how Gist-style tools monitor)."""
+
+    def before_instruction(
+        self, machine: "Machine", tid: int, instr: Instruction
+    ) -> int:
+        """Return extra ns charged to the clock for this instruction."""
+        ...
+
+
+@dataclass
+class Frame:
+    function: Function
+    block: BasicBlock
+    index: int = 0
+    values: dict[Value, Any] = field(default_factory=dict)
+    allocas: dict[Alloca, MemoryObject] = field(default_factory=dict)
+    call_site: Call | None = None  # instruction in the caller to resume
+
+
+RUNNABLE = "runnable"
+SLEEPING = "sleeping"
+BLOCKED_LOCK = "blocked-lock"
+BLOCKED_JOIN = "blocked-join"
+DONE = "done"
+CRASHED = "crashed"
+
+
+@dataclass
+class SimThread:
+    tid: int
+    frames: list[Frame] = field(default_factory=list)
+    state: str = RUNNABLE
+    wake_time: int = 0
+    join_target: int | None = None
+    pending_lock: int | None = None  # address being acquired
+    pending_lock_instr: int = 0
+    return_value: Any = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (DONE, CRASHED)
+
+    @property
+    def frame(self) -> Frame:
+        return self.frames[-1]
+
+
+class Machine:
+    def __init__(
+        self,
+        module: Module,
+        scheduler: Scheduler | None = None,
+        cost_model: CostModel | None = None,
+        trace_driver: TraceDriver | None = None,
+        instrumentation: Instrumentation | None = None,
+        watch_uids: set[int] | None = None,
+        max_steps: int = 20_000_000,
+    ):
+        if not module.finalized:
+            raise SimulationError("module must be finalized before execution")
+        self.module = module
+        self.scheduler = scheduler or RandomScheduler(seed=0)
+        self.costs = cost_model or CostModel()
+        self.driver = trace_driver
+        self.instrumentation = instrumentation
+        self.event_log = EventLog(watch_uids or ())
+        self.max_steps = max_steps
+        self.clock = VirtualClock()
+        self.memory = Memory()
+        self.threads: dict[int, SimThread] = {}
+        self.locks: "LockTableShim" = LockTableShim()
+        self.breakpoints: dict[int, Callable[["Machine", SimThread, Instruction], None]] = {}
+        self._global_addr: dict[str, int] = {}
+        self._next_tid = 1
+        self._failure: FailureReport | None = None
+        self._outcome: str | None = None
+        self._steps = 0
+        self.stats: dict[int, ThreadStats] = {}
+        self._init_globals()
+
+    # -- setup ------------------------------------------------------------
+
+    def _init_globals(self) -> None:
+        for g in self.module.globals.values():
+            obj = self.memory.allocate(
+                g.value_type.size(), "global", g.uid, g.value_type, label=g.name
+            )
+            self._global_addr[g.name] = obj.base
+            if g.initializer is not None:
+                init = g.initializer
+                if isinstance(init, Constant):
+                    self.memory.write_word(obj.base, init.value)
+                elif isinstance(init, NullPointer):
+                    self.memory.write_word(obj.base, 0)
+                else:
+                    raise SimulationError(
+                        f"unsupported global initializer for @{g.name}"
+                    )
+
+    def global_address(self, name: str) -> int:
+        return self._global_addr[name]
+
+    def thread_positions(self) -> dict[int, int]:
+        """Each thread's current/next instruction uid (0 for exited threads).
+
+        For a crashed thread this is the failing instruction; for a
+        thread blocked on a lock it is the blocked acquisition.  The PT
+        driver stores these as the FUP stop markers of a trace snapshot.
+        """
+        positions: dict[int, int] = {}
+        for t in self.threads.values():
+            if not t.frames:
+                positions[t.tid] = 0
+                continue
+            frame = t.frame
+            if frame.index < len(frame.block.instructions):
+                positions[t.tid] = frame.block.instructions[frame.index].uid
+            else:
+                positions[t.tid] = 0
+        return positions
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, entry: str = "main", args: tuple = ()) -> ExecutionResult:
+        fn = self.module.function(entry)
+        main = self._spawn_thread(fn, list(args))
+        if self.driver is not None:
+            self.driver.on_thread_start(
+                main.tid, fn.entry.instructions[0].uid, self.clock.now
+            )
+        try:
+            self._loop()
+        except StepLimitExceeded:
+            self._outcome = "step-limit"
+        outcome = self._outcome or "success"
+        snapshots: dict[int, bytes] = {}
+        metadata: dict[str, Any] = {}
+        if self.driver is not None:
+            snap = getattr(self.driver, "snapshots", None)
+            if snap:
+                snapshots = dict(snap)
+            meta = getattr(self.driver, "metadata", None)
+            if meta:
+                metadata = dict(meta)
+        return ExecutionResult(
+            outcome=outcome,
+            duration=self.clock.now,
+            failure=self._failure,
+            event_log=self.event_log,
+            trace_snapshots=snapshots,
+            trace_metadata=metadata,
+            thread_stats=self.stats,
+            instructions_executed=self._steps,
+            exit_value=self.threads[main.tid].return_value,
+        )
+
+    # -- main loop --------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while self._outcome is None:
+            alive = [t for t in self.threads.values() if t.alive]
+            if not alive:
+                return  # clean exit
+            runnable = [t.tid for t in alive if t.state == RUNNABLE]
+            if not runnable:
+                sleepers = [t for t in alive if t.state == SLEEPING]
+                if sleepers:
+                    self.clock.advance_to(min(t.wake_time for t in sleepers))
+                    self._wake_sleepers()
+                    continue
+                self._report_stall(alive)
+                return
+            self._wake_sleepers()
+            tid, quantum = self.scheduler.pick(runnable)
+            thread = self.threads[tid]
+            for _ in range(quantum):
+                if self._outcome is not None or thread.state != RUNNABLE:
+                    break
+                self._step(thread)
+
+    def _wake_sleepers(self) -> None:
+        now = self.clock.now
+        for t in self.threads.values():
+            if t.state == SLEEPING and t.wake_time <= now:
+                t.state = RUNNABLE
+
+    def _report_stall(self, alive: list[SimThread]) -> None:
+        """All alive threads blocked and nothing will wake them."""
+        for t in alive:
+            if t.state == BLOCKED_LOCK:
+                cycle = self.locks.table.find_deadlock_cycle(t.tid)
+                if cycle:
+                    self._deadlock(cycle)
+                    return
+        # No lock cycle: a hang (e.g. join on a lock-blocked thread).
+        anchor = alive[0]
+        uid = anchor.pending_lock_instr
+        if uid == 0 and anchor.frames:
+            frame = anchor.frame
+            if frame.index < len(frame.block.instructions):
+                uid = frame.block.instructions[frame.index].uid
+        self._failure = FailureReport(
+            kind="hang",
+            failing_uid=uid,
+            failing_tid=anchor.tid,
+            time=self.clock.now,
+            detail="global stall without a lock cycle",
+        )
+        self._outcome = "hang"
+
+    # -- thread management ---------------------------------------------------
+
+    def _spawn_thread(self, fn: Function, args: list[Any]) -> SimThread:
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = SimThread(tid)
+        self.threads[tid] = thread
+        self.stats[tid] = ThreadStats(tid)
+        self._push_frame(thread, fn, args, call_site=None)
+        return thread
+
+    def _push_frame(
+        self, thread: SimThread, fn: Function, args: list[Any], call_site: Call | None
+    ) -> None:
+        frame = Frame(fn, fn.entry, 0, call_site=call_site)
+        if len(args) != len(fn.params):
+            raise SimulationError(
+                f"calling {fn.name} with {len(args)} args, expected {len(fn.params)}"
+            )
+        for param, arg in zip(fn.params, args):
+            frame.values[param] = arg
+        for alloca in fn.allocas():
+            size = alloca.allocated_type.size()
+            obj = self.memory.allocate(
+                size, "stack", alloca.uid, alloca.allocated_type, label=alloca.name
+            )
+            frame.allocas[alloca] = obj
+            frame.values[alloca] = obj.base
+        thread.frames.append(frame)
+
+    def _pop_frame(self, thread: SimThread) -> Frame:
+        frame = thread.frames.pop()
+        for obj in frame.allocas.values():
+            self.memory.release_stack(obj)
+        return frame
+
+    # -- single step -----------------------------------------------------------
+
+    def _step(self, thread: SimThread) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise StepLimitExceeded(
+                f"exceeded {self.max_steps} steps at t={self.clock.now}ns"
+            )
+        frame = thread.frame
+        if frame.index >= len(frame.block.instructions):
+            raise SimulationError(f"fell off block {frame.block.label()}")
+        instr = frame.block.instructions[frame.index]
+        if instr.uid in self.breakpoints:
+            self.breakpoints[instr.uid](self, thread, instr)
+        if self.instrumentation is not None:
+            extra = self.instrumentation.before_instruction(self, thread.tid, instr)
+            if extra:
+                self.clock.advance(extra)
+        self.clock.advance(self.costs.cost(instr.opcode))
+        stats = self.stats[thread.tid]
+        stats.instructions += 1
+        try:
+            self._dispatch(thread, frame, instr)
+        except GuestFault as fault:
+            self._crash(thread, instr, fault)
+
+    def _dispatch(self, thread: SimThread, frame: Frame, instr: Instruction) -> None:
+        stats = self.stats[thread.tid]
+        advance = True
+        if isinstance(instr, Alloca):
+            pass  # slot was materialized at frame push; value already bound
+        elif isinstance(instr, Malloc):
+            count = 1
+            if instr.count is not None:
+                count = int(self._value(frame, instr.count))
+                if count < 0:
+                    raise GuestFault("oob", 0, f"malloc with negative count {count}")
+            base_ty = instr.allocated_type
+            size = base_ty.size() * count
+            ty = ArrayType(base_ty, count) if count != 1 else base_ty
+            obj = self.memory.allocate(size, "heap", instr.uid, ty, label=instr.name)
+            frame.values[instr] = obj.base
+        elif isinstance(instr, Free):
+            addr = self._pointer(frame, instr.pointer)
+            if addr == 0:
+                raise GuestFault("null", 0, "free(NULL)")
+            self.memory.free(addr)
+            stats.memory_accesses += 1
+            self._record_event(instr, thread, "write", addr)
+        elif isinstance(instr, Load):
+            addr = self._pointer(frame, instr.pointer)
+            value = self.memory.read_word(addr)
+            frame.values[instr] = value
+            stats.memory_accesses += 1
+            self._record_event(instr, thread, "read", addr)
+        elif isinstance(instr, Store):
+            addr = self._pointer(frame, instr.pointer)
+            value = self._value(frame, instr.value)
+            self.memory.write_word(addr, value)
+            stats.memory_accesses += 1
+            self._record_event(instr, thread, "write", addr)
+        elif isinstance(instr, FieldAddr):
+            # Address arithmetic never faults (like LLVM GEP); the
+            # dereference is the failing instruction, which is what the
+            # diagnosis pipeline must anchor on.
+            base = self._pointer(frame, instr.pointer)
+            frame.values[instr] = base + instr.offset
+        elif isinstance(instr, IndexAddr):
+            base = self._pointer(frame, instr.pointer)
+            idx = int(self._value(frame, instr.index))
+            frame.values[instr] = base + idx * instr.element_type.size()
+        elif isinstance(instr, BinOp):
+            frame.values[instr] = self._binop(frame, instr)
+        elif isinstance(instr, Cmp):
+            frame.values[instr] = self._cmp(frame, instr)
+        elif isinstance(instr, Cast):
+            frame.values[instr] = self._value(frame, instr.value)
+        elif isinstance(instr, Br):
+            self._transfer(thread, frame, instr.target)
+            if self.driver is not None:
+                extra = self.driver.on_br(
+                    thread.tid, instr.target.instructions[0].uid, self.clock.now
+                )
+                if extra:
+                    self.clock.advance(extra)
+            advance = False
+            stats.branches += 1
+        elif isinstance(instr, CondBr):
+            cond = self._value(frame, instr.cond)
+            taken = bool(cond)
+            target = instr.then_block if taken else instr.else_block
+            self._transfer(thread, frame, target)
+            if self.driver is not None:
+                extra = self.driver.on_cond_branch(
+                    thread.tid, taken, target.instructions[0].uid, self.clock.now
+                )
+                if extra:
+                    self.clock.advance(extra)
+            advance = False
+            stats.branches += 1
+        elif isinstance(instr, Ret):
+            self._do_ret(thread, frame, instr)
+            advance = False
+        elif isinstance(instr, Call):
+            self._do_call(thread, frame, instr)
+            advance = False
+        elif isinstance(instr, LockInit):
+            addr = self._pointer(frame, instr.pointer)
+            self.memory.write_word(addr, 0)  # validates the address
+        elif isinstance(instr, Lock):
+            advance = self._do_lock(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, Unlock):
+            self._do_unlock(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, Spawn):
+            self._do_spawn(thread, frame, instr)
+        elif isinstance(instr, Join):
+            advance = self._do_join(thread, frame, instr)
+        elif isinstance(instr, Delay):
+            duration = int(self._value(frame, instr.duration))
+            if duration < 0:
+                raise GuestFault("oob", 0, f"negative delay {duration}")
+            start = self.clock.now
+            extra = 0
+            if self.driver is not None:
+                resume_uid = frame.block.instructions[instr.block_index + 1].uid
+                extra = self.driver.on_work(
+                    thread.tid, instr.uid, resume_uid, start, duration
+                )
+            thread.wake_time = start + duration + extra
+            thread.state = SLEEPING
+            frame.index += 1
+            advance = False
+        elif isinstance(instr, Assert):
+            cond = self._value(frame, instr.cond)
+            if not cond:
+                raise GuestFault("assert", 0, instr.message)
+        else:
+            raise SimulationError(f"cannot execute {instr.opcode}")
+        if advance:
+            frame.index += 1
+
+    # -- control transfers ----------------------------------------------------
+
+    def _transfer(self, thread: SimThread, frame: Frame, target: BasicBlock) -> None:
+        frame.block = target
+        frame.index = 0
+
+    def _do_call(self, thread: SimThread, frame: Frame, instr: Call) -> None:
+        callee = self._resolve_callee(frame, instr.callee)
+        args = [self._value(frame, a) for a in instr.args]
+        if self.driver is not None:
+            if instr.is_direct:
+                extra = self.driver.on_call(
+                    thread.tid, callee.entry.instructions[0].uid, self.clock.now
+                )
+            else:
+                extra = self.driver.on_indirect_call(
+                    thread.tid, callee.entry.instructions[0].uid, self.clock.now
+                )
+            if extra:
+                self.clock.advance(extra)
+        self._push_frame(thread, callee, args, call_site=instr)
+
+    def _do_ret(self, thread: SimThread, frame: Frame, instr: Ret) -> None:
+        value = self._value(frame, instr.value) if instr.value is not None else None
+        self._pop_frame(thread)
+        if not thread.frames:
+            thread.state = DONE
+            thread.return_value = value
+            if self.driver is not None:
+                self.driver.on_ret(thread.tid, None, self.clock.now)
+                self.driver.on_thread_end(thread.tid, self.clock.now)
+            self._wake_joiners(thread.tid)
+            return
+        caller = thread.frame
+        call_site = caller.block.instructions[caller.index]
+        if value is not None:
+            caller.values[call_site] = value
+        caller.index += 1
+        if self.driver is not None:
+            resume_uid = caller.block.instructions[caller.index].uid
+            extra = self.driver.on_ret(thread.tid, resume_uid, self.clock.now)
+            if extra:
+                self.clock.advance(extra)
+
+    def _resolve_callee(self, frame: Frame, callee_value: Value) -> Function:
+        if isinstance(callee_value, FunctionRef):
+            return callee_value.function
+        runtime = self._value(frame, callee_value)
+        if isinstance(runtime, FunctionRef):
+            return runtime.function
+        raise GuestFault(
+            "unmapped", runtime if isinstance(runtime, int) else 0,
+            "indirect call through a non-function value",
+        )
+
+    def _do_spawn(self, thread: SimThread, frame: Frame, instr: Spawn) -> None:
+        callee = self._resolve_callee(frame, instr.callee)
+        args = [self._value(frame, a) for a in instr.args]
+        child = self._spawn_thread(callee, args)
+        frame.values[instr] = child.tid
+        if self.driver is not None:
+            self.driver.on_thread_start(
+                child.tid, callee.entry.instructions[0].uid, self.clock.now
+            )
+        self._record_event(instr, thread, "other", None)
+
+    def _do_join(self, thread: SimThread, frame: Frame, instr: Join) -> bool:
+        target_tid = int(self._value(frame, instr.handle))
+        target = self.threads.get(target_tid)
+        if target is None:
+            raise GuestFault("unmapped", target_tid, "join on unknown thread")
+        if target.state in (DONE, CRASHED):
+            return True
+        thread.state = BLOCKED_JOIN
+        thread.join_target = target_tid
+        if self.driver is not None:
+            self.driver.on_block(thread.tid, instr.uid, self.clock.now)
+        return False
+
+    def _wake_joiners(self, finished_tid: int) -> None:
+        for t in self.threads.values():
+            if t.state == BLOCKED_JOIN and t.join_target == finished_tid:
+                t.state = RUNNABLE
+                t.join_target = None
+                t.frame.index += 1  # move past the join
+                if self.driver is not None:
+                    frame = t.frame
+                    resume = frame.block.instructions[frame.index].uid
+                    self.driver.on_wake(t.tid, resume, self.clock.now)
+
+    # -- locks -------------------------------------------------------------------
+
+    def _do_lock(self, thread: SimThread, frame: Frame, instr: Lock) -> bool:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "lock", addr)
+        table = self.locks.table
+        if table.try_acquire(addr, thread.tid):
+            return True
+        holder = table.holder(addr)
+        if holder == thread.tid:
+            # self-deadlock on a non-recursive mutex
+            entry = DeadlockEntry(
+                thread.tid, addr, tuple(table.held_by(thread.tid)), instr.uid,
+                self.clock.now,
+            )
+            self._failure = DeadlockReport(
+                kind="deadlock",
+                failing_uid=instr.uid,
+                failing_tid=thread.tid,
+                time=self.clock.now,
+                detail="self-deadlock (non-recursive mutex)",
+                cycle=(entry,),
+            )
+            self._outcome = "deadlock"
+            return False
+        table.add_waiter(addr, thread.tid, instr.uid, self.clock.now)
+        thread.state = BLOCKED_LOCK
+        thread.pending_lock = addr
+        thread.pending_lock_instr = instr.uid
+        if self.driver is not None:
+            # A blocked thread context-switches out; the trace carries a
+            # position marker + exact timestamp (like PT's mode packets).
+            self.driver.on_block(thread.tid, instr.uid, self.clock.now)
+        cycle = table.find_deadlock_cycle(thread.tid)
+        if cycle:
+            self._deadlock(cycle)
+        return False
+
+    def _do_unlock(self, thread: SimThread, frame: Frame, instr: Unlock) -> None:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "unlock", addr)
+        next_tid = self.locks.table.release(addr, thread.tid)
+        if next_tid is not None:
+            waiter = self.threads[next_tid]
+            waiter.state = RUNNABLE
+            waiter.pending_lock = None
+            waiter.frame.index += 1  # move past the blocked lock instruction
+            if self.driver is not None:
+                wframe = waiter.frame
+                resume = wframe.block.instructions[wframe.index].uid
+                self.driver.on_wake(waiter.tid, resume, self.clock.now)
+
+    def _deadlock(self, cycle: list) -> None:
+        table = self.locks.table
+        entries = tuple(
+            DeadlockEntry(
+                e.waiter,
+                e.lock_address,
+                tuple(table.held_by(e.waiter)),
+                e.instr_uid,
+                e.since,
+            )
+            for e in cycle
+        )
+        last = cycle[-1]
+        self._failure = DeadlockReport(
+            kind="deadlock",
+            failing_uid=last.instr_uid,
+            failing_tid=last.waiter,
+            time=self.clock.now,
+            detail=f"{len(entries)}-thread lock cycle",
+            cycle=entries,
+        )
+        self._outcome = "deadlock"
+
+    # -- faults --------------------------------------------------------------------
+
+    def _crash(self, thread: SimThread, instr: Instruction, fault: GuestFault) -> None:
+        operand_value: int | None = None
+        pointer = instr.pointer_operand()
+        if pointer is not None:
+            try:
+                runtime = self._value(thread.frame, pointer)
+                if isinstance(runtime, int):
+                    operand_value = runtime
+            except Exception:
+                operand_value = None
+        kind = "assert" if fault.kind == "assert" else "crash"
+        self._failure = CrashReport(
+            kind=kind,
+            failing_uid=instr.uid,
+            failing_tid=thread.tid,
+            time=self.clock.now,
+            detail=str(fault),
+            fault_kind=fault.kind,
+            fault_address=fault.address,
+            operand_value=operand_value,
+        )
+        thread.state = CRASHED
+        self._outcome = kind
+
+    # -- value evaluation --------------------------------------------------------
+
+    def _value(self, frame: Frame, v: Value) -> Any:
+        if isinstance(v, Constant):
+            return v.value
+        if isinstance(v, NullPointer):
+            return 0
+        if isinstance(v, GlobalVariable):
+            return self._global_addr[v.name]
+        if isinstance(v, FunctionRef):
+            return v
+        if isinstance(v, (Argument, Instruction)):
+            try:
+                return frame.values[v]
+            except KeyError:
+                raise SimulationError(
+                    f"read of undefined value {v.short()} in {frame.function.name}"
+                ) from None
+        raise SimulationError(f"cannot evaluate {v!r}")
+
+    def _pointer(self, frame: Frame, v: Value) -> int:
+        value = self._value(frame, v)
+        if not isinstance(value, int):
+            raise GuestFault("unmapped", 0, f"non-address pointer value {value!r}")
+        return value
+
+    def _binop(self, frame: Frame, instr: BinOp) -> Any:
+        a = self._value(frame, instr.lhs)
+        b = self._value(frame, instr.rhs)
+        op = instr.op
+        if op in ("div", "mod") and b == 0:
+            raise GuestFault("arith", 0, "division by zero")
+        if op == "add":
+            return a + b
+        if op == "sub":
+            return a - b
+        if op == "mul":
+            return a * b
+        if op == "div":
+            return int(a / b) if isinstance(a, int) else a / b
+        if op == "mod":
+            return a - b * int(a / b) if isinstance(a, int) else a % b
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return a << b
+        if op == "shr":
+            return a >> b
+        raise SimulationError(f"unknown binop {op}")
+
+    def _cmp(self, frame: Frame, instr: Cmp) -> int:
+        a = self._value(frame, instr.lhs)
+        b = self._value(frame, instr.rhs)
+        op = instr.op
+        result = {
+            "eq": a == b,
+            "ne": a != b,
+            "lt": a < b,
+            "le": a <= b,
+            "gt": a > b,
+            "ge": a >= b,
+        }[op]
+        return 1 if result else 0
+
+    # -- events ---------------------------------------------------------------------
+
+    def _record_event(
+        self, instr: Instruction, thread: SimThread, kind: str, address: int | None
+    ) -> None:
+        if instr.uid in self.event_log.watched:
+            self.event_log.record(
+                TargetEvent(instr.uid, thread.tid, self.clock.now, kind, address)
+            )
+
+
+class LockTableShim:
+    """Late-bound LockTable so sim modules stay import-cycle free."""
+
+    def __init__(self):
+        from repro.sim.sync import LockTable
+
+        self.table = LockTable()

@@ -1,0 +1,95 @@
+"""Thread scheduling policies.
+
+The scheduler is the simulator's source of interleaving nondeterminism:
+given the set of runnable threads it picks who runs next and for how
+many instructions (the quantum).  A seeded RNG makes every execution
+reproducible from ``(module, workload, seed)`` — the property the whole
+evaluation leans on, since benches need both failing and successful
+executions of the same bug on demand.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class Scheduler:
+    """Base policy: round-robin with quantum 1 (fully deterministic)."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._last: int | None = None
+
+    def reset(self) -> None:
+        self._last = None
+
+    def pick(self, runnable: list[int]) -> tuple[int, int]:
+        """Return (tid to run, instruction quantum)."""
+        if not runnable:
+            raise ValueError("pick() with no runnable threads")
+        ordered = sorted(runnable)
+        if self._last is None or self._last not in ordered:
+            tid = ordered[0]
+        else:
+            tid = ordered[(ordered.index(self._last) + 1) % len(ordered)]
+        self._last = tid
+        return tid, 1
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choice with geometric quanta (the default policy).
+
+    ``mean_quantum`` instructions run between preemption points on
+    average.  Preemption can occur anywhere, so data races can resolve
+    either way across executions — exactly the in-production behaviour
+    Snorlax watches for.
+    """
+
+    def __init__(self, seed: int = 0, mean_quantum: int = 24):
+        super().__init__(seed)
+        if mean_quantum < 1:
+            raise ValueError("mean_quantum must be >= 1")
+        self.mean_quantum = mean_quantum
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+
+    def pick(self, runnable: list[int]) -> tuple[int, int]:
+        if not runnable:
+            raise ValueError("pick() with no runnable threads")
+        tid = self._rng.choice(sorted(runnable))
+        # geometric quantum with mean mean_quantum, at least 1
+        quantum = 1
+        p = 1.0 / self.mean_quantum
+        while self._rng.random() > p:
+            quantum += 1
+            if quantum >= 16 * self.mean_quantum:
+                break
+        self._last = tid
+        return tid, quantum
+
+
+class FixedOrderScheduler(Scheduler):
+    """Replays an explicit (tid, quantum) script, then falls back to RR.
+
+    Used by tests that need one exact interleaving.
+    """
+
+    def __init__(self, script: list[tuple[int, int]]):
+        super().__init__(0)
+        self.script = list(script)
+        self._idx = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._idx = 0
+
+    def pick(self, runnable: list[int]) -> tuple[int, int]:
+        while self._idx < len(self.script):
+            tid, quantum = self.script[self._idx]
+            self._idx += 1
+            if tid in runnable:
+                return tid, quantum
+        return super().pick(runnable)

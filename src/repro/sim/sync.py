@@ -1,0 +1,109 @@
+"""Lock state and deadlock detection.
+
+Locks live in guest memory (a word of ``lock`` type); the machine keys
+their runtime state by address.  When a thread blocks on a lock the
+table records a wait-for edge; a cycle in the wait-for graph is a
+deadlock, reported with each participating thread's pending acquisition
+site — the information Figure 1(a) of the paper calls the deadlock's
+target events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LockState:
+    address: int
+    owner: int | None = None  # tid of holder
+    waiters: list[int] = field(default_factory=list)
+    acquisitions: int = 0
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """Thread ``waiter`` wants ``lock_address`` held by ``owner``."""
+
+    waiter: int
+    owner: int
+    lock_address: int
+    instr_uid: int  # the blocked lock instruction
+    since: int  # virtual time the wait began
+
+
+class LockTable:
+    def __init__(self):
+        self._locks: dict[int, LockState] = {}
+        self._pending: dict[int, WaitEdge] = {}  # waiter tid -> edge
+
+    def state(self, address: int) -> LockState:
+        if address not in self._locks:
+            self._locks[address] = LockState(address)
+        return self._locks[address]
+
+    def try_acquire(self, address: int, tid: int) -> bool:
+        st = self.state(address)
+        if st.owner is None:
+            st.owner = tid
+            st.acquisitions += 1
+            return True
+        if st.owner == tid:
+            # Non-recursive mutex: self-acquisition is a 1-thread deadlock.
+            return False
+        return False
+
+    def add_waiter(self, address: int, tid: int, instr_uid: int, now: int) -> None:
+        st = self.state(address)
+        if tid not in st.waiters:
+            st.waiters.append(tid)
+        owner = st.owner
+        assert owner is not None
+        self._pending[tid] = WaitEdge(tid, owner, address, instr_uid, now)
+
+    def release(self, address: int, tid: int) -> int | None:
+        """Release; returns the tid of the waiter that inherits the lock."""
+        st = self.state(address)
+        if st.owner != tid:
+            # Releasing a lock you don't hold is undefined behaviour in
+            # pthreads; we surface it as owner=None so a later deadlock
+            # check doesn't chase a stale owner.
+            st.owner = None
+            return None
+        if st.waiters:
+            next_tid = st.waiters.pop(0)
+            st.owner = next_tid
+            st.acquisitions += 1
+            self._pending.pop(next_tid, None)
+            return next_tid
+        st.owner = None
+        return None
+
+    def holder(self, address: int) -> int | None:
+        st = self._locks.get(address)
+        return st.owner if st else None
+
+    def held_by(self, tid: int) -> list[int]:
+        return [a for a, st in self._locks.items() if st.owner == tid]
+
+    def waiting_edge(self, tid: int) -> WaitEdge | None:
+        return self._pending.get(tid)
+
+    def find_deadlock_cycle(self, start_tid: int) -> list[WaitEdge] | None:
+        """Follow wait-for edges from ``start_tid``; return the cycle if any."""
+        path: list[WaitEdge] = []
+        seen: set[int] = set()
+        tid = start_tid
+        while True:
+            edge = self._pending.get(tid)
+            if edge is None:
+                return None
+            if tid in seen:
+                # trim the path to the actual cycle
+                for i, e in enumerate(path):
+                    if e.waiter == tid:
+                        return path[i:]
+                return path
+            seen.add(tid)
+            path.append(edge)
+            tid = edge.owner

@@ -1,0 +1,77 @@
+"""Bench harness: CIH measurement, gap extraction, table rendering."""
+
+import pytest
+
+from repro.bench import (
+    measure_cih,
+    measure_tracing_overhead,
+    render_series,
+    render_table,
+    run_accuracy,
+)
+from repro.bench.scalability import build_server_app
+from repro.corpus import bug
+from repro.sim import Machine
+
+
+def test_measure_cih_shapes():
+    spec = bug("pbzip2-n/a")
+    m = measure_cih(spec, runs=3, max_attempts=300)
+    assert len(m.gaps_ns) == 3
+    assert m.n_gaps == 1
+    assert m.min_us() > 0
+    assert m.mean_us(0) > 0
+    assert m.runs_needed >= 3
+
+
+def test_measure_cih_atomicity_two_gaps():
+    spec = bug("aget-n/a")
+    m = measure_cih(spec, runs=2, max_attempts=300)
+    assert m.n_gaps == 2
+    assert m.std_us(0) >= 0
+
+
+def test_measure_cih_deadlock_uses_block_times():
+    spec = bug("sqlite-1672")
+    m = measure_cih(spec, runs=2, max_attempts=300)
+    assert m.n_gaps == 1
+    assert m.min_us() > 0
+
+
+def test_run_accuracy_outcome_fields():
+    spec = bug("pbzip2-n/a")
+    o = run_accuracy(spec)
+    assert o.diagnosed and o.exact
+    assert o.f1 == 1.0
+    assert o.ordering_accuracy == 100.0
+    assert o.bug_kind == "order-violation"
+
+
+def test_overhead_measurement_positive():
+    spec = bug("pbzip2-n/a")
+    m = measure_tracing_overhead(spec, seeds=2)
+    assert len(m.fractions) == 2
+    assert 0 < m.mean_percent < 5
+    assert m.peak_percent >= m.mean_percent
+
+
+def test_render_table_alignment():
+    text = render_table("T", ["col", "value"], [["a", 1.5], ["bbb", 2]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "col" in lines[2] and "|" in lines[2]
+    data_lines = [lines[2]] + lines[4:]  # header + rows (skip separator)
+    assert len({line.index("|") for line in data_lines}) == 1  # aligned
+
+
+def test_render_series():
+    text = render_series("S", [(2, 1.0), (4, 2.0)])
+    assert "2: 1.00" in text
+
+
+def test_server_app_builds_for_any_thread_count():
+    for n in (1, 2, 16):
+        m = build_server_app(n)
+        result = Machine(m).run("main", (2, 10_000))
+        assert result.outcome == "success"
+        assert len(result.thread_stats) == n + 1

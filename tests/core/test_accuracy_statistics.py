@@ -1,0 +1,108 @@
+"""Kendall-tau ordering accuracy and F1 statistical diagnosis."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.accuracy import kendall_tau_distance, ordering_accuracy
+from repro.core.patterns import PatternComputation, PatternInstance, PatternSignature
+from repro.core.statistics import cap_successful, observe, score_patterns
+
+
+def test_kendall_identity():
+    assert kendall_tau_distance([1, 2, 3], [1, 2, 3]) == 0
+
+
+def test_kendall_single_swap():
+    # the paper's example: [I1,I2,I3] vs [I1,I3,I2] -> distance 1
+    assert kendall_tau_distance([1, 2, 3], [1, 3, 2]) == 1
+
+
+def test_kendall_full_reversal():
+    assert kendall_tau_distance([1, 2, 3], [3, 2, 1]) == 3
+
+
+def test_ordering_accuracy_exact():
+    assert ordering_accuracy([5, 9], [5, 9]) == 100.0
+    assert ordering_accuracy([5, 9, 2], [5, 9, 2]) == 100.0
+
+
+def test_ordering_accuracy_swapped():
+    assert ordering_accuracy([9, 5], [5, 9]) == 0.0
+
+
+def test_ordering_accuracy_penalizes_missing():
+    # diagnosing only one of two events cannot score 100%
+    assert ordering_accuracy([5], [5, 9]) < 100.0
+
+
+@given(st.permutations(list(range(5))))
+def test_ordering_accuracy_bounds(perm):
+    acc = ordering_accuracy(list(perm), list(range(5)))
+    assert 0.0 <= acc <= 100.0
+    if list(perm) == list(range(5)):
+        assert acc == 100.0
+
+
+def _sig(kind, events, shape):
+    return PatternSignature(kind, tuple(events), shape)
+
+
+def _observation(label, failing, sigs):
+    comp = PatternComputation()
+    for s in sigs:
+        comp.patterns.append(PatternInstance(s, (None,), 1))
+    return observe(label, failing, comp)
+
+
+def test_f1_perfect_pattern():
+    root = _sig("WR", [(10, "W"), (20, "R")], "ab")
+    noise = _sig("WR", [(11, "W"), (20, "R")], "ab")
+    obs = [_observation("fail", True, [root, noise])]
+    obs += [_observation(f"ok{i}", False, [noise]) for i in range(5)]
+    scored = score_patterns(obs)
+    assert scored[0].signature == root
+    assert scored[0].f1 == 1.0
+    assert scored[0].precision == 1.0 and scored[0].recall == 1.0
+    noise_score = next(s for s in scored if s.signature == noise)
+    assert noise_score.f1 < 1.0
+
+
+def test_f1_tie_breaks_toward_fewer_events():
+    pair = _sig("WR", [(10, "W"), (20, "R")], "ab")
+    triple = _sig("RWR", [(9, "R"), (10, "W"), (20, "R")], "aba")
+    obs = [_observation("fail", True, [pair, triple])]
+    obs += [_observation(f"ok{i}", False, []) for i in range(3)]
+    scored = score_patterns(obs)
+    assert scored[0].signature == pair  # simpler explanation wins ties
+
+
+def test_f1_pattern_absent_in_failing_scores_zero():
+    sig = _sig("RW", [(1, "R"), (2, "W")], "ab")
+    obs = [
+        _observation("fail", True, []),
+        _observation("ok", False, [sig]),
+    ]
+    scored = score_patterns(obs)
+    s = next(x for x in scored if x.signature == sig)
+    assert s.f1 == 0.0
+
+
+def test_no_failing_traces_gives_nothing():
+    sig = _sig("WR", [(1, "W"), (2, "R")], "ab")
+    assert score_patterns([_observation("ok", False, [sig])]) == []
+
+
+def test_cap_successful_enforces_10x():
+    fail = _observation("f", True, [])
+    oks = [_observation(f"ok{i}", False, []) for i in range(25)]
+    capped = cap_successful([fail] + oks)
+    assert sum(1 for o in capped if o.failing) == 1
+    assert sum(1 for o in capped if not o.failing) == 10
+
+
+def test_signature_is_hashable_identity():
+    a = _sig("WR", [(1, "W"), (2, "R")], "ab")
+    b = _sig("WR", [(1, "W"), (2, "R")], "ab")
+    c = _sig("WR", [(1, "W"), (3, "R")], "ab")
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert "WR" in str(a)

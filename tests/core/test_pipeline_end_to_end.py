@@ -1,0 +1,174 @@
+"""Lazy Diagnosis pipeline end-to-end on a small controlled program,
+including stage ablations (PipelineConfig) and report contents."""
+
+import random
+
+import pytest
+
+from repro.core import LazyDiagnosis, PipelineConfig
+from repro.ir import parse_module
+from repro.runtime import SnorlaxClient, SnorlaxServer
+
+SRC = """
+module uaf
+struct Res { data: i64, refs: i64 }
+global g_res: ptr<Res> = null
+
+func reader(iters: i64, d: i64) -> void {
+entry:
+  %i = alloca i64
+  store 0, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = cmp lt %iv, %iters
+  cbr %c, body, done
+body:
+  delay %d
+  %r = load @g_res
+  %f = fieldaddr %r, data
+  %v = load %f            @ app.c:20
+  %ok = cmp ge %v, 0
+  cbr %ok, cont, cont
+cont:
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  ret
+}
+
+func main(d_run: i64, iters: i64, d: i64) -> void {
+entry:
+  %r = malloc Res
+  %f = fieldaddr %r, data
+  store 1, %f
+  %ok = cmp ge 1, 0
+  cbr %ok, go, go
+go:
+  %t = spawn @reader(%iters, %d)
+  delay %d_run
+  %r2 = load @g_res
+  free %r2                @ app.c:40
+  join %t
+  ret
+}
+"""
+# note: main never stores to g_res above -> reader would read null.
+SRC = SRC.replace(
+    "  %ok = cmp ge 1, 0\n",
+    "  store %r, @g_res\n  %ok = cmp ge 1, 0\n",
+)
+
+
+def _workload(seed):
+    rng = random.Random(seed)
+    d = 300_000
+    k = rng.randint(2, 6)
+    return (k * d + rng.randint(30_000, 200_000), 5, d)
+
+
+@pytest.fixture(scope="module")
+def diagnosis_inputs():
+    m = parse_module(SRC)
+    client = SnorlaxClient(m, _workload)
+    failing = client.find_runs(True, 1)[0]
+    server = SnorlaxServer(m)
+    failing_sample = server.sample_from_run("failure", failing)
+    successes = server.collect_successful_traces(
+        client, failing.failure.failing_uid, 10_000
+    )
+    return m, failing_sample, successes
+
+
+def _uids(m):
+    free_uid = next(i.uid for i in m.instructions() if i.opcode == "free")
+    read_uid = next(
+        i.uid for i in m.instructions() if i.loc and i.loc.line == 20
+    )
+    return free_uid, read_uid
+
+
+def test_full_pipeline_diagnoses_uaf(diagnosis_inputs):
+    m, failing_sample, successes = diagnosis_inputs
+    report = LazyDiagnosis(m).diagnose([failing_sample], successes)
+    free_uid, read_uid = _uids(m)
+    assert report.bug_kind == "order-violation"
+    assert report.root_cause.f1 == 1.0
+    assert report.ordered_target_uids() == [free_uid, read_uid]
+    assert report.unambiguous
+    rendered = report.render()
+    assert "app.c:40" in rendered and "app.c:20" in rendered
+    assert "F1=1.000" in rendered
+
+
+def test_report_target_events_have_threads_and_roles(diagnosis_inputs):
+    m, failing_sample, successes = diagnosis_inputs
+    report = LazyDiagnosis(m).diagnose([failing_sample], successes)
+    roles = [e.role for e in report.target_events]
+    assert roles == ["W", "R"]
+    slots = [e.thread_slot for e in report.target_events]
+    assert slots == [0, 1]
+    assert report.target_events[0].function == "main"
+    assert report.target_events[1].function == "reader"
+
+
+def test_stage_stats_funnel(diagnosis_inputs):
+    m, failing_sample, successes = diagnosis_inputs
+    report = LazyDiagnosis(m).diagnose([failing_sample], successes)
+    st = report.stage_stats
+    assert st.program_instructions >= st.executed_instructions > 0
+    assert st.alias_candidates >= st.rank1_candidates >= 1
+    assert st.patterns_top_f1 == 1
+    assert st.analysis_seconds > 0
+    reductions = st.reductions()
+    assert reductions["trace_processing"] >= 1.0
+
+
+def test_ablation_no_scope_restriction(diagnosis_inputs):
+    m, failing_sample, successes = diagnosis_inputs
+    cfg = PipelineConfig(scope_restriction=False)
+    report = LazyDiagnosis(m, cfg).diagnose([failing_sample], successes)
+    free_uid, read_uid = _uids(m)
+    # still correct, but the analysis had to chew the whole program
+    assert report.ordered_target_uids() == [free_uid, read_uid]
+
+
+def test_ablation_no_type_ranking(diagnosis_inputs):
+    m, failing_sample, successes = diagnosis_inputs
+    cfg = PipelineConfig(type_ranking=False)
+    report = LazyDiagnosis(m, cfg).diagnose([failing_sample], successes)
+    assert report.stage_stats.rank1_candidates == 0  # everything rank 2
+    free_uid, read_uid = _uids(m)
+    assert report.ordered_target_uids() == [free_uid, read_uid]
+
+
+def test_ablation_no_statistics_uses_failing_only(diagnosis_inputs):
+    m, failing_sample, successes = diagnosis_inputs
+    cfg = PipelineConfig(statistical_diagnosis=False)
+    report = LazyDiagnosis(m, cfg).diagnose([failing_sample], successes)
+    # without successful traces, several candidate patterns survive
+    assert report.ranked_patterns
+
+
+def test_ablation_no_patterns(diagnosis_inputs):
+    m, failing_sample, successes = diagnosis_inputs
+    cfg = PipelineConfig(pattern_computation=False)
+    report = LazyDiagnosis(m, cfg).diagnose([failing_sample], successes)
+    assert report.root_cause is None
+    assert not report.diagnosed
+
+
+def test_requires_failing_trace(diagnosis_inputs):
+    m, _, successes = diagnosis_inputs
+    from repro.errors import DiagnosisError
+
+    with pytest.raises(DiagnosisError):
+        LazyDiagnosis(m).diagnose([], successes)
+
+
+def test_steensgaard_config_still_diagnoses(diagnosis_inputs):
+    m, failing_sample, successes = diagnosis_inputs
+    cfg = PipelineConfig(algorithm="steensgaard")
+    report = LazyDiagnosis(m, cfg).diagnose([failing_sample], successes)
+    assert report.diagnosed

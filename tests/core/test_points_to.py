@@ -1,0 +1,202 @@
+"""Points-to analyses: Andersen precision, Steensgaard soundness,
+scope restriction."""
+
+from repro.core import PointsToAnalysis, generate_constraints
+from repro.core.andersen import solve as andersen_solve
+from repro.core.steensgaard import solve as steensgaard_solve
+from repro.ir import parse_module
+
+SRC = """
+module t
+struct Node { value: i64, next: ptr<Node> }
+
+global g_head: ptr<Node> = null
+global g_other: ptr<i64> = null
+
+func main() -> void {
+entry:
+  %a = malloc Node
+  %b = malloc Node
+  %x = malloc i64
+  store %a, @g_head
+  %nf = fieldaddr %a, next
+  store %b, %nf
+  store %x, @g_other
+  %h = load @g_head
+  %hn = fieldaddr %h, next
+  %second = load %hn
+  %o = load @g_other
+  ret
+}
+"""
+
+
+def _named_insts(m):
+    return {i.name: i for i in m.instructions() if i.name}
+
+
+def test_andersen_basic_facts():
+    m = parse_module(SRC)
+    analysis = PointsToAnalysis(m).run()
+    insts = _named_insts(m)
+    pts_a = analysis.points_to(insts["a"])
+    assert len(pts_a) == 1 and next(iter(pts_a)).kind == "heap"
+    # h = load g_head -> may point to the node stored there
+    assert analysis.may_alias(insts["h"], insts["a"])
+    # second = load h->next -> points to b
+    assert analysis.may_alias(insts["second"], insts["b"])
+    # the i64 allocation stays separate from the Node chain
+    assert not analysis.may_alias(insts["o"], insts["a"])
+    assert analysis.may_alias(insts["o"], insts["x"])
+
+
+def test_andersen_distinguishes_sites():
+    m = parse_module(SRC)
+    analysis = PointsToAnalysis(m).run()
+    insts = _named_insts(m)
+    assert not analysis.may_alias(insts["a"], insts["b"])
+
+
+def test_steensgaard_sound_but_coarser():
+    m = parse_module(SRC)
+    system = generate_constraints(m)
+    a_result = andersen_solve(system)
+    s_result = steensgaard_solve(system)
+    insts = _named_insts(m)
+    for name in ("a", "b", "h", "second", "o", "x"):
+        v = insts[name]
+        assert a_result.points_to(v) <= s_result.points_to(v), name
+
+
+def test_scope_restriction_limits_constraints():
+    m = parse_module(SRC)
+    main_uids = {i.uid for i in m.function("main").instructions()}
+    partial = set(list(sorted(main_uids))[:4])
+    narrow = PointsToAnalysis(m, executed_uids=partial).run()
+    full = PointsToAnalysis(m).run()
+    assert narrow.stats.instructions_analyzed == 4
+    assert full.stats.instructions_analyzed == len(main_uids)
+    assert narrow.stats.scope_reduction > full.stats.scope_reduction
+
+
+def test_interprocedural_params_and_returns():
+    src = """
+module t
+func id(p: ptr<i64>) -> ptr<i64> {
+entry:
+  ret %p
+}
+func main() -> void {
+entry:
+  %x = malloc i64
+  %y = call @id(%x)
+  %v = load %y
+  ret
+}
+"""
+    m = parse_module(src)
+    analysis = PointsToAnalysis(m).run()
+    insts = _named_insts(m)
+    assert analysis.may_alias(insts["x"], insts["y"])
+
+
+def test_indirect_call_resolution():
+    src = """
+module t
+global g_fn: fn(ptr<i64>) -> ptr<i64>
+func id(p: ptr<i64>) -> ptr<i64> {
+entry:
+  ret %p
+}
+func main() -> void {
+entry:
+  store @id, @g_fn
+  %x = malloc i64
+  %f = load @g_fn
+  %y = call %f(%x)
+  ret
+}
+"""
+    m = parse_module(src)
+    analysis = PointsToAnalysis(m).run()
+    insts = _named_insts(m)
+    assert analysis.may_alias(insts["x"], insts["y"])
+
+
+def test_spawn_binds_arguments():
+    src = """
+module t
+func worker(p: ptr<i64>) -> void {
+entry:
+  %v = load %p
+  ret
+}
+func main() -> void {
+entry:
+  %x = malloc i64
+  %t = spawn @worker(%x)
+  join %t
+  ret
+}
+"""
+    m = parse_module(src)
+    analysis = PointsToAnalysis(m).run()
+    worker = m.function("worker")
+    p = worker.param("p")
+    insts = _named_insts(m)
+    assert analysis.points_to(p) & analysis.points_to(insts["x"])
+
+
+def test_global_initializer_constraint():
+    src = """
+module t
+global g_a: i64
+global g_p: ptr<i64> = null
+func main() -> void {
+entry:
+  store @g_a, @g_p
+  %v = load @g_p
+  ret
+}
+"""
+    m = parse_module(src)
+    analysis = PointsToAnalysis(m).run()
+    insts = _named_insts(m)
+    objs = analysis.points_to(insts["v"])
+    assert any(o.name == "g_a" for o in objs)
+
+
+def test_field_insensitivity_collapses_fields():
+    # fieldaddr results alias the whole base object
+    src = """
+module t
+struct S { a: i64, b: i64 }
+func main() -> void {
+entry:
+  %s = malloc S
+  %fa = fieldaddr %s, a
+  %fb = fieldaddr %s, b
+  ret
+}
+"""
+    m = parse_module(src)
+    analysis = PointsToAnalysis(m).run()
+    insts = _named_insts(m)
+    assert analysis.may_alias(insts["fa"], insts["fb"])
+
+
+def test_unknown_algorithm_rejected():
+    import pytest
+
+    m = parse_module(SRC)
+    with pytest.raises(ValueError):
+        PointsToAnalysis(m, algorithm="magic")
+
+
+def test_query_before_run_rejected():
+    import pytest
+
+    m = parse_module(SRC)
+    analysis = PointsToAnalysis(m)
+    with pytest.raises(RuntimeError):
+        analysis.points_to(next(m.instructions()))

@@ -1,0 +1,62 @@
+"""App kit: profiles, cold-code synthesis, warm helpers."""
+
+from repro.corpus.appkit import PROFILES, add_cold_code, add_warm_worker, profile
+from repro.ir import IRBuilder, Module
+from repro.sim import Machine
+
+
+def test_profiles_cover_13_systems():
+    assert len(PROFILES) == 13
+    assert profile("mysql").kloc == 650
+    assert profile("aget").language == "C/C++"
+    assert profile("jdk").language == "Java"
+
+
+def test_cold_function_count_scales():
+    assert profile("mysql").cold_function_count > profile("memcached").cold_function_count
+    assert profile("pbzip2").cold_function_count >= 2
+
+
+def test_cold_code_builds_and_verifies():
+    m = Module("t")
+    b = IRBuilder(m)
+    n = add_cold_code(m, b, profile("memcached"))
+    # needs at least one runnable entry to finalize around
+    b.begin_function("main", __import__("repro.ir.types", fromlist=["VOID"]).VOID, [])
+    b.ret()
+    m.finalize()
+    assert n == profile("memcached").cold_function_count
+    cold_fns = [f for f in m.functions.values() if f.name.startswith("memcached_cold_")]
+    assert len(cold_fns) == n
+
+
+def test_cold_code_deterministic():
+    def build():
+        m = Module("t")
+        b = IRBuilder(m)
+        add_cold_code(m, b, profile("sqlite"))
+        from repro.ir.types import VOID
+
+        b.begin_function("main", VOID, [])
+        b.ret()
+        m.finalize()
+        from repro.ir import print_module
+
+        return print_module(m)
+
+    assert build() == build()
+
+
+def test_warm_worker_executes_with_branches():
+    from repro.ir.types import I64, VOID
+
+    m = Module("t")
+    b = IRBuilder(m)
+    add_warm_worker(b, "spin", "x.c", 10)
+    b.begin_function("main", VOID, [])
+    b.call("spin", [b.i64(5)])
+    b.ret()
+    m.finalize()
+    r = Machine(m).run("main")
+    assert r.outcome == "success"
+    assert r.total_branches() >= 3  # the warm loop's conditionals

@@ -1,0 +1,30 @@
+"""Extension: Lazy Diagnosis on bugs beyond the paper's 11-bug C/C++ set.
+
+The paper evaluates Snorlax only on C/C++ systems; nothing in Lazy
+Diagnosis is language-specific (ARM ETM / JVM traces would serve, §2.3).
+Our Java app models run on the same substrate, so the pipeline should
+diagnose them identically — a future-work claim we can actually test.
+"""
+
+import pytest
+
+from repro.bench import run_accuracy
+from repro.corpus import bug
+
+EXTRA_BUGS = [
+    "jdk-7011862",    # Java, RW read-before-init
+    "derby-2861",     # Java, RWR
+    "log4j-1507",     # Java, WR use-after-free
+    "dbcp-44",        # Java, deadlock
+    "mysql-2011",     # C/C++ deadlock outside the 11-bug eval set
+    "memcached-271",  # C/C++ RW outside the eval set
+]
+
+
+@pytest.mark.parametrize("bug_id", EXTRA_BUGS)
+def test_diagnosis_beyond_eval_set(bug_id):
+    outcome = run_accuracy(bug(bug_id))
+    assert outcome.diagnosed, f"{bug_id}: no diagnosis"
+    assert outcome.exact, f"{bug_id}: wrong events/order"
+    assert outcome.f1 == 1.0
+    assert outcome.ordering_accuracy == 100.0

@@ -1,0 +1,85 @@
+"""Corpus registry invariants: 54 bugs, 13 systems, the paper's split."""
+
+import pytest
+
+from repro.corpus import all_bugs, bug, bugs_by_system, snorlax_bugs, systems, table_bugs
+from repro.errors import CorpusError
+
+
+def test_54_bugs_total():
+    assert len(all_bugs()) == 54
+
+
+def test_13_systems():
+    assert len(systems()) == 13
+    assert set(systems()) == {
+        "mysql", "httpd", "memcached", "sqlite", "transmission", "pbzip2",
+        "aget", "jdk", "derby", "groovy", "dbcp", "log4j", "lucene",
+    }
+
+
+def test_table_split_matches_paper_structure():
+    assert len(table_bugs(1)) == 9  # deadlocks
+    assert len(table_bugs(2)) == 18  # order violations
+    assert len(table_bugs(3)) == 27  # atomicity violations
+    for spec in table_bugs(1):
+        assert spec.ground_truth.pattern == "deadlock"
+    for spec in table_bugs(2):
+        assert spec.ground_truth.pattern in ("WR", "RW", "WW")
+    for spec in table_bugs(3):
+        assert spec.ground_truth.pattern in ("RWR", "WWR", "RWW", "WRW")
+
+
+def test_snorlax_eval_set_is_the_papers_11():
+    evals = snorlax_bugs()
+    assert len(evals) == 11
+    assert {s.bug_id for s in evals} == {
+        "pbzip2-n/a", "aget-n/a", "transmission-1818", "memcached-127",
+        "httpd-25520", "httpd-21287", "mysql-169", "mysql-644",
+        "mysql-791", "mysql-3596", "sqlite-1672",
+    }
+    # the paper evaluates Snorlax only on C/C++ systems
+    assert all(s.language == "C/C++" for s in evals)
+
+
+def test_java_systems_in_cih_study_only():
+    java = [s for s in all_bugs() if s.language == "Java"]
+    assert java and all(not s.snorlax_eval for s in java)
+    assert {s.system for s in java} == {
+        "jdk", "derby", "groovy", "dbcp", "log4j", "lucene",
+    }
+
+
+def test_bug_ids_unique():
+    ids = [s.bug_id for s in all_bugs()]
+    assert len(ids) == len(set(ids))
+
+
+def test_lookup_by_id_and_system():
+    spec = bug("pbzip2-n/a")
+    assert spec.system == "pbzip2"
+    assert len(bugs_by_system("mysql")) == 8
+    with pytest.raises(CorpusError):
+        bug("nonexistent-1")
+
+
+def test_every_bug_has_dt_targets_in_band():
+    for spec in all_bugs():
+        assert spec.target_dt_us
+        for dt in spec.target_dt_us:
+            assert 100 <= dt <= 4600, spec.bug_id
+
+
+def test_atomicity_bugs_declare_two_gaps():
+    for spec in table_bugs(3):
+        assert len(spec.target_dt_us) == 2
+    for spec in table_bugs(1) + table_bugs(2):
+        assert len(spec.target_dt_us) == 1
+
+
+def test_module_cached_but_fresh_builds_differ():
+    spec = bug("aget-n/a")
+    assert spec.module() is spec.module()
+    fresh = spec.fresh_module()
+    assert fresh is not spec.module()
+    assert fresh.instruction_count() == spec.module().instruction_count()

@@ -1,0 +1,152 @@
+"""Instruction construction and type checking."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir import (
+    Assert,
+    BinOp,
+    Cmp,
+    Constant,
+    Delay,
+    FieldAddr,
+    Free,
+    IndexAddr,
+    Load,
+    Lock,
+    Module,
+    NullPointer,
+    Store,
+    Unlock,
+)
+from repro.ir.instructions import Alloca, Malloc, SourceLoc
+from repro.ir.types import I1, I64, LOCK, ArrayType, StructType, ptr
+
+
+def _ptr_value(pointee):
+    return Alloca(pointee, "p")
+
+
+def test_load_result_type_is_pointee():
+    p = _ptr_value(I64)
+    load = Load(p, "v")
+    assert load.ty == I64
+    assert load.is_memory_read and not load.is_memory_write
+    assert load.pointer_operand() is p
+
+
+def test_load_of_aggregate_rejected():
+    st = StructType("S", [("x", I64)])
+    p = _ptr_value(st)
+    with pytest.raises(IRTypeError):
+        Load(p)
+
+
+def test_store_type_checked():
+    p = _ptr_value(I64)
+    Store(Constant(I64, 1), p)  # fine
+    with pytest.raises(IRTypeError):
+        Store(Constant(I1, 1), p)
+
+
+def test_store_classification():
+    p = _ptr_value(I64)
+    s = Store(Constant(I64, 1), p)
+    assert s.is_memory_write
+    assert s.pointer_operand() is p
+
+
+def test_fieldaddr_offset_and_type():
+    st = StructType("S", [("a", I64), ("b", I64)])
+    p = _ptr_value(st)
+    fa = FieldAddr(p, "b")
+    assert fa.offset == 8
+    assert fa.ty == ptr(I64)
+    with pytest.raises(IRTypeError):
+        FieldAddr(p, "zz")
+
+
+def test_fieldaddr_requires_struct_pointer():
+    p = _ptr_value(I64)
+    with pytest.raises(IRTypeError):
+        FieldAddr(p, "a")
+
+
+def test_indexaddr_on_array_and_scalar():
+    arr_p = _ptr_value(ArrayType(I64, 4))
+    ia = IndexAddr(arr_p, Constant(I64, 2))
+    assert ia.ty == ptr(I64)
+    scalar_p = _ptr_value(I64)
+    ia2 = IndexAddr(scalar_p, Constant(I64, 1))
+    assert ia2.ty == ptr(I64)
+    with pytest.raises(IRTypeError):
+        IndexAddr(arr_p, NullPointer(ptr(I64)))
+
+
+def test_binop_requires_matching_types():
+    with pytest.raises(IRTypeError):
+        BinOp("add", Constant(I64, 1), Constant(I1, 1))
+    with pytest.raises(IRTypeError):
+        BinOp("nonsense", Constant(I64, 1), Constant(I64, 2))
+
+
+def test_cmp_produces_i1():
+    c = Cmp("lt", Constant(I64, 1), Constant(I64, 2))
+    assert c.ty == I1
+
+
+def test_lock_ops_require_lock_pointer():
+    lp = _ptr_value(LOCK)
+    Lock(lp)
+    Unlock(lp)
+    with pytest.raises(IRTypeError):
+        Lock(_ptr_value(I64))
+
+
+def test_free_pointer_operand():
+    p = _ptr_value(I64)
+    f = Free(p)
+    assert f.pointer_operand() is p
+
+
+def test_delay_requires_integer():
+    Delay(Constant(I64, 100))
+    with pytest.raises(IRTypeError):
+        Delay(NullPointer(ptr(I64)))
+
+
+def test_assert_requires_i1():
+    Assert(Cmp("eq", Constant(I64, 1), Constant(I64, 1)), "msg")
+    with pytest.raises(IRTypeError):
+        Assert(Constant(I64, 1))
+
+
+def test_malloc_with_count():
+    m = Malloc(I64, Constant(I64, 8), "buf")
+    assert m.count is not None
+    assert m.is_allocation
+    assert Malloc(I64).count is None
+
+
+def test_source_loc():
+    loc = SourceLoc("a.c", 12)
+    assert str(loc) == "a.c:12"
+    assert loc == SourceLoc("a.c", 12)
+    assert loc != SourceLoc("a.c", 13)
+    assert hash(loc) == hash(SourceLoc("a.c", 12))
+
+
+def test_call_arity_and_types_checked():
+    from repro.ir.instructions import Call
+    from repro.ir.values import FunctionRef
+
+    m = Module("t")
+    fn = m.add_function("f", I64, [("x", I64)])
+    ref = FunctionRef(fn)
+    call = Call(ref, [Constant(I64, 3)])
+    assert call.ty == I64
+    assert call.is_direct
+    with pytest.raises(IRTypeError):
+        Call(ref, [])
+    with pytest.raises(IRTypeError):
+        Call(ref, [Constant(I1, 0)])

@@ -1,0 +1,129 @@
+"""Textual IR: print/parse round trips and error reporting."""
+
+import pytest
+
+from repro.errors import IRParseError
+from repro.ir import Module, IRBuilder, parse_module, print_module
+from repro.ir.types import I64, LOCK, VOID, ptr
+
+SRC = """
+module demo
+
+struct Queue { head: i64, tail: i64, mut: lock }
+
+global g_fifo: ptr<Queue> = null
+global g_count: i64 = 3
+
+func worker(q: ptr<Queue>, n: i64) -> i64 {
+entry:
+  %acc = alloca i64
+  store 0, %acc
+  br loop
+loop:
+  %a = load %acc
+  %c = cmp lt %a, %n
+  cbr %c, body, done
+body:
+  %h = fieldaddr %q, head   @ demo.c:10
+  %v = load %h
+  %a2 = add %a, 1
+  store %a2, %acc
+  br loop
+done:
+  ret %a
+}
+
+func main() -> void {
+entry:
+  %q = malloc Queue
+  %m = fieldaddr %q, mut
+  lockinit %m
+  lock %m
+  store %q, @g_fifo
+  unlock %m
+  %t = spawn @worker(%q, 5)
+  join %t
+  %r = call @worker(%q, 2)
+  delay 1000
+  free %q
+  ret
+}
+"""
+
+
+def test_parse_then_print_round_trips():
+    m = parse_module(SRC)
+    text1 = print_module(m)
+    m2 = parse_module(text1)
+    assert print_module(m2) == text1
+
+
+def test_parse_builds_expected_structure():
+    m = parse_module(SRC)
+    assert set(m.functions) == {"worker", "main"}
+    assert set(m.globals) == {"g_fifo", "g_count"}
+    q = m.struct("Queue")
+    assert [f.name for f in q.fields] == ["head", "tail", "mut"]
+    worker = m.function("worker")
+    assert [b.name for b in worker.blocks] == ["entry", "loop", "body", "done"]
+
+
+def test_parse_preserves_locations():
+    m = parse_module(SRC)
+    located = [i for i in m.instructions() if i.loc is not None]
+    assert any(i.loc.file == "demo.c" and i.loc.line == 10 for i in located)
+
+
+def test_parse_global_initializers():
+    m = parse_module(SRC)
+    from repro.ir.values import Constant, NullPointer
+
+    assert isinstance(m.global_var("g_fifo").initializer, NullPointer)
+    init = m.global_var("g_count").initializer
+    assert isinstance(init, Constant) and init.value == 3
+
+
+def test_builder_module_round_trips():
+    m = Module("built")
+    st = m.add_struct("S", [("a", I64), ("l", LOCK)])
+    m.add_global("g", ptr(st))
+    b = IRBuilder(m)
+    b.begin_function("f", VOID, [("p", ptr(st))])
+    x = b.load_field(b.param("p"), "a")
+    cond = b.cmp("ge", x, 0)
+    with b.if_then(cond):
+        b.store_field(1, b.param("p"), "a")
+    b.ret()
+    m.finalize()
+    text = print_module(m)
+    assert print_module(parse_module(text)) == text
+
+
+@pytest.mark.parametrize(
+    "bad, message_part",
+    [
+        ("", "empty input"),
+        ("func f() -> void {\nentry:\n ret\n}", "module"),
+        ("module m\nfunc f() -> void {\nentry:\n  %x = load %nope\n  ret\n}", "unknown value"),
+        ("module m\nfunc f() -> void {\nentry:\n  br nowhere\n}", "unknown label"),
+        ("module m\nglobal g: wat", "unknown type"),
+        ("module m\nfunc f() -> void {\nentry:\n  zorp %x\n  ret\n}", "unknown instruction"),
+    ],
+)
+def test_parse_errors(bad, message_part):
+    with pytest.raises(IRParseError) as err:
+        parse_module(bad)
+    assert message_part in str(err.value)
+
+
+def test_comments_stripped():
+    src = """
+module m
+# a comment line
+func f() -> void {   ; trailing comment
+entry:
+  ret            # another
+}
+"""
+    m = parse_module(src)
+    assert "f" in m.functions

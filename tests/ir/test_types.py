@@ -1,0 +1,129 @@
+"""IR type system: equality, sizing, layout."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir.types import (
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    LOCK,
+    THREAD,
+    VOID,
+    WORD_SIZE,
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    ptr,
+)
+
+
+def test_int_types_equal_by_width():
+    assert IntType(64) == I64
+    assert IntType(32) != I64
+    assert hash(IntType(8)) == hash(I8)
+
+
+def test_int_width_bounds():
+    with pytest.raises(IRTypeError):
+        IntType(0)
+    with pytest.raises(IRTypeError):
+        IntType(128)
+
+
+def test_scalars_are_word_sized():
+    for ty in (I1, I8, I32, I64, F64, LOCK, THREAD, ptr(I64)):
+        assert ty.size() == WORD_SIZE
+
+
+def test_void_has_no_size():
+    with pytest.raises(IRTypeError):
+        VOID.size()
+
+
+def test_pointer_equality_is_structural():
+    assert ptr(I64) == ptr(I64)
+    assert ptr(I64) != ptr(I32)
+    assert ptr(ptr(I8)) == PointerType(PointerType(I8))
+
+
+def test_pointer_to_void_rejected():
+    with pytest.raises(IRTypeError):
+        PointerType(VOID)
+
+
+def test_struct_layout_offsets():
+    st = StructType("Pair", [("a", I64), ("b", I64), ("c", ptr(I8))])
+    assert st.size() == 3 * WORD_SIZE
+    assert st.field("a").offset == 0
+    assert st.field("b").offset == WORD_SIZE
+    assert st.field("c").offset == 2 * WORD_SIZE
+    assert st.field_index("c") == 2
+
+
+def test_struct_nominal_equality():
+    a = StructType("S", [("x", I64)])
+    b = StructType("S", [("x", I64), ("y", I64)])
+    assert a == b  # equality by name (nominal typing)
+    assert hash(a) == hash(b)
+
+
+def test_struct_unknown_field():
+    st = StructType("S", [("x", I64)])
+    with pytest.raises(IRTypeError):
+        st.field("nope")
+
+
+def test_struct_duplicate_field_rejected():
+    with pytest.raises(IRTypeError):
+        StructType("S", [("x", I64), ("x", I64)])
+
+
+def test_opaque_struct_has_no_size():
+    st = StructType("Opaque")
+    assert st.is_opaque
+    with pytest.raises(IRTypeError):
+        st.size()
+    st.set_body([("x", I64)])
+    assert st.size() == WORD_SIZE
+
+
+def test_recursive_struct_via_opaque():
+    node = StructType("Node")
+    node.set_body([("value", I64), ("next", PointerType(node))])
+    assert node.size() == 2 * WORD_SIZE
+    assert node.field("next").ty.pointee is node
+
+
+def test_array_type():
+    arr = ArrayType(I64, 10)
+    assert arr.size() == 10 * WORD_SIZE
+    assert ArrayType(I64, 10) == arr
+    assert ArrayType(I64, 9) != arr
+    with pytest.raises(IRTypeError):
+        ArrayType(I64, -1)
+
+
+def test_nested_aggregate_size():
+    inner = StructType("Inner", [("a", I64), ("b", I64)])
+    outer = StructType("Outer", [("x", inner), ("arr", ArrayType(I64, 3))])
+    assert outer.size() == 2 * WORD_SIZE + 3 * WORD_SIZE
+    assert outer.field("arr").offset == 2 * WORD_SIZE
+
+
+def test_function_type():
+    ft = FunctionType(I64, [I64, ptr(I8)])
+    assert ft == FunctionType(I64, [I64, ptr(I8)])
+    assert ft != FunctionType(VOID, [I64, ptr(I8)])
+    assert "fn(" in str(ft)
+
+
+def test_str_renderings():
+    assert str(I64) == "i64"
+    assert str(ptr(I32)) == "ptr<i32>"
+    assert str(ArrayType(I8, 4)) == "[4 x i8]"
+    assert str(LOCK) == "lock"

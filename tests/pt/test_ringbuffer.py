@@ -1,0 +1,55 @@
+"""Ring buffer: wraparound keeps exactly the newest bytes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pt.ringbuffer import RingBuffer
+
+
+def test_simple_write_and_snapshot():
+    rb = RingBuffer(16)
+    rb.write(b"hello")
+    assert rb.snapshot() == b"hello"
+    assert not rb.wrapped
+
+
+def test_wraparound_keeps_newest():
+    rb = RingBuffer(8)
+    rb.write(b"abcdefgh")
+    rb.write(b"XY")
+    assert rb.wrapped
+    assert rb.snapshot() == b"cdefghXY"
+
+
+def test_oversized_write():
+    rb = RingBuffer(4)
+    rb.write(b"0123456789")
+    assert rb.snapshot() == b"6789"
+
+
+def test_clear():
+    rb = RingBuffer(8)
+    rb.write(b"abc")
+    rb.clear()
+    assert rb.snapshot() == b""
+    assert rb.total_written == 0
+
+
+def test_capacity_positive():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+
+
+@given(
+    cap=st.integers(min_value=1, max_value=64),
+    chunks=st.lists(st.binary(min_size=0, max_size=40), max_size=30),
+)
+def test_snapshot_matches_suffix_of_history(cap, chunks):
+    rb = RingBuffer(cap)
+    history = b""
+    for chunk in chunks:
+        rb.write(chunk)
+        history += chunk
+    expected = history[-cap:] if len(history) > cap else history
+    assert rb.snapshot() == expected
+    assert rb.total_written == len(history)

@@ -1,0 +1,138 @@
+"""Client/server runtime: failure detection, trace collection policy,
+predecessor fallback, protocol messages."""
+
+import random
+
+import pytest
+
+from repro.ir import parse_module
+from repro.runtime import (
+    SnorlaxClient,
+    SnorlaxServer,
+    TraceRequest,
+    classify,
+)
+
+SRC = """
+module t
+struct Cfg { limit: i64 }
+global g_cfg: ptr<Cfg> = null
+
+func handler(d_poll: i64, d_use: i64) -> void {
+entry:
+  delay %d_poll
+  %p = load @g_cfg
+  %ok = cmp ne 0, 1
+  cbr %ok, use, use
+use:
+  delay %d_use
+  %f = fieldaddr %p, limit
+  %v = load %f          @ h.c:12
+  ret
+}
+
+func main(d_init: i64, d_poll: i64, d_use: i64) -> void {
+entry:
+  %t = spawn @handler(%d_poll, %d_use)
+  delay %d_init
+  %c = malloc Cfg
+  %f = fieldaddr %c, limit
+  store 10, %f
+  store %c, @g_cfg
+  %ok = cmp ne 0, 1
+  cbr %ok, fin, fin
+fin:
+  join %t
+  ret
+}
+"""
+
+
+def _workload(seed):
+    rng = random.Random(seed)
+    q = 200_000
+    d_init = 5 * q
+    k = rng.choice([-2, -1, 1, 2])
+    return (d_init, max(d_init + k * q, q), 4 * q)
+
+
+@pytest.fixture(scope="module")
+def module():
+    return parse_module(SRC)
+
+
+@pytest.fixture(scope="module")
+def client(module):
+    return SnorlaxClient(module, _workload)
+
+
+def test_find_runs_splits_by_outcome(client):
+    fails = client.find_runs(True, 3, start_seed=0)
+    oks = client.find_runs(False, 3, start_seed=0)
+    assert len(fails) == 3 and all(r.failed for r in fails)
+    assert len(oks) == 3 and all(not r.failed for r in oks)
+
+
+def test_failure_snapshot_taken_automatically(client):
+    run = client.find_runs(True, 1)[0]
+    assert run.snapshot is not None
+    assert run.snapshot.reason == "failure"
+    assert run.failure.kind == "crash"
+
+
+def test_classify_success_is_none(client):
+    run = client.find_runs(False, 1)[0]
+    assert classify(run.result) is None
+
+
+def test_untraced_run_matches_outcome(client):
+    run = client.find_runs(True, 1, start_seed=0)
+    base = client.run_untraced(run[0].seed)
+    assert base.outcome == run[0].result.outcome
+
+
+def test_server_collects_successful_traces(module, client):
+    failing = client.find_runs(True, 1)[0]
+    server = SnorlaxServer(module, success_traces_wanted=5)
+    samples = server.collect_successful_traces(
+        client, failing.failure.failing_uid, 5_000
+    )
+    assert len(samples) == 5
+    assert all(not s.failing for s in samples)
+    assert all(s.buffers for s in samples)
+    assert server.stats.success_traces == 5
+
+
+def test_server_end_to_end_diagnosis(module, client):
+    failing = client.find_runs(True, 1)[0]
+    server = SnorlaxServer(module)
+    report = server.diagnose_failure(failing, client)
+    assert report.diagnosed
+    read_uid = next(
+        i.uid for i in module.instructions() if i.loc and i.loc.line == 12
+    )
+    # read-before-init: the stale pointer read precedes the publication
+    diag = report.ordered_target_uids()
+    assert report.bug_kind == "order-violation"
+    assert report.root_cause.f1 == 1.0
+
+
+def test_handle_trace_request_protocol(module, client):
+    server = SnorlaxServer(module)
+    failing = client.find_runs(True, 1)[0]
+    req = TraceRequest(label="probe", seed=failing.seed, breakpoint_uids=())
+    resp = server.handle_trace_request(client, req)
+    assert resp.label == "probe"
+    assert resp.outcome in ("crash", "success", "assert")
+    if resp.sample is not None:
+        assert resp.sample.buffers
+
+
+def test_widen_breakpoints_returns_predecessors(module):
+    server = SnorlaxServer(module)
+    read_uid = next(
+        i.uid for i in module.instructions() if i.loc and i.loc.line == 12
+    )
+    widened = server._widen_breakpoints(read_uid)
+    assert widened[0] == read_uid
+    assert len(widened) > 1  # plus predecessor block anchors

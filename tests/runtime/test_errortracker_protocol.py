@@ -1,0 +1,65 @@
+"""Error tracker classification and protocol dataclasses."""
+
+from repro.ir import parse_module
+from repro.runtime import FailureNotification, TraceRequest, TraceResponse, classify
+from repro.sim import Machine
+
+
+def _result(src):
+    return Machine(parse_module(src)).run("main")
+
+
+def test_classify_crash():
+    code = classify(
+        _result(
+            """
+module t
+global g: ptr<i64> = null
+func main() -> void {
+entry:
+  %p = load @g
+  %v = load %p
+  ret
+}
+"""
+        )
+    )
+    assert code is not None
+    assert code.kind == "crash"
+    assert code.failing_tid == 1
+    assert code.report is not None
+
+
+def test_classify_deadlock():
+    code = classify(
+        _result(
+            """
+module t
+global mu: lock
+func main() -> void {
+entry:
+  lock @mu
+  lock @mu
+  ret
+}
+"""
+        )
+    )
+    assert code.kind == "deadlock"
+
+
+def test_classify_success_and_steplimit_are_none():
+    assert classify(_result("module t\nfunc main() -> void {\nentry:\n  ret\n}")) is None
+    m = parse_module("module t\nfunc main() -> void {\nentry:\n  br entry\n}")
+    r = Machine(m, max_steps=100).run("main")
+    assert r.outcome == "step-limit"
+    assert classify(r) is None  # harness outcome, not a guest failure
+
+
+def test_protocol_dataclasses():
+    req = TraceRequest(label="s1", seed=7, breakpoint_uids=(3, 4))
+    assert req.seed == 7
+    resp = TraceResponse(label="s1", outcome="success", sample=None)
+    assert resp.sample is None
+    note = FailureNotification(bug_hint="crash", failing_uid=9, failing_tid=2, time=100)
+    assert note.failing_uid == 9

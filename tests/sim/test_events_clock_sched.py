@@ -1,0 +1,106 @@
+"""Event log instrumentation, virtual clock, scheduler policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import parse_module
+from repro.sim import Machine, RandomScheduler
+from repro.sim.clock import CostModel, VirtualClock
+from repro.sim.events import EventLog, TargetEvent
+from repro.sim.scheduler import FixedOrderScheduler, Scheduler
+
+
+def test_clock_advances_monotonically():
+    clock = VirtualClock()
+    clock.advance(5)
+    clock.advance_to(3)  # never backwards
+    assert clock.now == 5
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_cost_model_overrides():
+    costs = CostModel(overrides={"load": 99})
+    assert costs.cost("load") == 99
+    assert costs.cost("store") == CostModel().store
+    assert costs.cost("whatever") == costs.default
+
+
+def test_event_log_records_watched_instructions():
+    src = """
+module t
+global g: i64 = 0
+func main() -> void {
+entry:
+  store 1, @g     @ t.c:5
+  %v = load @g    @ t.c:6
+  ret
+}
+"""
+    m = parse_module(src)
+    store_uid = next(i.uid for i in m.instructions() if i.opcode == "store")
+    load_uid = next(i.uid for i in m.instructions() if i.opcode == "load")
+    machine = Machine(m, watch_uids={store_uid, load_uid})
+    r = machine.run("main")
+    kinds = [(e.uid, e.kind) for e in r.event_log]
+    assert kinds == [(store_uid, "write"), (load_uid, "read")]
+    times = [e.time for e in r.event_log]
+    assert times == sorted(times)
+    assert all(e.address is not None for e in r.event_log)
+
+
+def test_event_log_gaps():
+    log = EventLog()
+    log.record(TargetEvent(1, 1, 100, "write", 0x1000))
+    log.record(TargetEvent(2, 2, 400, "read", 0x1000))
+    log.record(TargetEvent(3, 1, 900, "write", 0x1000))
+    assert log.gaps([1, 2, 3]) == [300, 500]
+    assert log.gaps([3, 1]) is None  # never in that order
+    assert log.first(2).time == 400
+    assert log.last(1).uid == 1
+
+
+def test_round_robin_scheduler_deterministic():
+    s = Scheduler()
+    picks = [s.pick([1, 2, 3])[0] for _ in range(6)]
+    assert picks == [1, 2, 3, 1, 2, 3]
+
+
+def test_random_scheduler_reproducible():
+    s1 = RandomScheduler(seed=5)
+    s2 = RandomScheduler(seed=5)
+    seq1 = [s1.pick([1, 2, 3]) for _ in range(20)]
+    seq2 = [s2.pick([1, 2, 3]) for _ in range(20)]
+    assert seq1 == seq2
+    s1.reset()
+    assert [s1.pick([1, 2, 3]) for _ in range(20)] == seq1
+
+
+def test_random_scheduler_quantum_positive():
+    s = RandomScheduler(seed=1, mean_quantum=4)
+    for _ in range(100):
+        tid, quantum = s.pick([1, 2])
+        assert tid in (1, 2)
+        assert quantum >= 1
+
+
+def test_fixed_order_scheduler_script_then_rr():
+    s = FixedOrderScheduler([(2, 3), (1, 1)])
+    assert s.pick([1, 2]) == (2, 3)
+    assert s.pick([1, 2]) == (1, 1)
+    # exhausted: falls back to round-robin
+    tid, q = s.pick([1, 2])
+    assert tid in (1, 2) and q == 1
+
+
+def test_scheduler_rejects_empty():
+    with pytest.raises(ValueError):
+        Scheduler().pick([])
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_random_scheduler_any_seed(seed):
+    s = RandomScheduler(seed=seed)
+    tid, quantum = s.pick([4, 9])
+    assert tid in (4, 9)
+    assert 1 <= quantum <= 16 * s.mean_quantum

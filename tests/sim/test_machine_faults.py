@@ -1,0 +1,162 @@
+"""Fail-stop faults: what the error tracker will see."""
+
+from repro.ir import parse_module
+from repro.sim import CrashReport, Machine
+
+
+def run(src, args=()):
+    return Machine(parse_module(src)).run("main", args)
+
+
+def test_null_deref_crash_carries_operand():
+    r = run(
+        """
+module t
+struct S { x: i64 }
+global g: ptr<S> = null
+func main() -> void {
+entry:
+  %p = load @g
+  %f = fieldaddr %p, x
+  %v = load %f      @ app.c:10
+  ret
+}
+"""
+    )
+    assert r.outcome == "crash"
+    assert isinstance(r.failure, CrashReport)
+    assert r.failure.fault_kind == "null"
+    assert r.failure.operand_value == 0
+    instr = None  # failing uid maps back to the IR
+    assert r.failure.failing_uid > 0
+
+
+def test_use_after_free_crash():
+    r = run(
+        """
+module t
+func main() -> void {
+entry:
+  %p = malloc i64
+  free %p
+  %v = load %p
+  ret
+}
+"""
+    )
+    assert r.outcome == "crash"
+    assert r.failure.fault_kind == "use-after-free"
+
+
+def test_double_free_crash():
+    r = run(
+        """
+module t
+func main() -> void {
+entry:
+  %p = malloc i64
+  free %p
+  free %p
+  ret
+}
+"""
+    )
+    assert r.outcome == "crash"
+    assert "double free" in r.failure.detail
+
+
+def test_assert_failure_is_fail_stop():
+    r = run(
+        """
+module t
+func main() -> void {
+entry:
+  %c = cmp eq 1, 2
+  assert %c, "invariant broken"
+  ret
+}
+"""
+    )
+    assert r.outcome == "assert"
+    assert r.failure.kind == "assert"
+    assert "invariant broken" in r.failure.detail
+
+
+def test_oob_after_red_zone():
+    r = run(
+        """
+module t
+func main() -> void {
+entry:
+  %p = malloc i64, 2
+  %e = indexaddr %p, 9
+  %v = load %e
+  ret
+}
+"""
+    )
+    assert r.outcome == "crash"
+
+
+def test_crash_stops_other_threads():
+    r = run(
+        """
+module t
+global g: ptr<i64> = null
+func crasher() -> void {
+entry:
+  %p = load @g
+  %v = load %p
+  ret
+}
+func main() -> void {
+entry:
+  %t = spawn @crasher()
+  delay 1000000
+  join %t
+  ret
+}
+"""
+    )
+    assert r.outcome == "crash"
+    assert r.duration < 1_000_000  # the sleeper never finished its delay
+
+
+def test_failing_tid_identifies_crashing_thread():
+    r = run(
+        """
+module t
+global g: ptr<i64> = null
+func crasher() -> void {
+entry:
+  delay 5000
+  %p = load @g
+  %v = load %p
+  ret
+}
+func main() -> void {
+entry:
+  %t = spawn @crasher()
+  join %t
+  ret
+}
+"""
+    )
+    assert r.failure.failing_tid == 2
+
+
+def test_free_null_crashes():
+    r = run(
+        """
+module t
+struct S { x: i64 }
+global g: ptr<S> = null
+func main() -> void {
+entry:
+  %p = load @g
+  free %p
+  ret
+}
+"""
+    )
+    assert r.outcome == "crash"

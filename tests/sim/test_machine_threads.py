@@ -1,0 +1,260 @@
+"""Concurrency semantics: spawn/join, locks, deadlocks, sleeping."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.sim import DeadlockReport, FixedOrderScheduler, Machine, RandomScheduler
+
+
+def run(src, entry="main", args=(), seed=0, **kw):
+    m = parse_module(src)
+    return Machine(m, scheduler=RandomScheduler(seed), **kw).run(entry, args)
+
+
+COUNTER = """
+module t
+global g: i64 = 0
+global mu: lock
+
+func worker(n: i64) -> void {
+entry:
+  %i = alloca i64
+  store 0, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = cmp lt %iv, %n
+  cbr %c, body, done
+body:
+  lock @mu
+  %v = load @g
+  %v2 = add %v, 1
+  store %v2, @g
+  unlock @mu
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  ret
+}
+
+func main(n: i64) -> i64 {
+entry:
+  %t1 = spawn @worker(%n)
+  %t2 = spawn @worker(%n)
+  join %t1
+  join %t2
+  %v = load @g
+  ret %v
+}
+"""
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42])
+def test_locked_counter_is_exact(seed):
+    r = run(COUNTER, args=(25,), seed=seed)
+    assert r.outcome == "success"
+    assert r.exit_value == 50
+
+
+def test_thread_stats_recorded():
+    r = run(COUNTER, args=(5,))
+    assert len(r.thread_stats) == 3  # main + 2 workers
+    workers = [s for tid, s in r.thread_stats.items() if tid != 1]
+    assert all(s.lock_ops == 10 for s in workers)
+
+
+def test_determinism_same_seed():
+    r1 = run(COUNTER, args=(10,), seed=3)
+    r2 = run(COUNTER, args=(10,), seed=3)
+    assert r1.duration == r2.duration
+    assert r1.instructions_executed == r2.instructions_executed
+
+
+DEADLOCK = """
+module t
+global la: lock
+global lb: lock
+
+func ba(d: i64) -> void {
+entry:
+  lock @lb
+  delay %d
+  lock @la
+  unlock @la
+  unlock @lb
+  ret
+}
+
+func main(d: i64) -> void {
+entry:
+  %t = spawn @ba(%d)
+  lock @la
+  delay %d
+  lock @lb
+  unlock @lb
+  unlock @la
+  join %t
+  ret
+}
+"""
+
+
+def test_deadlock_detected_with_cycle():
+    r = run(DEADLOCK, args=(50_000,))
+    assert r.outcome == "deadlock"
+    assert isinstance(r.failure, DeadlockReport)
+    assert len(r.failure.cycle) == 2
+    tids = {e.tid for e in r.failure.cycle}
+    assert len(tids) == 2
+    for e in r.failure.cycle:
+        assert e.waiting_for_lock in [x for other in r.failure.cycle for x in other.held_locks]
+        assert e.since > 0
+
+
+def test_self_deadlock_nonrecursive_mutex():
+    r = run(
+        """
+module t
+global mu: lock
+func main() -> void {
+entry:
+  lock @mu
+  lock @mu
+  unlock @mu
+  ret
+}
+"""
+    )
+    assert r.outcome == "deadlock"
+    assert "self-deadlock" in r.failure.detail
+
+
+def test_hang_without_lock_cycle():
+    # joining a thread that never finishes -> global stall, not deadlock
+    r = run(
+        """
+module t
+global mu: lock
+func stuck() -> void {
+entry:
+  lock @mu
+  ret
+}
+func main() -> void {
+entry:
+  lock @mu
+  %t = spawn @stuck()
+  join %t
+  unlock @mu
+  ret
+}
+"""
+    )
+    assert r.outcome == "hang"
+
+
+def test_lock_handoff_fifo():
+    # a released lock goes to the first waiter
+    src = """
+module t
+global mu: lock
+global order: i64 = 0
+func taker(tag: i64) -> void {
+entry:
+  lock @mu
+  %v = load @order
+  %v10 = mul %v, 10
+  %v2 = add %v10, %tag
+  store %v2, @order
+  unlock @mu
+  ret
+}
+func main() -> i64 {
+entry:
+  lock @mu
+  %t1 = spawn @taker(1)
+  delay 1000
+  %t2 = spawn @taker(2)
+  delay 1000
+  unlock @mu
+  join %t1
+  join %t2
+  %v = load @order
+  ret %v
+}
+"""
+    m = parse_module(src)
+    r = Machine(m, scheduler=FixedOrderScheduler([])).run("main")
+    assert r.outcome == "success"
+    assert r.exit_value == 12  # t1 acquired before t2
+
+
+def test_sleep_overlaps():
+    # two threads sleeping in parallel: total time ~ max, not sum
+    r = run(
+        """
+module t
+func sleeper(d: i64) -> void {
+entry:
+  delay %d
+  ret
+}
+func main() -> void {
+entry:
+  %t1 = spawn @sleeper(100000)
+  %t2 = spawn @sleeper(100000)
+  join %t1
+  join %t2
+  ret
+}
+"""
+    )
+    assert r.outcome == "success"
+    assert r.duration < 150_000
+
+
+def test_join_already_finished():
+    r = run(
+        """
+module t
+func quick() -> void {
+entry:
+  ret
+}
+func main() -> void {
+entry:
+  %t = spawn @quick()
+  delay 100000
+  join %t
+  ret
+}
+"""
+    )
+    assert r.outcome == "success"
+
+
+def test_thread_positions():
+    src = """
+module t
+func main() -> void {
+entry:
+  delay 1000
+  ret
+}
+"""
+    m = parse_module(src)
+    machine = Machine(m)
+    machine.run("main")
+    positions = machine.thread_positions()
+    assert positions == {1: 0}  # finished
+
+
+def test_unsynchronized_counter_can_lose_updates():
+    # the same counter without the lock and with a read-to-write window:
+    # some schedules drop updates (the classic lost-update race)
+    racy = COUNTER.replace("  lock @mu\n", "").replace(
+        "  unlock @mu\n", ""
+    ).replace("  %v2 = add %v, 1\n", "  delay 500\n  %v2 = add %v, 1\n")
+    results = {run(racy, args=(8,), seed=s).exit_value for s in range(12)}
+    assert any(v < 16 for v in results)  # updates were lost under overlap

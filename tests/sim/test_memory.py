@@ -1,0 +1,123 @@
+"""Flat address space: allocation, faults, red zones."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import I64
+from repro.sim.memory import NULL_GUARD_SIZE, GuestFault, Memory
+
+
+def test_allocation_and_rw():
+    mem = Memory()
+    obj = mem.allocate(16, "heap", 1, I64)
+    mem.write_word(obj.base, 42)
+    assert mem.read_word(obj.base) == 42
+    assert mem.read_word(obj.base + 8) == 0  # zero-initialized
+
+
+def test_null_guard():
+    mem = Memory()
+    with pytest.raises(GuestFault) as err:
+        mem.read_word(0)
+    assert err.value.kind == "null"
+    with pytest.raises(GuestFault):
+        mem.write_word(NULL_GUARD_SIZE - 8, 1)
+
+
+def test_unmapped_fault():
+    mem = Memory()
+    with pytest.raises(GuestFault) as err:
+        mem.read_word(0x100000)
+    assert err.value.kind == "unmapped"
+
+
+def test_red_zone_between_objects():
+    mem = Memory()
+    a = mem.allocate(8, "heap", 1, I64)
+    mem.allocate(8, "heap", 2, I64)
+    with pytest.raises(GuestFault):
+        mem.read_word(a.end)  # one past the end lands in the gap
+
+
+def test_use_after_free():
+    mem = Memory()
+    obj = mem.allocate(8, "heap", 1, I64)
+    mem.free(obj.base)
+    with pytest.raises(GuestFault) as err:
+        mem.read_word(obj.base)
+    assert err.value.kind == "use-after-free"
+
+
+def test_double_free():
+    mem = Memory()
+    obj = mem.allocate(8, "heap", 1, I64)
+    mem.free(obj.base)
+    with pytest.raises(GuestFault) as err:
+        mem.free(obj.base)
+    assert err.value.kind == "use-after-free"
+
+
+def test_free_of_interior_pointer():
+    mem = Memory()
+    obj = mem.allocate(16, "heap", 1, I64)
+    with pytest.raises(GuestFault) as err:
+        mem.free(obj.base + 8)
+    assert err.value.kind == "oob"
+
+
+def test_free_of_stack_object_rejected():
+    mem = Memory()
+    obj = mem.allocate(8, "stack", 1, I64)
+    with pytest.raises(GuestFault):
+        mem.free(obj.base)
+
+
+def test_misaligned_access():
+    mem = Memory()
+    obj = mem.allocate(16, "heap", 1, I64)
+    with pytest.raises(GuestFault) as err:
+        mem.read_word(obj.base + 3)
+    assert err.value.kind == "oob"
+
+
+def test_released_stack_slot_is_dangling():
+    mem = Memory()
+    obj = mem.allocate(8, "stack", 1, I64)
+    mem.release_stack(obj)
+    with pytest.raises(GuestFault):
+        mem.read_word(obj.base)
+
+
+def test_object_at_lookup():
+    mem = Memory()
+    a = mem.allocate(24, "heap", 5, I64)
+    assert mem.object_at(a.base) is a
+    assert mem.object_at(a.base + 16) is a
+    assert mem.object_at(a.base + 24) is None
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=256), min_size=1, max_size=40))
+def test_objects_never_overlap(sizes):
+    mem = Memory()
+    objs = [mem.allocate(s, "heap", i, None) for i, s in enumerate(sizes)]
+    spans = sorted((o.base, o.end) for o in objs)
+    for (b1, e1), (b2, e2) in zip(spans, spans[1:]):
+        assert e1 <= b2  # disjoint, in address order
+
+
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(-(2**31), 2**31)),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_last_write_wins(writes):
+    mem = Memory()
+    obj = mem.allocate(64, "heap", 1, None)
+    model = {}
+    for slot, value in writes:
+        mem.write_word(obj.base + slot * 8, value)
+        model[slot] = value
+    for slot, value in model.items():
+        assert mem.read_word(obj.base + slot * 8) == value
