@@ -1,0 +1,72 @@
+"""Fleet service throughput: failures/sec and diagnosis latency.
+
+Not a paper figure — this measures the repo's own deployment layer
+(`repro.fleet`): a 50-agent localhost fleet with three corpus bugs
+failing on three endpoints each.  Recorded: failure ingest rate, median
+per-diagnosis latency (queue + remote trace collection + analysis), the
+stage breakdown, and the dedup economy (reports folded per diagnosis).
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.fleet import DEFAULT_BUGS, FleetConfig, FleetMetrics, run_fleet
+
+AGENTS = 50
+REPORTERS_PER_BUG = 3
+
+
+@pytest.fixture(scope="module")
+def fleet_result():
+    metrics = FleetMetrics()
+    config = FleetConfig(
+        agents=AGENTS,
+        bug_ids=DEFAULT_BUGS,
+        reporters_per_bug=REPORTERS_PER_BUG,
+        workers=3,
+        max_pending=8,
+    )
+    return run_fleet(config, metrics=metrics)
+
+
+def test_fleet_throughput(fleet_result, emit):
+    r = fleet_result
+    errors = [o for o in r.outcomes if o.error]
+    assert not errors, errors
+
+    timers = r.metrics["timers"]
+    counters = r.metrics["counters"]
+
+    def ms(timer, key="median_s"):
+        return timers[timer][key] * 1000 if timer in timers else 0.0
+
+    rows = [
+        ("agents", AGENTS),
+        ("bugs failing concurrently", len(DEFAULT_BUGS)),
+        ("failures received", r.failures_received),
+        ("failures/sec", f"{r.failures_per_sec:.1f}"),
+        ("diagnoses run", r.diagnoses_completed),
+        ("reports folded by dedup", r.dedup_hits),
+        ("trace requests over the wire", counters.get("trace_requests_sent", 0)),
+        ("median diagnosis latency", f"{ms('diagnosis_latency'):.0f} ms"),
+        ("  median trace collection", f"{ms('collection_latency'):.0f} ms"),
+        ("  median analysis", f"{ms('analysis_latency'):.0f} ms"),
+        ("wall clock", f"{r.elapsed:.2f} s"),
+    ]
+    emit(
+        "fleet",
+        render_table(
+            f"fleet throughput: {AGENTS} agents, "
+            f"{len(DEFAULT_BUGS)} bugs x {REPORTERS_PER_BUG} reporters",
+            ["metric", "value"],
+            rows,
+        ),
+    )
+    # service-level invariants
+    assert r.failures_received == len(DEFAULT_BUGS) * REPORTERS_PER_BUG
+    assert r.diagnoses_completed == len(DEFAULT_BUGS)
+    assert r.dedup_hits == r.failures_received - r.diagnoses_completed
+    assert r.failures_per_sec > 0.5
+    assert 0 < r.median_diagnosis_latency_s < 60
+    for digest in r.digests.values():
+        assert digest["diagnosed"] and digest["f1"] == 1.0

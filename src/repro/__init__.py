@@ -16,7 +16,7 @@ Quickstart::
     print(report.render())
 """
 
-from repro import baselines, bench, core, corpus, ir, pt, runtime, sim
+from repro import baselines, bench, core, corpus, fleet, ir, pt, runtime, sim
 from repro.core import (
     DiagnosisReport,
     LazyDiagnosis,
@@ -37,6 +37,7 @@ __all__ = [
     "bench",
     "core",
     "corpus",
+    "fleet",
     "ir",
     "pt",
     "runtime",

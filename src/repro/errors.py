@@ -74,3 +74,12 @@ class CorpusError(ReproError):
 
 class ProtocolError(ReproError):
     """Client/server runtime protocol violation."""
+
+
+class FleetError(ReproError):
+    """The networked fleet service hit an unrecoverable condition."""
+
+
+class WireError(FleetError):
+    """A wire frame could not be encoded or decoded (bad magic/version,
+    truncated payload, checksum mismatch, unknown message type)."""

@@ -1,0 +1,76 @@
+"""Networked fleet diagnosis: the paper's deployment model as a service.
+
+``repro.runtime`` is one machine talking to itself; ``repro.fleet`` is
+the Figure 2 fleet — endpoint agents reporting in-production failures
+over TCP to a central server that deduplicates them, collects
+successful traces from idle endpoints, runs Lazy Diagnosis on a bounded
+worker pool, and fans each root cause back to every affected endpoint.
+
+Layers::
+
+    wire        length-prefixed, checksummed binary frames for the
+                runtime protocol messages and TraceSample payloads
+    metrics     thread-safe counters/gauges/latency timers
+    jobs        bounded diagnosis worker pool: dedup + backpressure
+    server      asyncio TCP server wrapping SnorlaxServer
+    agent       synchronous endpoint agent owning a SnorlaxClient
+    simulation  ≥50-agent localhost fleet (python -m repro.fleet)
+"""
+
+from repro.fleet.agent import FleetAgent
+from repro.fleet.jobs import DiagnosisJobQueue, JobRejected, QueueClosed
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.server import (
+    FleetServer,
+    failure_signature,
+    render_digest,
+    report_digest,
+)
+from repro.fleet.simulation import (
+    DEFAULT_BUGS,
+    AgentOutcome,
+    FleetConfig,
+    FleetRunResult,
+    run_fleet,
+)
+from repro.fleet.wire import (
+    DiagnosisResult,
+    FailureEnvelope,
+    Goodbye,
+    Hello,
+    MsgType,
+    Reject,
+    WireFault,
+    decode_frame,
+    encode_frame,
+    sample_from_dict,
+    sample_to_dict,
+)
+
+__all__ = [
+    "FleetAgent",
+    "DiagnosisJobQueue",
+    "JobRejected",
+    "QueueClosed",
+    "FleetMetrics",
+    "FleetServer",
+    "failure_signature",
+    "render_digest",
+    "report_digest",
+    "DEFAULT_BUGS",
+    "AgentOutcome",
+    "FleetConfig",
+    "FleetRunResult",
+    "run_fleet",
+    "DiagnosisResult",
+    "FailureEnvelope",
+    "Goodbye",
+    "Hello",
+    "MsgType",
+    "Reject",
+    "WireFault",
+    "decode_frame",
+    "encode_frame",
+    "sample_from_dict",
+    "sample_to_dict",
+]

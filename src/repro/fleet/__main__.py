@@ -1,0 +1,64 @@
+"""``python -m repro.fleet`` — run the fleet demo on localhost.
+
+Spins up the fleet server plus N endpoint agents over real TCP sockets,
+lets several endpoints per bug hit their corpus bug and report it, and
+prints the fleet-wide diagnoses and service metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.simulation import DEFAULT_BUGS, FleetConfig, run_fleet
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Simulate a Snorlax fleet: endpoint agents reporting "
+        "in-production concurrency failures to a central diagnosis server.",
+    )
+    parser.add_argument("--agents", type=int, default=50, help="fleet size")
+    parser.add_argument(
+        "--bugs",
+        default=",".join(DEFAULT_BUGS),
+        help="comma-separated corpus bug ids the fleet runs",
+    )
+    parser.add_argument(
+        "--reporters",
+        type=int,
+        default=3,
+        help="endpoints per bug that hit the bug and report it",
+    )
+    parser.add_argument("--workers", type=int, default=3, help="diagnosis workers")
+    parser.add_argument(
+        "--max-pending", type=int, default=8, help="job-queue bound (backpressure)"
+    )
+    parser.add_argument(
+        "--traces", type=int, default=10, help="successful traces per diagnosis"
+    )
+    args = parser.parse_args(argv)
+
+    config = FleetConfig(
+        agents=args.agents,
+        bug_ids=tuple(b.strip() for b in args.bugs.split(",") if b.strip()),
+        reporters_per_bug=args.reporters,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        success_traces_wanted=args.traces,
+    )
+    metrics = FleetMetrics()
+    result = run_fleet(config, metrics=metrics)
+    print(result.render())
+    print()
+    print(metrics.render())
+    errors = [o for o in result.outcomes if o.error]
+    for outcome in errors[:5]:
+        print(f"agent error: {outcome.agent_id}: {outcome.error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""The endpoint agent: one production machine of the fleet.
+
+An agent owns a :class:`SnorlaxClient` for the program it runs.  It does
+two things, both over a single TCP connection to the fleet server:
+
+* **Report failures** (Figure 2 step 1): run the production workload;
+  when an execution fails, ship the error-tracker notification plus the
+  failing trace sample, then wait for the fleet-wide diagnosis (serving
+  trace requests in the meantime — the reporting endpoint is as good a
+  source of successful traces as any other).
+* **Answer trace requests** (step 8): execute the requested seed with
+  the requested breakpoints/skip and return the snapshot, exactly what
+  ``SnorlaxServer.handle_trace_request`` does in-process.
+
+Agents are deliberately synchronous (blocking socket, one thread each):
+a real endpoint is a separate machine, and the simulation runs ≥50 of
+them as threads against the asyncio server.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import FleetError, WireError
+from repro.fleet.wire import (
+    DiagnosisResult,
+    FailureEnvelope,
+    Goodbye,
+    Hello,
+    Reject,
+    WireFault,
+    recv_frame_sock,
+    send_frame_sock,
+)
+from repro.ir.module import Module
+from repro.runtime.client import ClientRun, SnorlaxClient, Workload
+from repro.runtime.protocol import FailureNotification, TraceRequest, TraceResponse
+from repro.runtime.server import sample_from_run
+
+_POLL_S = 0.1  # socket timeout used to poll stop events
+
+
+class FleetAgent:
+    def __init__(
+        self,
+        agent_id: str,
+        bug_id: str,
+        module: Module,
+        workload: Workload,
+        host: str,
+        port: int,
+        entry: str = "main",
+        connect_timeout: float = 10.0,
+    ):
+        self.agent_id = agent_id
+        self.bug_id = bug_id
+        self.client = SnorlaxClient(module, workload, entry=entry)
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.trace_requests_served = 0
+        self.rejections = 0
+        self._sock: socket.socket | None = None
+
+    @classmethod
+    def from_spec(cls, agent_id: str, spec, host: str, port: int) -> "FleetAgent":
+        """Build an agent for a corpus bug (module cached on the spec)."""
+        return cls(
+            agent_id,
+            spec.bug_id,
+            spec.module(),
+            spec.workload,
+            host,
+            port,
+            entry=spec.entry,
+        )
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(_POLL_S)
+        self._sock = sock
+        self._send(Hello(agent_id=self.agent_id, bug_id=self.bug_id))
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._send(Goodbye(agent_id=self.agent_id))
+        except OSError:
+            pass
+        self._sock.close()
+        self._sock = None
+
+    def _send(self, msg, request_id: int = 0) -> None:
+        if self._sock is None:
+            raise FleetError(f"agent {self.agent_id} is not connected")
+        send_frame_sock(self._sock, msg, request_id)
+
+    # -- serving -----------------------------------------------------------
+
+    def serve_until(self, stop: threading.Event) -> None:
+        """Answer trace requests until asked to stop (an idle endpoint)."""
+        while not stop.is_set():
+            try:
+                frame = self._recv_poll()
+            except (ConnectionError, WireError, OSError):
+                return  # the server went away; nothing left to serve
+            if frame is None:
+                continue
+            msg, request_id = frame
+            if isinstance(msg, TraceRequest):
+                self._serve_trace_request(msg, request_id)
+            # anything else while idle (late results for a signature we
+            # also reported) is informational; drop it
+
+    def _serve_trace_request(self, request: TraceRequest, request_id: int) -> None:
+        run = self.client.run_once(
+            request.seed,
+            breakpoint_uids=request.breakpoint_uids,
+            breakpoint_skip=request.breakpoint_skip,
+        )
+        sample = None
+        if run.snapshot is not None:
+            sample = sample_from_run(request.label, run)
+        self._send(
+            TraceResponse(label=request.label, outcome=run.result.outcome, sample=sample),
+            request_id,
+        )
+        self.trace_requests_served += 1
+
+    def _recv_poll(self):
+        if self._sock is None:
+            raise FleetError(f"agent {self.agent_id} is not connected")
+        try:
+            return recv_frame_sock(self._sock)
+        except socket.timeout:
+            return None
+
+    # -- failure reporting -------------------------------------------------
+
+    def find_failure(self, start_seed: int = 0) -> ClientRun:
+        runs = self.client.find_runs(True, 1, start_seed=start_seed)
+        if not runs:
+            raise FleetError(f"agent {self.agent_id}: no failing run found")
+        return runs[0]
+
+    def report_failure(
+        self,
+        failing_run: ClientRun,
+        stop: threading.Event | None = None,
+        max_wait: float = 300.0,
+    ) -> DiagnosisResult:
+        """Ship a failure, keep serving trace requests, return the
+        diagnosis.  Backpressure rejections are honored by sleeping the
+        server's retry-after hint and resending."""
+        if failing_run.failure is None or failing_run.snapshot is None:
+            raise FleetError("failing run carries no failure/snapshot")
+        code = failing_run.failure
+        envelope = FailureEnvelope(
+            bug_id=self.bug_id,
+            seed=failing_run.seed,
+            notification=FailureNotification(
+                bug_hint=self.bug_id,
+                failing_uid=code.failing_uid,
+                failing_tid=code.failing_tid,
+                time=code.time,
+            ),
+            sample=sample_from_run("failure", failing_run),
+        )
+        self._send(envelope)
+        deadline = time.monotonic() + max_wait
+        while time.monotonic() < deadline and (stop is None or not stop.is_set()):
+            frame = self._recv_poll()
+            if frame is None:
+                continue
+            msg, request_id = frame
+            if isinstance(msg, TraceRequest):
+                # the reporting endpoint still serves step-8 collection
+                self._serve_trace_request(msg, request_id)
+            elif isinstance(msg, DiagnosisResult):
+                return msg
+            elif isinstance(msg, Reject):
+                self.rejections += 1
+                time.sleep(msg.retry_after)
+                self._send(envelope)
+            elif isinstance(msg, WireFault):
+                raise FleetError(
+                    f"agent {self.agent_id}: server error: {msg.message}"
+                )
+        raise FleetError(
+            f"agent {self.agent_id}: no diagnosis within {max_wait:.0f}s"
+        )
+
+    def produce_and_report(
+        self, stop: threading.Event | None = None, start_seed: int = 0
+    ) -> DiagnosisResult:
+        """The full endpoint story: hit the bug in production, report it,
+        help collect evidence, receive the root cause."""
+        return self.report_failure(self.find_failure(start_seed), stop=stop)

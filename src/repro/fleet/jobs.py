@@ -1,0 +1,127 @@
+"""The diagnosis job queue: bounded workers, dedup, backpressure.
+
+``LazyDiagnosis`` is CPU-bound (points-to analysis + pattern scoring),
+so the fleet server never runs it on the event loop: failures become
+jobs on a bounded worker pool.  Three properties matter in production:
+
+* **Deduplication** — when N endpoints hit the same bug, their failure
+  signatures collide and all N are attached to ONE diagnosis whose
+  result is fanned back out.  This is the paper's deployment economy:
+  one fleet-wide root cause per bug, not one per crash report.
+* **Backpressure** — the pool's pending set is bounded; a novel failure
+  arriving at a full queue is rejected with a retry-after hint instead
+  of growing memory without bound.
+* **Draining shutdown** — ``shutdown(wait=True)`` stops intake but lets
+  in-flight diagnoses finish, so no accepted failure report is lost.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from time import perf_counter
+from typing import Callable
+
+from repro.errors import FleetError
+from repro.fleet.metrics import FleetMetrics
+
+
+class JobRejected(FleetError):
+    """Backpressure: the bounded queue is full; retry after a delay."""
+
+    def __init__(self, retry_after: float):
+        self.retry_after = retry_after
+        super().__init__(f"diagnosis queue full; retry after {retry_after:.2f}s")
+
+
+class QueueClosed(FleetError):
+    """The queue is shutting down and accepts no new jobs."""
+
+
+class DiagnosisJobQueue:
+    """Signature-keyed job queue over a bounded thread pool.
+
+    ``submit`` returns ``(future, deduplicated)``.  A signature's future
+    is shared for the queue's lifetime, so late reports of an
+    already-diagnosed bug get the cached result instantly (and count as
+    dedup hits) rather than re-running the pipeline.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_pending: int = 8,
+        retry_after: float = 0.25,
+        metrics: FleetMetrics | None = None,
+    ):
+        if workers < 1:
+            raise FleetError("job queue needs at least one worker")
+        if max_pending < 1:
+            raise FleetError("job queue needs max_pending >= 1")
+        self.metrics = metrics or FleetMetrics()
+        self.retry_after = retry_after
+        self.max_pending = max_pending
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="diagnosis"
+        )
+        self._lock = threading.Lock()
+        self._futures: dict[str, Future] = {}
+        self._submitted: dict[str, float] = {}  # signature -> submit time
+        self._pending: set[str] = set()  # submitted, not yet finished
+        self._closed = False
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(
+        self, signature: str, fn: Callable[[], object]
+    ) -> tuple[Future, bool]:
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("job queue is shut down")
+            existing = self._futures.get(signature)
+            if existing is not None:
+                self.metrics.inc("jobs_deduplicated")
+                return existing, True
+            if len(self._pending) >= self.max_pending:
+                self.metrics.inc("jobs_rejected")
+                raise JobRejected(self.retry_after)
+            self._pending.add(signature)
+            self._submitted[signature] = perf_counter()
+            self.metrics.inc("jobs_submitted")
+            self.metrics.gauge("queue_depth", len(self._pending))
+            future = self._pool.submit(self._run, signature, fn)
+            self._futures[signature] = future
+        # outside the lock: a fast job may already be done, in which case
+        # add_done_callback runs _finished inline on this thread
+        future.add_done_callback(lambda f, s=signature: self._finished(s))
+        return future, False
+
+    def _run(self, signature: str, fn: Callable[[], object]) -> object:
+        self.metrics.observe("queue_wait", perf_counter() - self._submitted[signature])
+        with self.metrics.timer("diagnosis_latency"):
+            return fn()
+
+    def _finished(self, signature: str) -> None:
+        with self._lock:
+            self._pending.discard(signature)
+            self.metrics.gauge("queue_depth", len(self._pending))
+        self.metrics.inc("jobs_completed")
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def result_for(self, signature: str) -> Future | None:
+        with self._lock:
+            return self._futures.get(signature)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop intake; with ``wait`` drain every in-flight diagnosis."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)

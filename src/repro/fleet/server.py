@@ -1,0 +1,443 @@
+"""The fleet diagnosis server: many endpoints, one Snorlax per bug.
+
+This is Figure 2's deployment model made concrete: an asyncio TCP
+server accepts connections from endpoint agents, receives
+``FailureEnvelope``s (step 1), and — per failure signature — runs the
+existing single-machine ``SnorlaxServer`` collection policy with the
+network as its transport: every ``TraceRequest`` of
+``collect_traces_via`` becomes a frame to an idle endpoint running the
+same program (step 8), and the CPU-bound ``LazyDiagnosis`` runs on the
+bounded worker pool of :mod:`repro.fleet.jobs`.
+
+Because trace collection is deterministic in (seed, breakpoints, skip)
+and endpoint executions are deterministic in the seed, the fleet's
+diagnosis of a failure is byte-for-byte the report the in-process
+``SnorlaxServer.diagnose_failure`` produces for the same module and
+seeds — which endpoint serves each request never matters.  The
+end-to-end test asserts exactly that equivalence.
+
+Threading model: all connection state lives on the event loop thread.
+Worker threads reach the network only through
+``asyncio.run_coroutine_threadsafe``; results travel back through
+``call_soon_threadsafe``.  The public ``start``/``stop`` API hides the
+loop in a background thread so synchronous callers (tests, the
+simulation, ``__main__``) can drive the server like any other object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.pipeline import LazyDiagnosis, PipelineConfig
+from repro.core.report import DiagnosisReport
+from repro.errors import FleetError, WireError
+from repro.fleet.jobs import DiagnosisJobQueue, JobRejected, QueueClosed
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.wire import (
+    DiagnosisResult,
+    FailureEnvelope,
+    Goodbye,
+    Hello,
+    Reject,
+    WireFault,
+    encode_frame,
+    read_frame_async,
+)
+from repro.ir.module import Module
+from repro.runtime.protocol import TraceRequest, TraceResponse
+from repro.runtime.server import SnorlaxServer
+
+
+def failure_signature(env: FailureEnvelope) -> str:
+    """The dedup key: same program, same failure kind, same failing PC.
+
+    N endpoints crashing at the same instruction of the same bug are one
+    fleet-wide diagnosis, not N."""
+    kind = env.sample.failure.kind if env.sample.failure is not None else "unknown"
+    return f"{env.bug_id}|{kind}|{env.notification.failing_uid}"
+
+
+def report_digest(report: DiagnosisReport) -> dict:
+    """The wire form of a diagnosis: everything deterministic in the
+    evidence (timings excluded), so fleet and in-process reports for the
+    same module/seeds compare equal."""
+    st = report.stage_stats
+    digest: dict = {
+        "bug_kind": report.bug_kind,
+        "failing_uid": report.failing_uid,
+        "diagnosed": report.diagnosed,
+        "root_cause": None,
+        "f1": None,
+        "precision": None,
+        "recall": None,
+        "target_events": [
+            [e.uid, e.role, e.thread_slot, e.location, e.function]
+            for e in report.target_events
+        ],
+        "unordered_candidates": [
+            [e.uid, e.role, e.location, e.function]
+            for e in report.unordered_candidates
+        ],
+        "ranked_patterns": [str(p) for p in report.ranked_patterns],
+        "notes": list(report.notes),
+        "stage_funnel": {
+            "program_instructions": st.program_instructions,
+            "executed_instructions": st.executed_instructions,
+            "alias_candidates": st.alias_candidates,
+            "rank1_candidates": st.rank1_candidates,
+            "patterns_generated": st.patterns_generated,
+            "patterns_top_f1": st.patterns_top_f1,
+            "candidates_explored": st.candidates_explored,
+        },
+    }
+    if report.root_cause is not None:
+        digest["root_cause"] = str(report.root_cause.signature)
+        digest["f1"] = report.root_cause.f1
+        digest["precision"] = report.root_cause.precision
+        digest["recall"] = report.root_cause.recall
+    return digest
+
+
+def render_digest(digest: dict) -> str:
+    lines = [
+        f"bug kind:   {digest['bug_kind']}",
+        f"failing PC: uid={digest['failing_uid']}",
+    ]
+    if digest["root_cause"] is None:
+        lines.append("root cause: NOT DIAGNOSED")
+    else:
+        lines.append(f"root cause: {digest['root_cause']}")
+        lines.append(
+            f"evidence:   F1={digest['f1']:.3f} "
+            f"(P={digest['precision']:.2f}, R={digest['recall']:.2f})"
+        )
+        for uid, role, slot, location, function in digest["target_events"]:
+            lines.append(f"  [{role}] T{slot} {function} at {location} (uid={uid})")
+    return "\n".join(lines)
+
+
+def _corpus_resolver(bug_id: str) -> Module:
+    from repro.corpus import bug
+
+    return bug(bug_id).module()
+
+
+@dataclass
+class AgentConn:
+    """One endpoint's connection, as the event loop sees it."""
+
+    agent_id: str
+    bug_id: str
+    writer: asyncio.StreamWriter
+    pending: dict[int, asyncio.Future] = field(default_factory=dict)
+    alive: bool = True
+
+    def fail_pending(self, exc: Exception) -> None:
+        for future in self.pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self.pending.clear()
+
+
+class FleetServer:
+    """Accepts a fleet of agents; diagnoses each failure signature once."""
+
+    def __init__(
+        self,
+        module_resolver: Callable[[str], Module] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_pending: int = 8,
+        retry_after: float = 0.25,
+        success_traces_wanted: int = 10,
+        start_seed: int = 10_000,
+        config: PipelineConfig | None = None,
+        metrics: FleetMetrics | None = None,
+        request_timeout: float = 120.0,
+    ):
+        self.host = host
+        self.port = port
+        self.config = config or PipelineConfig()
+        self.success_traces_wanted = success_traces_wanted
+        self.start_seed = start_seed
+        self.request_timeout = request_timeout
+        self.metrics = metrics or FleetMetrics()
+        self.jobs = DiagnosisJobQueue(
+            workers=workers,
+            max_pending=max_pending,
+            retry_after=retry_after,
+            metrics=self.metrics,
+        )
+        self._resolver = module_resolver or _corpus_resolver
+        self._modules: dict[str, Module] = {}
+        self._module_lock = threading.Lock()
+        # loop-confined state
+        self._agents: dict[str, list[AgentConn]] = {}
+        self._rr: dict[str, itertools.count] = {}
+        self._waiters: dict[str, list[tuple[AgentConn, int]]] = {}
+        self._req_ids = itertools.count(1)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Serve in a background thread; returns the bound (host, port)."""
+        if self._thread is not None:
+            raise FleetError("fleet server already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="fleet-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise FleetError(f"fleet server failed to start: {self._startup_error}")
+        return self.host, self.port
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle_conn, self.host, self.port)
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._loop = None
+            self._ready.set()
+            loop.close()
+            return
+        self._server = server
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop intake, drain in-flight diagnoses, tear the loop down."""
+        loop = self._loop
+        if loop is None or self._thread is None:
+            return
+        # 1. no new connections
+        asyncio.run_coroutine_threadsafe(self._close_server(), loop).result()
+        # 2. let running diagnoses finish (they still need the loop to
+        #    reach agents), then refuse new jobs
+        self.jobs.shutdown(wait=drain)
+        # 3. drop the agents and stop the loop
+        asyncio.run_coroutine_threadsafe(self._close_agents(), loop).result()
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+
+    async def _close_server(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _close_agents(self) -> None:
+        for conns in self._agents.values():
+            for conn in conns:
+                conn.alive = False
+                conn.fail_pending(FleetError("server shutting down"))
+                conn.writer.close()
+        self._agents.clear()
+        self._waiters.clear()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn: AgentConn | None = None
+        try:
+            while True:
+                try:
+                    msg, request_id = await read_frame_async(reader)
+                except WireError as exc:
+                    self.metrics.inc("wire_errors")
+                    writer.write(encode_frame(WireFault(str(exc))))
+                    await writer.drain()
+                    break
+                if isinstance(msg, Hello):
+                    conn = AgentConn(msg.agent_id, msg.bug_id, writer)
+                    self._agents.setdefault(msg.bug_id, []).append(conn)
+                    self._rr.setdefault(msg.bug_id, itertools.count())
+                    self.metrics.inc("agents_connected")
+                elif conn is None:
+                    writer.write(
+                        encode_frame(WireFault("first frame must be HELLO"), request_id)
+                    )
+                    await writer.drain()
+                    break
+                elif isinstance(msg, FailureEnvelope):
+                    await self._on_failure(conn, msg, request_id)
+                elif isinstance(msg, TraceResponse):
+                    future = conn.pending.pop(request_id, None)
+                    if future is not None and not future.done():
+                        self.metrics.inc("trace_responses_received")
+                        future.set_result(msg)
+                elif isinstance(msg, Goodbye):
+                    break
+                else:
+                    writer.write(
+                        encode_frame(
+                            WireFault(f"unexpected {type(msg).__name__}"), request_id
+                        )
+                    )
+                    await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if conn is not None:
+                conn.alive = False
+                conn.fail_pending(FleetError(f"agent {conn.agent_id} disconnected"))
+                peers = self._agents.get(conn.bug_id, [])
+                if conn in peers:
+                    peers.remove(conn)
+                self.metrics.inc("agents_disconnected")
+            writer.close()
+
+    async def _on_failure(
+        self, conn: AgentConn, env: FailureEnvelope, request_id: int
+    ) -> None:
+        self.metrics.inc("failures_received")
+        signature = failure_signature(env)
+        try:
+            future, _dedup = self.jobs.submit(
+                signature, lambda: self._diagnose(env)
+            )
+        except JobRejected as exc:
+            conn.writer.write(
+                encode_frame(Reject(retry_after=exc.retry_after), request_id)
+            )
+            await conn.writer.drain()
+            return
+        except QueueClosed:
+            conn.writer.write(
+                encode_frame(WireFault("server shutting down"), request_id)
+            )
+            await conn.writer.drain()
+            return
+        self._waiters.setdefault(signature, []).append((conn, request_id))
+        loop = asyncio.get_running_loop()
+        if future.done():
+            self._deliver(signature, future)
+        else:
+            future.add_done_callback(
+                lambda f, s=signature: loop.call_soon_threadsafe(self._deliver, s, f)
+            )
+
+    def _deliver(self, signature: str, future) -> None:
+        """Fan one finished diagnosis out to every endpoint that reported
+        the signature (runs on the loop thread; idempotent)."""
+        waiters = self._waiters.pop(signature, [])
+        if not waiters:
+            return
+        exc = future.exception()
+        if exc is not None:
+            frame_for = lambda req_id: encode_frame(  # noqa: E731
+                WireFault(f"diagnosis failed: {exc}"), req_id
+            )
+        else:
+            digest = report_digest(future.result())
+            frame_for = lambda req_id: encode_frame(  # noqa: E731
+                DiagnosisResult(signature=signature, digest=digest), req_id
+            )
+        for conn, req_id in waiters:
+            if not conn.alive:
+                continue
+            try:
+                conn.writer.write(frame_for(req_id))
+                self.metrics.inc("results_delivered")
+            except Exception:
+                self.metrics.inc("result_delivery_failures")
+
+    # -- the diagnosis job (worker thread) --------------------------------
+
+    def _module(self, bug_id: str) -> Module:
+        with self._module_lock:
+            module = self._modules.get(bug_id)
+            if module is None:
+                module = self._resolver(bug_id)
+                self._modules[bug_id] = module
+            return module
+
+    def _diagnose(self, env: FailureEnvelope) -> DiagnosisReport:
+        """Replicates SnorlaxServer.diagnose_failure with the network as
+        the step-8 transport: same policy, same seeds, same evidence."""
+        module = self._module(env.bug_id)
+        snorlax = SnorlaxServer(
+            module,
+            config=self.config,
+            success_traces_wanted=self.success_traces_wanted,
+        )
+        snorlax.stats.failing_traces += 1
+        with self.metrics.timer("collection_latency"):
+            successes = snorlax.collect_traces_via(
+                lambda req: self._remote_request(env.bug_id, req),
+                env.notification.failing_uid,
+                self.start_seed,
+            )
+        self.metrics.inc("traces_collected", len(successes))
+        with self.metrics.timer("analysis_latency"):
+            pipeline = LazyDiagnosis(module, self.config)
+            report = pipeline.diagnose([env.sample], successes)
+        self.metrics.inc("diagnoses_completed")
+        return report
+
+    def _remote_request(self, bug_id: str, request: TraceRequest) -> TraceResponse:
+        """Bridge a worker thread's TraceRequest onto the event loop."""
+        if self._loop is None:
+            raise FleetError("fleet server is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self._remote_request_async(bug_id, request), self._loop
+        )
+        return future.result(timeout=self.request_timeout)
+
+    async def _remote_request_async(
+        self, bug_id: str, request: TraceRequest
+    ) -> TraceResponse:
+        """Send to the next idle-ish endpoint of this program; an agent
+        dying mid-request just reroutes the (deterministic) run."""
+        for _attempt in range(200):
+            conn = self._pick_agent(bug_id)
+            if conn is None:
+                await asyncio.sleep(0.02)
+                continue
+            request_id = next(self._req_ids)
+            response_future: asyncio.Future = asyncio.get_running_loop().create_future()
+            conn.pending[request_id] = response_future
+            try:
+                conn.writer.write(encode_frame(request, request_id))
+                await conn.writer.drain()
+                self.metrics.inc("trace_requests_sent")
+                return await response_future
+            except (FleetError, ConnectionError, OSError):
+                conn.pending.pop(request_id, None)
+                continue  # rerouted: the run is deterministic in the seed
+        raise FleetError(f"no endpoint for {bug_id!r} answered a trace request")
+
+    def _pick_agent(self, bug_id: str) -> AgentConn | None:
+        conns = [c for c in self._agents.get(bug_id, []) if c.alive]
+        if not conns:
+            return None
+        # round-robin, preferring endpoints with no request in flight
+        start = next(self._rr[bug_id]) % len(conns)
+        rotated = conns[start:] + conns[:start]
+        for conn in rotated:
+            if not conn.pending:
+                return conn
+        return rotated[0]

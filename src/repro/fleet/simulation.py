@@ -1,0 +1,199 @@
+"""Fleet simulation: ≥50 endpoint agents over real localhost sockets.
+
+This is the repo's stand-in for the paper's production deployment: a
+:class:`FleetServer` in one thread, N :class:`FleetAgent` threads
+connected over TCP, each assigned a corpus bug.  A configurable subset
+of each bug's agents actually hits the bug and reports it (all
+endpoints of a bug fail the same way, so their signatures collide —
+that is the point: the dedup path is the common case in a fleet); the
+rest serve as the population successful traces are collected from.
+
+``run_fleet`` returns a :class:`FleetRunResult` with per-agent
+outcomes, the per-signature diagnosis digests, and the full metrics
+snapshot — what the throughput benchmark and ``python -m repro.fleet``
+both consume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import FleetError
+from repro.fleet.agent import FleetAgent
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.server import FleetServer, render_digest
+
+DEFAULT_BUGS = ("pbzip2-n/a", "memcached-271", "aget-2")
+
+
+@dataclass
+class FleetConfig:
+    agents: int = 50
+    bug_ids: tuple[str, ...] = DEFAULT_BUGS
+    reporters_per_bug: int = 3
+    workers: int = 3
+    max_pending: int = 8
+    success_traces_wanted: int = 10
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port
+    timeout: float = 600.0
+
+
+@dataclass
+class AgentOutcome:
+    agent_id: str
+    bug_id: str
+    reporter: bool
+    signature: str | None = None
+    digest: dict | None = None
+    error: str | None = None
+    trace_requests_served: int = 0
+    rejections: int = 0
+
+
+@dataclass
+class FleetRunResult:
+    config: FleetConfig
+    elapsed: float
+    metrics: dict
+    outcomes: list[AgentOutcome]
+    digests: dict[str, dict] = field(default_factory=dict)  # signature -> digest
+
+    @property
+    def failures_received(self) -> int:
+        return self.metrics["counters"].get("failures_received", 0)
+
+    @property
+    def diagnoses_completed(self) -> int:
+        return self.metrics["counters"].get("diagnoses_completed", 0)
+
+    @property
+    def dedup_hits(self) -> int:
+        return self.metrics["counters"].get("jobs_deduplicated", 0)
+
+    @property
+    def failures_per_sec(self) -> float:
+        return self.failures_received / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def median_diagnosis_latency_s(self) -> float:
+        timer = self.metrics["timers"].get("diagnosis_latency")
+        return timer["median_s"] if timer else 0.0
+
+    def render(self) -> str:
+        reporters = [o for o in self.outcomes if o.reporter]
+        failed = [o for o in self.outcomes if o.error]
+        lines = [
+            "=== fleet run ===",
+            f"agents:            {len(self.outcomes)} "
+            f"({len(reporters)} reporting, across {len(self.config.bug_ids)} bugs)",
+            f"elapsed:           {self.elapsed:.2f}s",
+            f"failures received: {self.failures_received} "
+            f"({self.failures_per_sec:.1f}/s)",
+            f"diagnoses run:     {self.diagnoses_completed} "
+            f"(dedup folded {self.dedup_hits} reports)",
+            f"median latency:    {self.median_diagnosis_latency_s * 1000:.0f} ms "
+            f"per diagnosis",
+            f"agent errors:      {len(failed)}",
+        ]
+        for signature, digest in sorted(self.digests.items()):
+            lines.append(f"--- {signature} ---")
+            lines.append(render_digest(digest))
+        return "\n".join(lines)
+
+
+def run_fleet(
+    config: FleetConfig | None = None, metrics: FleetMetrics | None = None
+) -> FleetRunResult:
+    cfg = config or FleetConfig()
+    if cfg.agents < len(cfg.bug_ids):
+        raise FleetError("need at least one agent per bug")
+    from repro.corpus import bug as corpus_bug
+
+    specs = [corpus_bug(bug_id) for bug_id in cfg.bug_ids]
+    for spec in specs:
+        spec.module()  # build (and cache) before threads share it
+
+    metrics = metrics or FleetMetrics()
+    server = FleetServer(
+        host=cfg.host,
+        port=cfg.port,
+        workers=cfg.workers,
+        max_pending=cfg.max_pending,
+        success_traces_wanted=cfg.success_traces_wanted,
+        metrics=metrics,
+    )
+    host, port = server.start()
+
+    stop = threading.Event()
+    outcomes: list[AgentOutcome] = []
+    per_bug_count: dict[str, int] = {}
+    assignments: list[tuple[object, bool]] = []
+    for i in range(cfg.agents):
+        spec = specs[i % len(specs)]
+        seen = per_bug_count.get(spec.bug_id, 0)
+        per_bug_count[spec.bug_id] = seen + 1
+        reporter = seen < cfg.reporters_per_bug
+        assignments.append((spec, reporter))
+        outcomes.append(AgentOutcome(f"agent-{i:03d}", spec.bug_id, reporter))
+
+    reporters_total = sum(1 for _, r in assignments if r)
+    state_lock = threading.Lock()
+    reporters_done = [0]
+
+    def agent_main(index: int) -> None:
+        spec, reporter = assignments[index]
+        outcome = outcomes[index]
+        agent = FleetAgent.from_spec(outcome.agent_id, spec, host, port)
+        try:
+            agent.connect()
+            if reporter:
+                try:
+                    result = agent.produce_and_report(stop)
+                    outcome.signature = result.signature
+                    outcome.digest = result.digest
+                finally:
+                    with state_lock:
+                        reporters_done[0] += 1
+            agent.serve_until(stop)
+        except Exception as exc:  # recorded, never raised into the pool
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            outcome.trace_requests_served = agent.trace_requests_served
+            outcome.rejections = agent.rejections
+            agent.close()
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=agent_main, args=(i,), name=f"agent-{i:03d}")
+        for i in range(cfg.agents)
+    ]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + cfg.timeout
+    try:
+        while time.monotonic() < deadline:
+            with state_lock:
+                if reporters_done[0] >= reporters_total:
+                    break
+            time.sleep(0.05)
+    finally:
+        elapsed = time.perf_counter() - started
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        server.stop()
+
+    digests: dict[str, dict] = {}
+    for outcome in outcomes:
+        if outcome.signature is not None and outcome.digest is not None:
+            digests[outcome.signature] = outcome.digest
+    return FleetRunResult(
+        config=cfg,
+        elapsed=elapsed,
+        metrics=metrics.as_dict(),
+        outcomes=outcomes,
+        digests=digests,
+    )

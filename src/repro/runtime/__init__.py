@@ -3,7 +3,12 @@
 from repro.runtime.client import ClientRun, SnorlaxClient, Workload
 from repro.runtime.errortracker import FailureCode, classify
 from repro.runtime.protocol import FailureNotification, TraceRequest, TraceResponse
-from repro.runtime.server import ServerStats, SnorlaxServer
+from repro.runtime.server import (
+    ServerStats,
+    SnorlaxServer,
+    TraceTransport,
+    sample_from_run,
+)
 
 __all__ = [
     "ClientRun",
@@ -16,4 +21,6 @@ __all__ = [
     "TraceResponse",
     "ServerStats",
     "SnorlaxServer",
+    "TraceTransport",
+    "sample_from_run",
 ]

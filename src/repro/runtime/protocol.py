@@ -15,11 +15,18 @@ from repro.core.pipeline import TraceSample
 
 @dataclass(frozen=True)
 class TraceRequest:
-    """Server -> client: produce a trace at these PCs (step 8)."""
+    """Server -> client: produce a trace at these PCs (step 8).
+
+    ``breakpoint_skip`` asks the client to let that many executions of
+    the breakpoint PC pass before snapshotting, so collected traces come
+    from executions of varying maturity (see §4.1 and
+    ``SnorlaxServer.collect_successful_traces``).
+    """
 
     label: str
     seed: int
     breakpoint_uids: Sequence[int] = ()
+    breakpoint_skip: int = 0
 
 
 @dataclass

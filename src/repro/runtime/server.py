@@ -11,6 +11,7 @@ gathered it runs Lazy Diagnosis (steps 2-7) and returns the report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.pipeline import LazyDiagnosis, PipelineConfig, TraceSample
 from repro.core.report import DiagnosisReport
@@ -19,6 +20,23 @@ from repro.ir.cfg import predecessor_chain
 from repro.ir.module import Module
 from repro.runtime.client import ClientRun, SnorlaxClient
 from repro.runtime.protocol import TraceRequest, TraceResponse
+
+TraceTransport = Callable[[TraceRequest], TraceResponse]
+"""How the server reaches a client: in-process call or network hop."""
+
+
+def sample_from_run(label: str, run: ClientRun) -> TraceSample:
+    """Package one execution's trace snapshot as server-side evidence."""
+    if run.snapshot is None:
+        raise DiagnosisError(f"run {run.seed} has no trace snapshot")
+    return TraceSample(
+        label=label,
+        failing=run.failed,
+        buffers=dict(run.snapshot.buffers),
+        positions=dict(run.snapshot.positions),
+        failure=run.failure.report if run.failure else None,
+        snapshot_time=run.snapshot.time,
+    )
 
 
 @dataclass
@@ -54,10 +72,27 @@ class SnorlaxServer:
     def collect_successful_traces(
         self, client: SnorlaxClient, failing_uid: int, start_seed: int
     ) -> list[TraceSample]:
+        """Step 8 against an in-process client (see collect_traces_via)."""
+        return self.collect_traces_via(
+            lambda req: self.handle_trace_request(client, req),
+            failing_uid,
+            start_seed,
+        )
+
+    def collect_traces_via(
+        self, send: TraceTransport, failing_uid: int, start_seed: int
+    ) -> list[TraceSample]:
         """Step 8: successful-execution traces at the failure location.
 
         Tries the failure PC first; if no successful run ever reaches it,
         widens the breakpoint to predecessor blocks, nearest first.
+
+        ``send`` delivers one :class:`TraceRequest` to a client and
+        returns its :class:`TraceResponse` — the in-process call for the
+        single-machine runtime, a network round-trip for ``repro.fleet``.
+        Collection is deterministic in (seed, breakpoints, skip), so the
+        transport — and which endpoint serves each request — never
+        changes the evidence gathered.
         """
         samples: list[TraceSample] = []
         breakpoints = [failing_uid]
@@ -73,15 +108,19 @@ class SnorlaxServer:
             # of arbitrary maturity, which is what lets benign
             # occurrences of near-miss interleavings show up.
             skip = attempts % 7
-            run = client.run_once(
-                seed, breakpoint_uids=breakpoints, breakpoint_skip=skip
+            resp = send(
+                TraceRequest(
+                    label=f"success-{len(samples)}",
+                    seed=seed,
+                    breakpoint_uids=tuple(breakpoints),
+                    breakpoint_skip=skip,
+                )
             )
             seed += 1
             attempts += 1
-            self.stats.executions_requested += 1
-            if run.failed:
+            if resp.sample is not None and resp.sample.failing:
                 continue  # only successful executions feed step 8
-            if run.snapshot is None:
+            if resp.sample is None:
                 # Only zero-skip misses hint that the PC is unreachable
                 # in successful runs (e.g. failure in error-handling
                 # code); a miss with skip > 0 just means the location
@@ -92,9 +131,7 @@ class SnorlaxServer:
                     breakpoints = self._widen_breakpoints(failing_uid)
                     self.stats.breakpoint_fallbacks += 1
                 continue
-            samples.append(
-                self.sample_from_run(f"success-{len(samples)}", run)
-            )
+            samples.append(resp.sample)
             self.stats.success_traces += 1
         return samples
 
@@ -110,26 +147,22 @@ class SnorlaxServer:
         return uids
 
     def sample_from_run(self, label: str, run: ClientRun) -> TraceSample:
-        if run.snapshot is None:
-            raise DiagnosisError(f"run {run.seed} has no trace snapshot")
-        return TraceSample(
-            label=label,
-            failing=run.failed,
-            buffers=dict(run.snapshot.buffers),
-            positions=dict(run.snapshot.positions),
-            failure=run.failure.report if run.failure else None,
-            snapshot_time=run.snapshot.time,
-        )
+        return sample_from_run(label, run)
 
-    # -- message-level API (exercises the protocol types) ------------------
+    # -- message-level API (the transport collect_traces_via speaks) -------
 
     def handle_trace_request(
         self, client: SnorlaxClient, request: TraceRequest
     ) -> TraceResponse:
-        run = client.run_once(request.seed, breakpoint_uids=request.breakpoint_uids)
+        run = client.run_once(
+            request.seed,
+            breakpoint_uids=request.breakpoint_uids,
+            breakpoint_skip=request.breakpoint_skip,
+        )
+        self.stats.executions_requested += 1
         sample = None
         if run.snapshot is not None:
-            sample = self.sample_from_run(request.label, run)
+            sample = sample_from_run(request.label, run)
         return TraceResponse(
             label=request.label,
             outcome=run.result.outcome,

@@ -128,7 +128,55 @@ def test_handle_trace_request_protocol(module, client):
         assert resp.sample.buffers
 
 
-def test_widen_breakpoints_returns_predecessors(module):
+def test_handle_trace_request_counts_executions(module, client):
+    # Regression: the message-level API used to bypass the stats counter,
+    # so a server driven over the protocol under-reported executions.
+    server = SnorlaxServer(module)
+    req = TraceRequest(label="probe", seed=123)
+    server.handle_trace_request(client, req)
+    server.handle_trace_request(client, req)
+    assert server.stats.executions_requested == 2
+
+
+def test_handle_trace_request_honors_breakpoint_skip(module, client):
+    # Regression: breakpoint_skip was dropped on the protocol path, so
+    # message-driven collection could not vary execution maturity the way
+    # collect_successful_traces does.
+    server = SnorlaxServer(module)
+    ok = client.find_runs(False, 1)[0]
+    uid = next(i.uid for i in module.instructions() if i.loc and i.loc.line == 12)
+    base = server.handle_trace_request(
+        client, TraceRequest(label="s0", seed=ok.seed, breakpoint_uids=(uid,))
+    )
+    assert base.sample is not None
+    # An absurdly large skip means the breakpoint never fires, so a
+    # successful run produces no snapshot at all.
+    skipped = server.handle_trace_request(
+        client,
+        TraceRequest(
+            label="s1", seed=ok.seed, breakpoint_uids=(uid,), breakpoint_skip=10_000
+        ),
+    )
+    assert skipped.outcome == "success"
+    assert skipped.sample is None
+
+
+def test_collection_identical_via_message_api(module, client):
+    # The two collection paths must gather identical evidence: the
+    # in-process convenience wrapper is now defined as collect_traces_via
+    # over handle_trace_request.
+    failing = client.find_runs(True, 1)[0]
+    uid = failing.failure.failing_uid
+    a = SnorlaxServer(module, success_traces_wanted=4)
+    direct = a.collect_successful_traces(client, uid, 5_000)
+    b = SnorlaxServer(module, success_traces_wanted=4)
+    via = b.collect_traces_via(
+        lambda req: b.handle_trace_request(client, req), uid, 5_000
+    )
+    assert [s.label for s in direct] == [s.label for s in via]
+    assert [s.buffers for s in direct] == [s.buffers for s in via]
+    assert a.stats == b.stats
+    assert a.stats.executions_requested > 0
     server = SnorlaxServer(module)
     read_uid = next(
         i.uid for i in module.instructions() if i.loc and i.loc.line == 12
