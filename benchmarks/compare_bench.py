@@ -1,0 +1,97 @@
+"""Distill the diagnosis benchmarks into a machine-readable summary.
+
+Reads the rendered benchmark tables — ``benchmarks/out/table4.txt``
+(hybrid vs whole-program analysis speedup) and ``benchmarks/out/fleet.txt``
+(cold/warm fleet waves) — and emits ``benchmarks/out/BENCH_diagnosis.json``
+with the three headline numbers CI tracks across commits:
+
+- ``table4_geomean_speedup``: geometric-mean hybrid speedup over
+  whole-program analysis (paper reports 24x)
+- ``fleet_median_latency_ms``: cold/warm median per-diagnosis latency
+- ``fleet_cache_hit_rate``: warm-wave cache hit rate (analysis + trace)
+
+Run after the benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_table4_analysis_speedup.py \
+        benchmarks/test_fleet_throughput.py -q
+    python benchmarks/compare_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def parse_table4(text: str) -> dict:
+    match = re.search(r"^GEOMEAN\s*\|.*?([\d.]+)x", text, re.MULTILINE)
+    if not match:
+        raise ValueError("table4.txt has no GEOMEAN row")
+    per_system = {}
+    for line in text.splitlines():
+        cells = [c.strip() for c in line.split("|")]
+        if len(cells) == 7 and cells[0] not in ("system", "GEOMEAN", ""):
+            speedup = re.match(r"([\d.]+)x", cells[6])
+            if speedup:
+                per_system[cells[0]] = float(speedup.group(1))
+    return {
+        "table4_geomean_speedup": float(match.group(1)),
+        "table4_per_system_speedup": per_system,
+    }
+
+
+def _fleet_row(text: str, metric: str) -> tuple[str, str]:
+    for line in text.splitlines():
+        cells = [c.strip() for c in line.split("|")]
+        if len(cells) == 3 and cells[0] == metric:
+            return cells[1], cells[2]
+    raise ValueError(f"fleet.txt has no '{metric}' row")
+
+
+def parse_fleet(text: str) -> dict:
+    def ms(cell: str) -> float:
+        return float(cell.replace("ms", "").strip())
+
+    cold_lat, warm_lat = _fleet_row(text, "median diagnosis latency")
+    cold_ana, warm_ana = _fleet_row(text, "median analysis")
+    _, warm_rate = _fleet_row(text, "cache hit rate")
+    _, warm_ahits = _fleet_row(text, "cache hits (analysis)")
+    _, warm_thits = _fleet_row(text, "cache hits (trace)")
+    return {
+        "fleet_median_latency_ms": {"cold": ms(cold_lat), "warm": ms(warm_lat)},
+        "fleet_median_analysis_ms": {"cold": ms(cold_ana), "warm": ms(warm_ana)},
+        "fleet_cache_hit_rate": float(warm_rate.rstrip("%")) / 100.0,
+        "fleet_warm_cache_hits": {
+            "analysis": int(warm_ahits),
+            "trace": int(warm_thits),
+        },
+    }
+
+
+def main(out_dir: Path = OUT_DIR) -> dict:
+    summary: dict = {"benchmark": "diagnosis", "sources": []}
+    table4 = out_dir / "table4.txt"
+    fleet = out_dir / "fleet.txt"
+    if table4.exists():
+        summary.update(parse_table4(table4.read_text()))
+        summary["sources"].append(table4.name)
+    if fleet.exists():
+        summary.update(parse_fleet(fleet.read_text()))
+        summary["sources"].append(fleet.name)
+    if not summary["sources"]:
+        raise SystemExit(
+            "no benchmark output found; run the table4/fleet benchmarks first"
+        )
+    dest = out_dir / "BENCH_diagnosis.json"
+    dest.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {dest}", file=sys.stderr)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return summary
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,16 @@
 """Lazy Diagnosis: the paper's primary contribution (Figure 2, steps 2-7)."""
 
 from repro.core.accuracy import kendall_tau_distance, ordering_accuracy
-from repro.core.andersen import AndersenResult
+from repro.core.andersen import AndersenResult, SolverStats
+from repro.core.cache import (
+    AnalysisCache,
+    CacheStats,
+    DecodedTraceCache,
+    DiagnosisCaches,
+    ModuleIndex,
+    module_fingerprint,
+    module_index,
+)
 from repro.core.constraints import AbstractObject, ConstraintSystem, generate_constraints
 from repro.core.patterns import (
     PatternComputation,
@@ -28,6 +37,14 @@ __all__ = [
     "kendall_tau_distance",
     "ordering_accuracy",
     "AndersenResult",
+    "SolverStats",
+    "AnalysisCache",
+    "CacheStats",
+    "DecodedTraceCache",
+    "DiagnosisCaches",
+    "ModuleIndex",
+    "module_fingerprint",
+    "module_index",
     "AbstractObject",
     "ConstraintSystem",
     "generate_constraints",

@@ -75,6 +75,7 @@ class ConstraintSystem:
     # objects by site uid, for cross-checking against the simulator
     objects: dict[int, AbstractObject] = field(default_factory=dict)
     functions_by_object: dict[AbstractObject, Function] = field(default_factory=dict)
+    object_of_function: dict[Function, AbstractObject] = field(default_factory=dict)
     returns_of: dict[Function, list[Value]] = field(default_factory=dict)
     instructions_analyzed: int = 0
 
@@ -94,7 +95,16 @@ def _is_trackable(value: Value) -> bool:
 def generate_constraints(
     module: Module, executed_uids: set[int] | None = None
 ) -> ConstraintSystem:
-    """Build the constraint system; ``executed_uids=None`` = whole program."""
+    """Build the constraint system; ``executed_uids=None`` = whole program.
+
+    With a scope, generation iterates the *executed uids* directly (uid
+    order is program order) instead of walking the whole module and
+    filtering — the hybrid analysis' cost is proportional to the trace,
+    not the program.  Module-wide facts that ignore scope (return-value
+    collection) come precomputed from the module index.
+    """
+    from repro.core.cache import module_index
+
     system = ConstraintSystem()
     for g in module.globals.values():
         obj = AbstractObject("global", g.uid, g.name)
@@ -106,15 +116,21 @@ def generate_constraints(
     for fn in module.functions.values():
         fobj = AbstractObject("func", 0, fn.name)
         system.functions_by_object[fobj] = fn
-        system.returns_of[fn] = []
-    for fn in module.functions.values():
-        for instr in fn.instructions():
-            if isinstance(instr, Ret) and instr.value is not None:
-                if _is_trackable(instr.value):
-                    # Returns are collected even outside the executed set:
-                    # they only matter if some executed call targets fn.
-                    system.returns_of[fn].append(instr.value)
-            if executed_uids is not None and instr.uid not in executed_uids:
+        system.object_of_function[fn] = fobj
+    # Returns are collected even outside the executed set: they only
+    # matter if some executed call targets fn.  The index has them.
+    for fn, rets in module_index(module).returns_of.items():
+        system.returns_of[fn] = list(rets)
+    if executed_uids is None:
+        for fn in module.functions.values():
+            for instr in fn.instructions():
+                _constrain_instruction(system, instr)
+                system.instructions_analyzed += 1
+    else:
+        # sorted uids = program order (uids are assigned in program order)
+        for uid in sorted(executed_uids):
+            instr = module.instruction_or_none(uid)
+            if instr is None:
                 continue
             _constrain_instruction(system, instr)
             system.instructions_analyzed += 1
@@ -122,7 +138,10 @@ def generate_constraints(
 
 
 def _function_object(system: ConstraintSystem, fn: Function) -> AbstractObject:
-    for obj, f in system.functions_by_object.items():
+    obj = system.object_of_function.get(fn)
+    if obj is not None:
+        return obj
+    for obj, f in system.functions_by_object.items():  # legacy systems
         if f is fn:
             return obj
     raise KeyError(fn.name)

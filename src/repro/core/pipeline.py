@@ -75,12 +75,24 @@ class TraceSample:
 
 
 class LazyDiagnosis:
-    def __init__(self, module: Module, config: PipelineConfig | None = None):
+    def __init__(
+        self,
+        module: Module,
+        config: PipelineConfig | None = None,
+        analysis_cache=None,
+        trace_cache=None,
+    ):
         self.module = module
         self.config = config or PipelineConfig()
+        self.analysis_cache = analysis_cache  # AnalysisCache | None
+        self.trace_cache = trace_cache  # DecodedTraceCache | None
         self.last_analysis: PointsToAnalysis | None = None
         self.last_ranking: RankingResult | None = None
         self.last_traces: list[ProcessedTrace] = []
+        # per-diagnose() observability: cache hit/miss counts and wall
+        # time per pipeline stage, consumed by the fleet metrics.
+        self.last_cache_events: dict[str, int] = {}
+        self.last_stage_seconds: dict[str, float] = {}
 
     # -- public API -----------------------------------------------------
 
@@ -94,9 +106,22 @@ class LazyDiagnosis:
             raise DiagnosisError("failing sample carries no failure report")
         started = _time.perf_counter()
         cfg = self.config
+        self.last_cache_events = {
+            "analysis_cache_hits": 0,
+            "analysis_cache_misses": 0,
+            "trace_cache_hits": 0,
+            "trace_cache_misses": 0,
+        }
+        stages = self.last_stage_seconds = {}
+        # operand recovery happens once per diagnosis — every sample's
+        # trace processing reuses the same anchors.
+        operands, anchors = self._recover_operands(report_failure)
         # steps 2+3: trace processing per execution
-        traces = [self._process(s, report_failure) for s in failing + successes]
+        traces = [
+            self._process(s, report_failure, anchors) for s in failing + successes
+        ]
         self.last_traces = traces
+        stages["trace_processing"] = _time.perf_counter() - started
         executed: set[int] = set()
         for t in traces:
             executed |= t.executed_uids
@@ -107,11 +132,21 @@ class LazyDiagnosis:
                 executed.add(entry.instr_uid)
         scope = executed if cfg.scope_restriction else None
         # step 4: hybrid points-to over the (restricted) scope
-        analysis = PointsToAnalysis(self.module, scope, cfg.algorithm).run()
+        stage_start = _time.perf_counter()
+        analysis = PointsToAnalysis(
+            self.module, scope, cfg.algorithm, cache=self.analysis_cache
+        ).run()
         self.last_analysis = analysis
-        # operand recovery + step 5: type-based ranking
+        if self.analysis_cache is not None:
+            outcome = analysis.stats.extra.get("cache")
+            if outcome == "hit":
+                self.last_cache_events["analysis_cache_hits"] += 1
+            elif outcome == "miss":
+                self.last_cache_events["analysis_cache_misses"] += 1
+        stages["points_to"] = _time.perf_counter() - stage_start
+        # step 5: type-based ranking
+        stage_start = _time.perf_counter()
         is_deadlock = report_failure.kind == "deadlock"
-        operands, anchors = self._recover_operands(report_failure)
         ranking = rank_candidates(
             self.module,
             analysis,
@@ -123,7 +158,9 @@ class LazyDiagnosis:
         if not cfg.type_ranking:
             ranking = _flatten_ranks(ranking)
         self.last_ranking = ranking
+        stages["ranking"] = _time.perf_counter() - stage_start
         # step 6: per-execution bug pattern computation
+        stage_start = _time.perf_counter()
         observations: list[ExecutionObservation] = []
         computations: list[PatternComputation] = []
         anchor_role = anchors[0][1] if anchors else "R"
@@ -138,13 +175,16 @@ class LazyDiagnosis:
                 )
                 computations.append(comp)
                 observations.append(observe(sample.label, sample.failing, comp))
+        stages["pattern_computation"] = _time.perf_counter() - stage_start
         # step 7: statistical diagnosis
+        stage_start = _time.perf_counter()
         if cfg.statistical_diagnosis and observations:
             scored = score_patterns(cap_successful(observations))
         elif observations:
             scored = score_patterns(observations[: len(failing)])
         else:
             scored = []
+        stages["statistical_diagnosis"] = _time.perf_counter() - stage_start
         elapsed = _time.perf_counter() - started
         return self._build_report(
             report_failure, scored, traces, ranking, computations, elapsed, anchor_role
@@ -152,12 +192,14 @@ class LazyDiagnosis:
 
     # -- stages ---------------------------------------------------------------
 
-    def _process(self, sample: TraceSample, failure: FailureReport) -> ProcessedTrace:
-        from repro.pt.decoder import decode_thread_trace
-
+    def _process(
+        self,
+        sample: TraceSample,
+        failure: FailureReport,
+        anchors: list[tuple[int, str, Value]],
+    ) -> ProcessedTrace:
         thread_traces = {
-            tid: decode_thread_trace(self.module, data, tid, self.config.mtc_period_ns)
-            for tid, data in sample.buffers.items()
+            tid: self._decode(data, tid) for tid, data in sample.buffers.items()
         }
         trace = process_snapshot(sample.label, thread_traces, sample.failing)
         if (
@@ -171,7 +213,6 @@ class LazyDiagnosis:
                 [(e.tid, e.instr_uid, e.since) for e in failure.cycle],
             )
         if not isinstance(failure, DeadlockReport):
-            _, anchors = self._recover_operands(failure)
             if sample.failing:
                 tid, time = failure.failing_tid, failure.time
             else:
@@ -197,6 +238,20 @@ class LazyDiagnosis:
                     prefer_decoded=False,
                 )
         return trace
+
+    def _decode(self, data: bytes, tid: int):
+        """Decode one PT buffer, via the shared trace cache when present."""
+        if self.trace_cache is not None:
+            return self.trace_cache.get_or_decode(
+                self.module,
+                data,
+                tid,
+                self.config.mtc_period_ns,
+                self.last_cache_events,
+            )
+        from repro.pt.decoder import decode_thread_trace
+
+        return decode_thread_trace(self.module, data, tid, self.config.mtc_period_ns)
 
     def _stop_thread(
         self, sample: TraceSample, breakpoint_uid: int
@@ -354,8 +409,10 @@ class LazyDiagnosis:
                 report.target_events.append(
                     describe_event(self.module, uid, role, slots.get(slot_char, 0))
                 )
+        from repro.core.cache import module_index
+
         st = report.stage_stats
-        st.program_instructions = self.module.instruction_count()
+        st.program_instructions = module_index(self.module).instruction_count
         executed: set[int] = set()
         for t in traces:
             executed |= t.executed_uids

@@ -20,7 +20,12 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field
 
-from repro.core.andersen import AndersenResult, solve as andersen_solve
+from repro.core.andersen import (
+    AndersenResult,
+    solve as andersen_solve,
+    solve_naive as andersen_solve_naive,
+)
+from repro.core.cache import AnalysisCache, CachedAnalysis, module_index
 from repro.core.constraints import (
     AbstractObject,
     ConstraintSystem,
@@ -28,6 +33,8 @@ from repro.core.constraints import (
 )
 from repro.core.steensgaard import SteensgaardResult, solve as steensgaard_solve
 from repro.ir.module import Module
+
+_ALGORITHMS = ("andersen", "andersen-naive", "steensgaard")
 
 
 @dataclass
@@ -61,12 +68,14 @@ class PointsToAnalysis:
         module: Module,
         executed_uids: set[int] | None = None,
         algorithm: str = "andersen",
+        cache: AnalysisCache | None = None,
     ):
-        if algorithm not in ("andersen", "steensgaard"):
+        if algorithm not in _ALGORITHMS:
             raise ValueError(f"unknown points-to algorithm {algorithm!r}")
         self.module = module
         self.executed_uids = executed_uids
         self.algorithm = algorithm
+        self.cache = cache
         self.result: AndersenResult | SteensgaardResult | None = None
         self.system: ConstraintSystem | None = None
         self.stats = PointsToStats(
@@ -76,13 +85,36 @@ class PointsToAnalysis:
 
     def run(self) -> "PointsToAnalysis":
         start = _time.perf_counter()
+        key = None
+        if self.cache is not None:
+            key = AnalysisCache.key_for(
+                self.module, self.executed_uids, self.algorithm
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                assert isinstance(cached, CachedAnalysis)
+                self.system = cached.system  # type: ignore[assignment]
+                self.result = cached.result  # type: ignore[assignment]
+                self.stats.extra["cache"] = "hit"
+                self._finish_stats(start)
+                return self
+            self.stats.extra["cache"] = "miss"
         self.system = generate_constraints(self.module, self.executed_uids)
         if self.algorithm == "andersen":
             self.result = andersen_solve(self.system)
+        elif self.algorithm == "andersen-naive":
+            self.result = andersen_solve_naive(self.system)
         else:
             self.result = steensgaard_solve(self.system)
+        if self.cache is not None and key is not None:
+            self.cache.put(key, CachedAnalysis(self.system, self.result))
+        self._finish_stats(start)
+        return self
+
+    def _finish_stats(self, start: float) -> None:
+        assert self.system is not None
         self.stats.analysis_seconds = _time.perf_counter() - start
-        self.stats.instructions_total = self.module.instruction_count()
+        self.stats.instructions_total = module_index(self.module).instruction_count
         self.stats.instructions_analyzed = self.system.instructions_analyzed
         self.stats.constraints = (
             len(self.system.copies)
@@ -90,7 +122,6 @@ class PointsToAnalysis:
             + len(self.system.stores)
             + sum(len(v) for v in self.system.addr_of.values())
         )
-        return self
 
     # -- queries used by later stages --------------------------------------
 

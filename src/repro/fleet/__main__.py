@@ -32,12 +32,29 @@ def main(argv: list[str] | None = None) -> int:
         default=3,
         help="endpoints per bug that hit the bug and report it",
     )
-    parser.add_argument("--workers", type=int, default=3, help="diagnosis workers")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="diagnosis workers (default: auto-scale to the machine)",
+    )
     parser.add_argument(
         "--max-pending", type=int, default=8, help="job-queue bound (backpressure)"
     )
     parser.add_argument(
         "--traces", type=int, default=10, help="successful traces per diagnosis"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the analysis/trace caches (ablation)",
+    )
+    parser.add_argument(
+        "--collect-parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="speculate N trace-collection requests concurrently per diagnosis",
     )
     args = parser.parse_args(argv)
 
@@ -48,6 +65,8 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         max_pending=args.max_pending,
         success_traces_wanted=args.traces,
+        cache_enabled=not args.no_cache,
+        collection_parallelism=args.collect_parallel,
     )
     metrics = FleetMetrics()
     result = run_fleet(config, metrics=metrics)

@@ -17,6 +17,7 @@ jobs on a bounded worker pool.  Three properties matter in production:
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from time import perf_counter
@@ -49,13 +50,18 @@ class DiagnosisJobQueue:
 
     def __init__(
         self,
-        workers: int = 2,
+        workers: int | None = 2,
         max_pending: int = 8,
         retry_after: float = 0.25,
         metrics: FleetMetrics | None = None,
     ):
+        if workers is None:
+            # auto-scale to the machine: one worker per core, bounded —
+            # diagnosis is CPU-bound, more workers than cores just thrash
+            workers = max(2, min(8, os.cpu_count() or 2))
         if workers < 1:
             raise FleetError("job queue needs at least one worker")
+        self.workers = workers
         if max_pending < 1:
             raise FleetError("job queue needs max_pending >= 1")
         self.metrics = metrics or FleetMetrics()

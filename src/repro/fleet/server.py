@@ -32,7 +32,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.pipeline import LazyDiagnosis, PipelineConfig
+from repro.core.cache import DiagnosisCaches
+from repro.core.pipeline import PipelineConfig
 from repro.core.report import DiagnosisReport
 from repro.errors import FleetError, WireError
 from repro.fleet.jobs import DiagnosisJobQueue, JobRejected, QueueClosed
@@ -151,7 +152,7 @@ class FleetServer:
         module_resolver: Callable[[str], Module] | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
-        workers: int = 2,
+        workers: int | None = 2,
         max_pending: int = 8,
         retry_after: float = 0.25,
         success_traces_wanted: int = 10,
@@ -159,6 +160,9 @@ class FleetServer:
         config: PipelineConfig | None = None,
         metrics: FleetMetrics | None = None,
         request_timeout: float = 120.0,
+        caches: DiagnosisCaches | None = None,
+        enable_caches: bool = True,
+        collection_parallelism: int = 1,
     ):
         self.host = host
         self.port = port
@@ -166,6 +170,10 @@ class FleetServer:
         self.success_traces_wanted = success_traces_wanted
         self.start_seed = start_seed
         self.request_timeout = request_timeout
+        self.collection_parallelism = collection_parallelism
+        # the server-lifetime caches every diagnosis shares; passing a
+        # caches object in lets a fleet keep them warm across restarts
+        self.caches = (caches or DiagnosisCaches()) if enable_caches else None
         self.metrics = metrics or FleetMetrics()
         self.jobs = DiagnosisJobQueue(
             workers=workers,
@@ -383,6 +391,9 @@ class FleetServer:
             module,
             config=self.config,
             success_traces_wanted=self.success_traces_wanted,
+            collection_parallelism=self.collection_parallelism,
+            analysis_cache=self.caches.analysis if self.caches else None,
+            trace_cache=self.caches.traces if self.caches else None,
         )
         snorlax.stats.failing_traces += 1
         with self.metrics.timer("collection_latency"):
@@ -393,8 +404,13 @@ class FleetServer:
             )
         self.metrics.inc("traces_collected", len(successes))
         with self.metrics.timer("analysis_latency"):
-            pipeline = LazyDiagnosis(module, self.config)
+            pipeline = snorlax.make_pipeline()
             report = pipeline.diagnose([env.sample], successes)
+        for name, count in pipeline.last_cache_events.items():
+            if count:
+                self.metrics.inc(name, count)
+        for stage, seconds in pipeline.last_stage_seconds.items():
+            self.metrics.observe(f"stage_{stage}", seconds)
         self.metrics.inc("diagnoses_completed")
         return report
 

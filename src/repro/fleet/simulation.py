@@ -33,9 +33,11 @@ class FleetConfig:
     agents: int = 50
     bug_ids: tuple[str, ...] = DEFAULT_BUGS
     reporters_per_bug: int = 3
-    workers: int = 3
+    workers: int | None = 3  # None: auto-scale to the machine
     max_pending: int = 8
     success_traces_wanted: int = 10
+    cache_enabled: bool = True
+    collection_parallelism: int = 1
     host: str = "127.0.0.1"
     port: int = 0  # 0: pick a free port
     timeout: float = 600.0
@@ -82,6 +84,26 @@ class FleetRunResult:
         timer = self.metrics["timers"].get("diagnosis_latency")
         return timer["median_s"] if timer else 0.0
 
+    @property
+    def analysis_cache_hits(self) -> int:
+        return self.metrics["counters"].get("analysis_cache_hits", 0)
+
+    @property
+    def trace_cache_hits(self) -> int:
+        return self.metrics["counters"].get("trace_cache_hits", 0)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.analysis_cache_hits + self.trace_cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        counters = self.metrics["counters"]
+        lookups = self.cache_hits + counters.get(
+            "analysis_cache_misses", 0
+        ) + counters.get("trace_cache_misses", 0)
+        return self.cache_hits / lookups if lookups else 0.0
+
     def render(self) -> str:
         reporters = [o for o in self.outcomes if o.reporter]
         failed = [o for o in self.outcomes if o.error]
@@ -96,6 +118,9 @@ class FleetRunResult:
             f"(dedup folded {self.dedup_hits} reports)",
             f"median latency:    {self.median_diagnosis_latency_s * 1000:.0f} ms "
             f"per diagnosis",
+            f"cache hits:        {self.cache_hits} "
+            f"({self.cache_hit_rate:.0%} of lookups; "
+            f"{self.analysis_cache_hits} analysis, {self.trace_cache_hits} trace)",
             f"agent errors:      {len(failed)}",
         ]
         for signature, digest in sorted(self.digests.items()):
@@ -105,8 +130,14 @@ class FleetRunResult:
 
 
 def run_fleet(
-    config: FleetConfig | None = None, metrics: FleetMetrics | None = None
+    config: FleetConfig | None = None,
+    metrics: FleetMetrics | None = None,
+    caches=None,
 ) -> FleetRunResult:
+    """Run one fleet simulation.  Passing ``caches`` (a
+    :class:`~repro.core.cache.DiagnosisCaches`) keeps the server's
+    analysis/trace caches warm across runs — the warm-restart scenario
+    the cache benchmark measures."""
     cfg = config or FleetConfig()
     if cfg.agents < len(cfg.bug_ids):
         raise FleetError("need at least one agent per bug")
@@ -124,6 +155,9 @@ def run_fleet(
         max_pending=cfg.max_pending,
         success_traces_wanted=cfg.success_traces_wanted,
         metrics=metrics,
+        caches=caches,
+        enable_caches=cfg.cache_enabled,
+        collection_parallelism=cfg.collection_parallelism,
     )
     host, port = server.start()
 

@@ -111,6 +111,12 @@ class Module:
         except KeyError:
             raise IRError(f"module {self.name} has no instruction uid={uid}") from None
 
+    def instruction_or_none(self, uid: int) -> Instruction | None:
+        """Like :meth:`instruction` but None for unknown uids (e.g. a
+        traced uid that names a block or global, not an instruction)."""
+        self._require_finalized()
+        return self._instr_by_uid.get(uid)
+
     def block(self, uid: int) -> BasicBlock:
         self._require_finalized()
         try:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.cache import AnalysisCache, DecodedTraceCache
 from repro.core.pipeline import LazyDiagnosis, PipelineConfig, TraceSample
 from repro.core.report import DiagnosisReport
 from repro.errors import DiagnosisError
@@ -53,7 +54,14 @@ class SnorlaxServer:
     config: PipelineConfig = field(default_factory=PipelineConfig)
     success_traces_wanted: int = 10
     max_collection_attempts: int = 2000
+    # >1 speculates trace requests concurrently (the evidence gathered is
+    # byte-identical to serial collection — see _collect_parallel)
+    collection_parallelism: int = 1
+    # shared caches: repeat diagnoses skip decoding / points-to
+    analysis_cache: AnalysisCache | None = None
+    trace_cache: DecodedTraceCache | None = None
     stats: ServerStats = field(default_factory=ServerStats)
+    last_pipeline: LazyDiagnosis | None = field(default=None, repr=False)
 
     def diagnose_failure(
         self, failing_run: ClientRun, client: SnorlaxClient, start_seed: int = 10_000
@@ -66,8 +74,19 @@ class SnorlaxServer:
         successes = self.collect_successful_traces(
             client, failing_run.failure.failing_uid, start_seed
         )
-        pipeline = LazyDiagnosis(self.module, self.config)
+        pipeline = self.make_pipeline()
         return pipeline.diagnose([failing_sample], successes)
+
+    def make_pipeline(self) -> LazyDiagnosis:
+        """A pipeline bound to this server's config and shared caches."""
+        pipeline = LazyDiagnosis(
+            self.module,
+            self.config,
+            analysis_cache=self.analysis_cache,
+            trace_cache=self.trace_cache,
+        )
+        self.last_pipeline = pipeline
+        return pipeline
 
     def collect_successful_traces(
         self, client: SnorlaxClient, failing_uid: int, start_seed: int
@@ -93,7 +112,13 @@ class SnorlaxServer:
         Collection is deterministic in (seed, breakpoints, skip), so the
         transport — and which endpoint serves each request — never
         changes the evidence gathered.
+
+        ``collection_parallelism > 1`` overlaps request round-trips by
+        speculating batches; the consumed evidence is byte-identical to
+        what this serial loop gathers (see :meth:`_collect_parallel`).
         """
+        if self.collection_parallelism > 1:
+            return self._collect_parallel(send, failing_uid, start_seed)
         samples: list[TraceSample] = []
         breakpoints = [failing_uid]
         seed = start_seed
@@ -133,6 +158,67 @@ class SnorlaxServer:
                 continue
             samples.append(resp.sample)
             self.stats.success_traces += 1
+        return samples
+
+    def _collect_parallel(
+        self, send: TraceTransport, failing_uid: int, start_seed: int
+    ) -> list[TraceSample]:
+        """Speculative batched collection, serial-equivalent by design.
+
+        The serial loop's request parameters depend only on the attempt
+        index (seed = start_seed + attempt, skip = attempt % 7) and the
+        current breakpoint set — the per-request *label* is the one thing
+        derived from consumed results, and it is rewritten at consume
+        time.  So a whole batch can be speculated and sent concurrently,
+        then consumed in attempt order with the serial policy applied.
+        When consuming a response changes the policy state — breakpoint
+        widening fires, or enough samples arrived — the rest of the
+        batch is discarded *without* counting those attempts, and the
+        next batch re-speculates the same attempt indices against the
+        new state.  The evidence gathered is therefore byte-identical to
+        serial collection; only wall-clock changes.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        samples: list[TraceSample] = []
+        breakpoints = [failing_uid]
+        attempts = 0
+        misses_at_pc = 0
+        width = self.collection_parallelism
+        with ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix="collect"
+        ) as pool:
+            while (
+                len(samples) < self.success_traces_wanted
+                and attempts < self.max_collection_attempts
+            ):
+                batch = min(width, self.max_collection_attempts - attempts)
+                requests = [
+                    TraceRequest(
+                        label=f"speculative-{attempts + i}",
+                        seed=start_seed + attempts + i,
+                        breakpoint_uids=tuple(breakpoints),
+                        breakpoint_skip=(attempts + i) % 7,
+                    )
+                    for i in range(batch)
+                ]
+                for request, resp in zip(requests, pool.map(send, requests)):
+                    attempts += 1
+                    if resp.sample is not None and resp.sample.failing:
+                        continue  # only successful executions feed step 8
+                    if resp.sample is None:
+                        if request.breakpoint_skip == 0:
+                            misses_at_pc += 1
+                        if misses_at_pc >= 25 and len(breakpoints) == 1:
+                            breakpoints = self._widen_breakpoints(failing_uid)
+                            self.stats.breakpoint_fallbacks += 1
+                            break  # rest of batch used stale breakpoints
+                        continue
+                    resp.sample.label = f"success-{len(samples)}"
+                    samples.append(resp.sample)
+                    self.stats.success_traces += 1
+                    if len(samples) >= self.success_traces_wanted:
+                        break
         return samples
 
     def _widen_breakpoints(self, failing_uid: int) -> list[int]:

@@ -1,0 +1,165 @@
+"""The diagnosis caches: content keys, hit accounting, LRU bounds."""
+
+from repro.core import PointsToAnalysis
+from repro.core.cache import (
+    AnalysisCache,
+    DecodedTraceCache,
+    module_fingerprint,
+    module_index,
+)
+from repro.ir import parse_module
+from repro.pt import PTDriver, TraceConfig
+from repro.sim import Machine, RandomScheduler
+
+SRC = """
+module t
+global g: ptr<i64> = null
+
+func main() -> void {
+entry:
+  %x = malloc i64
+  store %x, @g
+  %y = load @g
+  ret
+}
+"""
+
+# same module with one extra instruction: a *different* program
+SRC_MUTATED = SRC.replace("%y = load @g", "%y = load @g\n  %z = load @g")
+
+TRACED = """
+module t
+global g: i64 = 0
+
+func main(n: i64) -> void {
+entry:
+  %i = alloca i64
+  store 0, %i
+  br loop
+loop:
+  %iv = load %i
+  %c = cmp lt %iv, %n
+  cbr %c, body, done
+body:
+  store %iv, @g
+  %i2 = add %iv, 1
+  store %i2, %i
+  br loop
+done:
+  ret
+}
+"""
+
+
+# -- fingerprints -----------------------------------------------------------
+
+
+def test_fingerprint_is_content_keyed():
+    a = parse_module(SRC)
+    b = parse_module(SRC)
+    mutated = parse_module(SRC_MUTATED)
+    assert module_fingerprint(a) == module_fingerprint(b)
+    assert module_fingerprint(a) != module_fingerprint(mutated)
+
+
+def test_module_index_is_cached_per_object():
+    m = parse_module(SRC)
+    assert module_index(m) is module_index(m)
+    assert module_index(m).instruction_count == m.instruction_count()
+
+
+# -- analysis cache ---------------------------------------------------------
+
+
+def test_analysis_cache_hit_returns_same_result():
+    cache = AnalysisCache()
+    m = parse_module(SRC)
+    first = PointsToAnalysis(m, cache=cache).run()
+    assert first.stats.extra["cache"] == "miss"
+    second = PointsToAnalysis(m, cache=cache).run()
+    assert second.stats.extra["cache"] == "hit"
+    assert second.result is first.result
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    insts = {i.name: i for i in m.instructions() if i.name}
+    assert second.may_alias(insts["x"], insts["y"])
+
+
+def test_mutated_module_misses():
+    cache = AnalysisCache()
+    PointsToAnalysis(parse_module(SRC), cache=cache).run()
+    mutated = PointsToAnalysis(parse_module(SRC_MUTATED), cache=cache).run()
+    assert mutated.stats.extra["cache"] == "miss"
+    assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+
+def test_scope_and_algorithm_key_the_cache():
+    cache = AnalysisCache()
+    m = parse_module(SRC)
+    uids = {i.uid for i in m.instructions()}
+    PointsToAnalysis(m, cache=cache).run()
+    assert PointsToAnalysis(m, uids, cache=cache).run().stats.extra["cache"] == "miss"
+    assert (
+        PointsToAnalysis(m, algorithm="andersen-naive", cache=cache)
+        .run()
+        .stats.extra["cache"]
+        == "miss"
+    )
+    # equal scope content hits regardless of set identity
+    assert (
+        PointsToAnalysis(m, set(uids), cache=cache).run().stats.extra["cache"]
+        == "hit"
+    )
+
+
+# -- decoded trace cache ----------------------------------------------------
+
+
+def _snapshot():
+    m = parse_module(TRACED)
+    driver = PTDriver(TraceConfig())
+    machine = Machine(m, scheduler=RandomScheduler(0), trace_driver=driver)
+    result = machine.run("main", (5,))
+    assert result.outcome == "success"
+    snap = driver.take_snapshot("test", machine.thread_positions(), machine.clock.now)
+    return m, snap
+
+
+def test_trace_cache_decodes_once():
+    m, snap = _snapshot()
+    cache = DecodedTraceCache()
+    events: dict[str, int] = {}
+    (tid, data), *_ = snap.buffers.items()
+    first = cache.get_or_decode(m, data, tid, 4096, events)
+    second = cache.get_or_decode(m, data, tid, 4096, events)
+    assert second is first  # same decoded object, not a re-decode
+    assert events == {"trace_cache_misses": 1, "trace_cache_hits": 1}
+    # a different mtc period is a different decode
+    third = cache.get_or_decode(m, data, tid, 8192, events)
+    assert third is not first
+    assert events["trace_cache_misses"] == 2
+
+
+def test_trace_cache_keys_on_buffer_content():
+    m, snap = _snapshot()
+    cache = DecodedTraceCache()
+    (tid, data), *_ = snap.buffers.items()
+    cache.get_or_decode(m, data, tid, 4096)
+    cache.get_or_decode(m, bytes(data), tid, 4096)  # equal content: hit
+    assert cache.stats.hits == 1
+    cache.get_or_decode(m, data, tid + 1000, 4096)  # different tid: miss
+    assert cache.stats.misses == 2
+
+
+# -- LRU bounds -------------------------------------------------------------
+
+
+def test_lru_eviction_accounting():
+    cache = AnalysisCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)  # evicts "a"
+    assert cache.stats.evictions == 1
+    assert cache.get("a") is None
+    assert cache.get("c") == 3
+    assert len(cache) == 2
+    assert cache.stats.hit_rate == 0.5

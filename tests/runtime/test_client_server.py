@@ -161,6 +161,51 @@ def test_handle_trace_request_honors_breakpoint_skip(module, client):
     assert skipped.sample is None
 
 
+def test_parallel_collection_gathers_identical_evidence(module, client):
+    # Speculative parallel collection must be invisible in the evidence:
+    # same samples, same labels, same bytes as the serial policy — only
+    # wall-clock (and the number of *issued* requests) may differ.
+    failing = client.find_runs(True, 1)[0]
+    uid = failing.failure.failing_uid
+    serial = SnorlaxServer(module, success_traces_wanted=4)
+    base = serial.collect_successful_traces(client, uid, 5_000)
+    parallel = SnorlaxServer(
+        module, success_traces_wanted=4, collection_parallelism=3
+    )
+    spec = parallel.collect_successful_traces(client, uid, 5_000)
+    assert [s.label for s in base] == [s.label for s in spec]
+    assert [s.buffers for s in base] == [s.buffers for s in spec]
+    assert [s.positions for s in base] == [s.positions for s in spec]
+    assert parallel.stats.success_traces == serial.stats.success_traces
+
+
+def test_server_caches_shared_across_diagnoses(module, client):
+    from repro.core.cache import AnalysisCache, DecodedTraceCache
+
+    failing = client.find_runs(True, 1)[0]
+    server = SnorlaxServer(
+        module,
+        analysis_cache=AnalysisCache(),
+        trace_cache=DecodedTraceCache(),
+    )
+    first = server.diagnose_failure(failing, client)
+    cold = dict(server.last_pipeline.last_cache_events)
+    assert cold["analysis_cache_misses"] == 1
+    # even a cold diagnosis may hit: successful runs with identical
+    # workloads produce byte-identical buffers, which decode once
+    assert cold["trace_cache_misses"] > 0
+    second = server.diagnose_failure(failing, client)
+    warm = server.last_pipeline.last_cache_events
+    # identical evidence: points-to and every decode come from cache
+    assert warm["analysis_cache_hits"] == 1
+    assert warm["trace_cache_misses"] == 0
+    assert (
+        warm["trace_cache_hits"]
+        == cold["trace_cache_misses"] + cold["trace_cache_hits"]
+    )
+    assert first.root_cause.signature == second.root_cause.signature
+
+
 def test_collection_identical_via_message_api(module, client):
     # The two collection paths must gather identical evidence: the
     # in-process convenience wrapper is now defined as collect_traces_via
