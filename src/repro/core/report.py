@@ -67,6 +67,10 @@ class DiagnosisReport:
     # (no pattern correlates with failure — the trace could not order the
     # events), the likely-involved events are still reported, unordered.
     unordered_candidates: list[TargetEventReport] = field(default_factory=list)
+    # graceful degradation: the collection deadline expired before the
+    # wanted number of successful traces arrived; the diagnosis ran on
+    # thinner evidence and says so rather than failing outright
+    degraded: bool = False
 
     @property
     def diagnosed(self) -> bool:
@@ -144,6 +148,8 @@ class DiagnosisReport:
             f"{st.patterns_top_f1} top-F1"
         )
         lines.append(f"analysis time: {st.analysis_seconds * 1000:.1f} ms")
+        if self.degraded:
+            lines.append("evidence:      DEGRADED (collection deadline hit)")
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)

@@ -10,6 +10,8 @@ Layers::
 
     wire        length-prefixed, checksummed binary frames for the
                 runtime protocol messages and TraceSample payloads
+    chaos       deterministic, seed-driven fault injection over the
+                wire transports (corruption, drops, delays, crashes)
     metrics     thread-safe counters/gauges/latency timers
     jobs        bounded diagnosis worker pool: dedup + backpressure
     server      asyncio TCP server wrapping SnorlaxServer
@@ -18,6 +20,13 @@ Layers::
 """
 
 from repro.fleet.agent import FleetAgent
+from repro.fleet.chaos import (
+    AgentCrashed,
+    ChaosSocket,
+    FaultEngine,
+    FaultPlan,
+    LinkCut,
+)
 from repro.fleet.jobs import DiagnosisJobQueue, JobRejected, QueueClosed
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.server import (
@@ -49,6 +58,11 @@ from repro.fleet.wire import (
 
 __all__ = [
     "FleetAgent",
+    "AgentCrashed",
+    "ChaosSocket",
+    "FaultEngine",
+    "FaultPlan",
+    "LinkCut",
     "DiagnosisJobQueue",
     "JobRejected",
     "QueueClosed",

@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.fleet.chaos import FaultPlan
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.simulation import DEFAULT_BUGS, FleetConfig, run_fleet
 
@@ -56,8 +57,74 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="speculate N trace-collection requests concurrently per diagnosis",
     )
+    chaos = parser.add_argument_group(
+        "chaos", "deterministic fault injection (all rates are per-frame)"
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0, help="fault-plan seed"
+    )
+    chaos.add_argument(
+        "--chaos-corrupt", type=float, default=0.0, metavar="RATE",
+        help="flip a byte in an outbound frame",
+    )
+    chaos.add_argument(
+        "--chaos-truncate", type=float, default=0.0, metavar="RATE",
+        help="cut a frame (and its connection) short",
+    )
+    chaos.add_argument(
+        "--chaos-drop", type=float, default=0.0, metavar="RATE",
+        help="swallow an outbound trace response whole",
+    )
+    chaos.add_argument(
+        "--chaos-delay", type=float, default=0.0, metavar="RATE",
+        help="sleep before sending a frame",
+    )
+    chaos.add_argument(
+        "--chaos-delay-max", type=float, default=0.05, metavar="S",
+        help="maximum injected per-frame delay",
+    )
+    chaos.add_argument(
+        "--chaos-crash", type=float, default=0.0, metavar="RATE",
+        help="agent dies right before answering a trace request",
+    )
+    chaos.add_argument(
+        "--chaos-max-crashes", type=int, default=2, metavar="N",
+        help="injected crashes per agent before it behaves",
+    )
+    chaos.add_argument(
+        "--chaos-restart-after", type=float, default=None, metavar="S",
+        help="restart the fleet server S seconds into the run",
+    )
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument(
+        "--reply-timeout", type=float, default=30.0, metavar="S",
+        help="endpoint answer budget before a trace request is rerouted",
+    )
+    resilience.add_argument(
+        "--request-timeout", type=float, default=120.0, metavar="S",
+        help="total wall clock for one trace request, reroutes included",
+    )
+    resilience.add_argument(
+        "--collection-deadline", type=float, default=None, metavar="S",
+        help="degrade: diagnose with fewer traces after S seconds",
+    )
+    resilience.add_argument(
+        "--frame-timeout", type=float, default=30.0, metavar="S",
+        help="a started frame must finish arriving within S seconds",
+    )
     args = parser.parse_args(argv)
 
+    plan = FaultPlan(
+        seed=args.chaos_seed,
+        corrupt_rate=args.chaos_corrupt,
+        truncate_rate=args.chaos_truncate,
+        drop_rate=args.chaos_drop,
+        delay_rate=args.chaos_delay,
+        max_delay_s=args.chaos_delay_max,
+        crash_rate=args.chaos_crash,
+        max_crashes_per_agent=args.chaos_max_crashes,
+        server_restart_after_s=args.chaos_restart_after,
+    )
     config = FleetConfig(
         agents=args.agents,
         bug_ids=tuple(b.strip() for b in args.bugs.split(",") if b.strip()),
@@ -67,6 +134,11 @@ def main(argv: list[str] | None = None) -> int:
         success_traces_wanted=args.traces,
         cache_enabled=not args.no_cache,
         collection_parallelism=args.collect_parallel,
+        chaos=plan if plan.active else None,
+        trace_reply_timeout=args.reply_timeout,
+        request_timeout=args.request_timeout,
+        collection_deadline_s=args.collection_deadline,
+        frame_timeout=args.frame_timeout,
     )
     metrics = FleetMetrics()
     result = run_fleet(config, metrics=metrics)

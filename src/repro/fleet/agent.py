@@ -15,6 +15,17 @@ two things, both over a single TCP connection to the fleet server:
 Agents are deliberately synchronous (blocking socket, one thread each):
 a real endpoint is a separate machine, and the simulation runs ≥50 of
 them as threads against the asyncio server.
+
+Production endpoints do not get a polite localhost: frames arrive
+damaged, the server restarts, the process itself dies and comes back.
+So connection failures are *survivable* here, not fatal — on any
+:class:`WireError`/``ConnectionError``/``OSError`` the agent drops the
+socket and reconnects with exponential backoff plus deterministic
+jitter (seeded per agent id, so a simulated fleet's retry storm is
+reproducible).  A reporting agent that loses its connection re-sends
+its failure envelope after reconnecting; the server's signature dedup
+makes the re-report idempotent, and an already-finished diagnosis is
+delivered from the job cache immediately.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from random import Random
 
 from repro.errors import FleetError, WireError
 from repro.fleet.wire import (
@@ -41,6 +52,7 @@ from repro.runtime.protocol import FailureNotification, TraceRequest, TraceRespo
 from repro.runtime.server import sample_from_run
 
 _POLL_S = 0.1  # socket timeout used to poll stop events
+_RECOVERABLE = (ConnectionError, WireError, OSError)
 
 
 class FleetAgent:
@@ -54,6 +66,11 @@ class FleetAgent:
         port: int,
         entry: str = "main",
         connect_timeout: float = 10.0,
+        fault_engine=None,
+        reconnect_attempts: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        frame_timeout: float = 30.0,
     ):
         self.agent_id = agent_id
         self.bug_id = bug_id
@@ -61,12 +78,25 @@ class FleetAgent:
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
+        # fault injection: when set, every socket this agent opens is
+        # wrapped so the chaos plan's per-endpoint stream applies
+        self.fault_engine = fault_engine
+        self.reconnect_attempts = reconnect_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.frame_timeout = frame_timeout
         self.trace_requests_served = 0
         self.rejections = 0
+        self.reconnects = 0
+        self.failure_resends = 0
         self._sock: socket.socket | None = None
+        # deterministic jitter: a fleet's backoff pattern replays
+        self._backoff_rng = Random(f"snorlax-agent-backoff|{agent_id}")
 
     @classmethod
-    def from_spec(cls, agent_id: str, spec, host: str, port: int) -> "FleetAgent":
+    def from_spec(
+        cls, agent_id: str, spec, host: str, port: int, **kwargs
+    ) -> "FleetAgent":
         """Build an agent for a corpus bug (module cached on the spec)."""
         return cls(
             agent_id,
@@ -76,6 +106,7 @@ class FleetAgent:
             host,
             port,
             entry=spec.entry,
+            **kwargs,
         )
 
     # -- connection --------------------------------------------------------
@@ -85,8 +116,22 @@ class FleetAgent:
             (self.host, self.port), timeout=self.connect_timeout
         )
         sock.settimeout(_POLL_S)
+        if self.fault_engine is not None:
+            sock = self.fault_engine.wrap(sock)
         self._sock = sock
         self._send(Hello(agent_id=self.agent_id, bug_id=self.bug_id))
+
+    def connect_resilient(self, stop: threading.Event | None = None) -> None:
+        """First connection with the same survivability as reconnection:
+        a HELLO damaged in flight (truncated, corrupted) retries with
+        backoff instead of killing the agent before it ever joined."""
+        try:
+            self.connect()
+        except _RECOVERABLE:
+            if not self._reconnect(stop):
+                raise FleetError(
+                    f"agent {self.agent_id}: could not reach the fleet server"
+                ) from None
 
     def close(self) -> None:
         if self._sock is None:
@@ -103,22 +148,58 @@ class FleetAgent:
             raise FleetError(f"agent {self.agent_id} is not connected")
         send_frame_sock(self._sock, msg, request_id)
 
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _reconnect(self, stop: threading.Event | None = None) -> bool:
+        """Exponential backoff + jitter until connected; False when the
+        attempt budget is spent or ``stop`` was set (give up cleanly)."""
+        self._drop_socket()
+        for attempt in range(self.reconnect_attempts):
+            delay = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+            delay *= 0.5 + self._backoff_rng.random()  # jitter in [0.5, 1.5)
+            if stop is not None:
+                if stop.wait(delay):
+                    return False
+            else:
+                time.sleep(delay)
+            try:
+                self.connect()
+            except OSError:
+                self._drop_socket()
+                continue
+            self.reconnects += 1
+            return True
+        return False
+
     # -- serving -----------------------------------------------------------
 
     def serve_until(self, stop: threading.Event) -> None:
-        """Answer trace requests until asked to stop (an idle endpoint)."""
+        """Answer trace requests until asked to stop (an idle endpoint).
+
+        Connection damage — a corrupt frame, the server restarting, an
+        injected crash — is survived by reconnecting with backoff; the
+        agent only returns once ``stop`` is set or reconnection is
+        exhausted (the server is genuinely gone).
+        """
         while not stop.is_set():
             try:
                 frame = self._recv_poll()
-            except (ConnectionError, WireError, OSError):
-                return  # the server went away; nothing left to serve
-            if frame is None:
-                continue
-            msg, request_id = frame
-            if isinstance(msg, TraceRequest):
-                self._serve_trace_request(msg, request_id)
-            # anything else while idle (late results for a signature we
-            # also reported) is informational; drop it
+                if frame is None:
+                    continue
+                msg, request_id = frame
+                if isinstance(msg, TraceRequest):
+                    self._serve_trace_request(msg, request_id)
+                # anything else while idle (late results for a signature
+                # we also reported) is informational; drop it
+            except _RECOVERABLE:
+                if not self._reconnect(stop):
+                    return
 
     def _serve_trace_request(self, request: TraceRequest, request_id: int) -> None:
         run = self.client.run_once(
@@ -139,7 +220,7 @@ class FleetAgent:
         if self._sock is None:
             raise FleetError(f"agent {self.agent_id} is not connected")
         try:
-            return recv_frame_sock(self._sock)
+            return recv_frame_sock(self._sock, frame_timeout=self.frame_timeout)
         except socket.timeout:
             return None
 
@@ -156,10 +237,13 @@ class FleetAgent:
         failing_run: ClientRun,
         stop: threading.Event | None = None,
         max_wait: float = 300.0,
+        max_server_faults: int = 3,
     ) -> DiagnosisResult:
         """Ship a failure, keep serving trace requests, return the
         diagnosis.  Backpressure rejections are honored by sleeping the
-        server's retry-after hint and resending."""
+        server's retry-after hint and resending; connection loss is
+        honored by reconnecting and resending (signature dedup makes the
+        re-report idempotent)."""
         if failing_run.failure is None or failing_run.snapshot is None:
             raise FleetError("failing run carries no failure/snapshot")
         code = failing_run.failure
@@ -174,29 +258,59 @@ class FleetAgent:
             ),
             sample=sample_from_run("failure", failing_run),
         )
-        self._send(envelope)
+        server_faults = 0
+        self._send_resilient(envelope, stop)
         deadline = time.monotonic() + max_wait
         while time.monotonic() < deadline and (stop is None or not stop.is_set()):
-            frame = self._recv_poll()
-            if frame is None:
-                continue
-            msg, request_id = frame
-            if isinstance(msg, TraceRequest):
-                # the reporting endpoint still serves step-8 collection
-                self._serve_trace_request(msg, request_id)
-            elif isinstance(msg, DiagnosisResult):
-                return msg
-            elif isinstance(msg, Reject):
-                self.rejections += 1
-                time.sleep(msg.retry_after)
-                self._send(envelope)
-            elif isinstance(msg, WireFault):
-                raise FleetError(
-                    f"agent {self.agent_id}: server error: {msg.message}"
-                )
+            try:
+                frame = self._recv_poll()
+                if frame is None:
+                    continue
+                msg, request_id = frame
+                if isinstance(msg, TraceRequest):
+                    # the reporting endpoint still serves step-8 collection
+                    self._serve_trace_request(msg, request_id)
+                elif isinstance(msg, DiagnosisResult):
+                    return msg
+                elif isinstance(msg, Reject):
+                    self.rejections += 1
+                    time.sleep(msg.retry_after)
+                    self._send(envelope)
+                elif isinstance(msg, WireFault):
+                    # a failed diagnosis or protocol fault is retryable:
+                    # the job queue evicts failed signatures, so a
+                    # re-report runs the diagnosis again
+                    server_faults += 1
+                    if server_faults > max_server_faults:
+                        raise FleetError(
+                            f"agent {self.agent_id}: server error: {msg.message}"
+                        )
+                    time.sleep(self.backoff_base_s)
+                    self._resend(envelope, stop)
+            except _RECOVERABLE:
+                self._resend(envelope, stop)
         raise FleetError(
             f"agent {self.agent_id}: no diagnosis within {max_wait:.0f}s"
         )
+
+    def _resend(self, envelope: FailureEnvelope, stop) -> None:
+        """Reconnect and re-report after a damaged connection."""
+        if not self._reconnect(stop):
+            raise FleetError(f"agent {self.agent_id}: lost the fleet server")
+        self.failure_resends += 1
+        self._send_resilient(envelope, stop)
+
+    def _send_resilient(self, envelope: FailureEnvelope, stop) -> None:
+        while True:
+            try:
+                self._send(envelope)
+                return
+            except _RECOVERABLE:
+                if not self._reconnect(stop):
+                    raise FleetError(
+                        f"agent {self.agent_id}: lost the fleet server"
+                    ) from None
+                self.failure_resends += 1
 
     def produce_and_report(
         self, stop: threading.Event | None = None, start_seed: int = 0

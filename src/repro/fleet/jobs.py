@@ -46,6 +46,11 @@ class DiagnosisJobQueue:
     is shared for the queue's lifetime, so late reports of an
     already-diagnosed bug get the cached result instantly (and count as
     dedup hits) rather than re-running the pipeline.
+
+    Only *successful* diagnoses are cached: a job that raised (e.g. a
+    transient fleet outage mid-collection) is evicted on completion, so
+    the next report of that signature retries the diagnosis instead of
+    being served the stale failure forever.
     """
 
     def __init__(
@@ -110,8 +115,16 @@ class DiagnosisJobQueue:
     def _finished(self, signature: str) -> None:
         with self._lock:
             self._pending.discard(signature)
+            future = self._futures.get(signature)
+            failed = future is not None and (
+                future.cancelled() or future.exception() is not None
+            )
+            if failed:
+                # don't poison the signature: a re-report retries
+                self._futures.pop(signature, None)
+                self._submitted.pop(signature, None)
             self.metrics.gauge("queue_depth", len(self._pending))
-        self.metrics.inc("jobs_completed")
+        self.metrics.inc("jobs_failed" if failed else "jobs_completed")
 
     # -- introspection -----------------------------------------------------
 

@@ -7,6 +7,29 @@ goes per stage (trace collection vs. analysis).  ``FleetMetrics`` is a
 small thread-safe registry the server, job queue, and simulation all
 share; it exports both a machine-readable dict and a human-readable
 dump (what ``python -m repro.fleet`` prints).
+
+Resilience counter vocabulary (all zero on a polite network):
+
+* ``wire_errors`` — frames the server could not decode (corruption);
+* ``trace_request_timeouts`` — an endpoint held a request past the
+  reply timeout and the request was rerouted;
+* ``trace_request_reroutes`` — requests re-sent after a connection
+  error mid-flight;
+* ``trace_requests_abandoned`` / ``trace_requests_failed`` — requests
+  whose whole wall-clock budget expired (no endpoint answered at all);
+* ``orphan_trace_responses`` — late answers to already-rerouted
+  requests (dropped; the rerouted run was deterministic in the seed);
+* ``agents_superseded`` — connections retired by a duplicate/newer
+  ``Hello`` for the same agent id;
+* ``result_delivery_failures`` — finished diagnoses that could not be
+  written back to a reporter (it vanished before delivery);
+* ``degraded_collections`` — diagnoses that ran with fewer successful
+  traces than wanted because the collection deadline expired;
+* ``jobs_failed`` — diagnosis jobs that raised (evicted for retry);
+* ``server_restarts`` — injected/administrative full restarts;
+* ``chaos_*`` — faults the simulation's :class:`FaultPlan` injected
+  (``chaos_corrupted``, ``chaos_dropped``, ``chaos_truncated``,
+  ``chaos_crashes``, ``chaos_delayed``, ``chaos_inbound_corrupted``).
 """
 
 from __future__ import annotations
@@ -59,6 +82,28 @@ class FleetMetrics:
     def median(self, name: str) -> float:
         values = self.timings(name)
         return statistics.median(values) if values else 0.0
+
+    def percentile(self, name: str, q: float) -> float:
+        """The q-th percentile (0 < q < 100) of a timer's observations —
+        tail latency is what degrades first when the network misbehaves."""
+        values = sorted(self.timings(name))
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = (q / 100.0) * (len(values) - 1)
+        low = int(rank)
+        high = min(low + 1, len(values) - 1)
+        return values[low] + (values[high] - values[low]) * (rank - low)
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """All counters whose name starts with ``prefix`` (e.g. the
+        ``chaos_`` family) — how the simulation reports injected faults."""
+        with self._lock:
+            return {
+                k: v for k, v in sorted(self._counters.items())
+                if k.startswith(prefix)
+            }
 
     def as_dict(self) -> dict:
         """A stable snapshot: counters, gauges, and timer summaries."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -94,6 +95,9 @@ def report_digest(report: DiagnosisReport) -> dict:
             "patterns_top_f1": st.patterns_top_f1,
             "candidates_explored": st.candidates_explored,
         },
+        # graceful degradation: True when the collection deadline expired
+        # before success_traces_wanted traces arrived (scarce endpoints)
+        "degraded": report.degraded,
     }
     if report.root_cause is not None:
         digest["root_cause"] = str(report.root_cause.signature)
@@ -108,6 +112,8 @@ def render_digest(digest: dict) -> str:
         f"bug kind:   {digest['bug_kind']}",
         f"failing PC: uid={digest['failing_uid']}",
     ]
+    if digest.get("degraded"):
+        lines.append("evidence:   DEGRADED (collection deadline hit)")
     if digest["root_cause"] is None:
         lines.append("root cause: NOT DIAGNOSED")
     else:
@@ -163,13 +169,32 @@ class FleetServer:
         caches: DiagnosisCaches | None = None,
         enable_caches: bool = True,
         collection_parallelism: int = 1,
+        trace_reply_timeout: float = 30.0,
+        reroute_backoff_base_s: float = 0.02,
+        reroute_backoff_cap_s: float = 0.5,
+        collection_deadline_s: float | None = None,
+        min_success_traces: int = 1,
+        frame_timeout: float = 30.0,
     ):
         self.host = host
         self.port = port
         self.config = config or PipelineConfig()
         self.success_traces_wanted = success_traces_wanted
         self.start_seed = start_seed
+        # request_timeout bounds one trace request end to end (all
+        # reroutes included); trace_reply_timeout bounds one endpoint's
+        # answer before the request is rerouted to another endpoint
         self.request_timeout = request_timeout
+        self.trace_reply_timeout = trace_reply_timeout
+        self.reroute_backoff_base_s = reroute_backoff_base_s
+        self.reroute_backoff_cap_s = reroute_backoff_cap_s
+        # graceful degradation: when set, stop collecting at the deadline
+        # and diagnose with what arrived (>= min_success_traces)
+        self.collection_deadline_s = collection_deadline_s
+        self.min_success_traces = min_success_traces
+        # bound a started frame's payload: a corrupted length field must
+        # sever the connection, not wedge its reader forever
+        self.frame_timeout = frame_timeout
         self.collection_parallelism = collection_parallelism
         # the server-lifetime caches every diagnosis shares; passing a
         # caches object in lets a fleet keep them warm across restarts
@@ -264,6 +289,30 @@ class FleetServer:
         self._agents.clear()
         self._waiters.clear()
 
+    def restart(self) -> None:
+        """Simulate a server crash + restart: drop the listener and every
+        agent connection, then listen again on the same port.
+
+        In-flight diagnoses keep running on the worker pool; their trace
+        requests fail over and reroute once agents reconnect.  Reporters
+        whose connection died re-send their envelope after reconnecting,
+        and signature dedup attaches them back to the running (or cached)
+        diagnosis."""
+        loop = self._loop
+        if loop is None:
+            raise FleetError("fleet server is not running")
+        asyncio.run_coroutine_threadsafe(self._restart_async(), loop).result(
+            timeout=30
+        )
+
+    async def _restart_async(self) -> None:
+        self.metrics.inc("server_restarts")
+        await self._close_server()
+        await self._close_agents()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+
     # -- connection handling ----------------------------------------------
 
     async def _handle_conn(
@@ -273,13 +322,35 @@ class FleetServer:
         try:
             while True:
                 try:
-                    msg, request_id = await read_frame_async(reader)
+                    msg, request_id = await read_frame_async(
+                        reader, frame_timeout=self.frame_timeout
+                    )
                 except WireError as exc:
                     self.metrics.inc("wire_errors")
                     writer.write(encode_frame(WireFault(str(exc))))
                     await writer.drain()
                     break
                 if isinstance(msg, Hello):
+                    # a duplicate Hello supersedes, never accumulates: the
+                    # old AgentConn would otherwise stay alive in _agents,
+                    # keep receiving round-robin trace requests, and leak
+                    # its pending futures
+                    if conn is not None:
+                        self._retire_conn(
+                            conn,
+                            FleetError(
+                                f"agent {conn.agent_id} re-helloed on the "
+                                "same connection"
+                            ),
+                        )
+                    for stale in list(self._agents.get(msg.bug_id, ())):
+                        if stale.agent_id == msg.agent_id:
+                            self._retire_conn(
+                                stale,
+                                FleetError(
+                                    f"agent {msg.agent_id} reconnected"
+                                ),
+                            )
                     conn = AgentConn(msg.agent_id, msg.bug_id, writer)
                     self._agents.setdefault(msg.bug_id, []).append(conn)
                     self._rr.setdefault(msg.bug_id, itertools.count())
@@ -297,6 +368,12 @@ class FleetServer:
                     if future is not None and not future.done():
                         self.metrics.inc("trace_responses_received")
                         future.set_result(msg)
+                    else:
+                        # the request timed out and was rerouted; the
+                        # late answer is dropped (the rerouted run is
+                        # deterministic in the seed, so no evidence
+                        # differs)
+                        self.metrics.inc("orphan_trace_responses")
                 elif isinstance(msg, Goodbye):
                     break
                 else:
@@ -310,13 +387,28 @@ class FleetServer:
             pass
         finally:
             if conn is not None:
-                conn.alive = False
-                conn.fail_pending(FleetError(f"agent {conn.agent_id} disconnected"))
-                peers = self._agents.get(conn.bug_id, [])
-                if conn in peers:
-                    peers.remove(conn)
-                self.metrics.inc("agents_disconnected")
+                self._retire_conn(
+                    conn,
+                    FleetError(f"agent {conn.agent_id} disconnected"),
+                    metric="agents_disconnected",
+                )
             writer.close()
+
+    def _retire_conn(
+        self, conn: AgentConn, exc: Exception, metric: str = "agents_superseded"
+    ) -> None:
+        """Take a connection out of rotation: mark it dead, fail its
+        pending trace requests (they reroute), drop it from _agents.
+        Idempotent; never closes the writer (a superseding Hello on the
+        same connection shares it, and handlers close their own)."""
+        already_gone = not conn.alive
+        conn.alive = False
+        conn.fail_pending(exc)
+        peers = self._agents.get(conn.bug_id, [])
+        if conn in peers:
+            peers.remove(conn)
+        if not already_gone:
+            self.metrics.inc(metric)
 
     async def _on_failure(
         self, conn: AgentConn, env: FailureEnvelope, request_id: int
@@ -350,7 +442,10 @@ class FleetServer:
 
     def _deliver(self, signature: str, future) -> None:
         """Fan one finished diagnosis out to every endpoint that reported
-        the signature (runs on the loop thread; idempotent)."""
+        the signature (runs on the loop thread; idempotent).  Each write
+        is a scheduled coroutine that awaits the drain — an endpoint that
+        vanished between reporting and delivery surfaces as an explicit
+        ``result_delivery_failures`` count, never a silent drop."""
         waiters = self._waiters.pop(signature, [])
         if not waiters:
             return
@@ -365,13 +460,18 @@ class FleetServer:
                 DiagnosisResult(signature=signature, digest=digest), req_id
             )
         for conn, req_id in waiters:
-            if not conn.alive:
-                continue
-            try:
-                conn.writer.write(frame_for(req_id))
-                self.metrics.inc("results_delivered")
-            except Exception:
-                self.metrics.inc("result_delivery_failures")
+            self._loop.create_task(self._deliver_one(conn, frame_for(req_id)))
+
+    async def _deliver_one(self, conn: AgentConn, frame: bytes) -> None:
+        if not conn.alive:
+            self.metrics.inc("result_delivery_failures")
+            return
+        try:
+            conn.writer.write(frame)
+            await conn.writer.drain()
+            self.metrics.inc("results_delivered")
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            self.metrics.inc("result_delivery_failures")
 
     # -- the diagnosis job (worker thread) --------------------------------
 
@@ -385,7 +485,13 @@ class FleetServer:
 
     def _diagnose(self, env: FailureEnvelope) -> DiagnosisReport:
         """Replicates SnorlaxServer.diagnose_failure with the network as
-        the step-8 transport: same policy, same seeds, same evidence."""
+        the step-8 transport: same policy, same seeds, same evidence.
+
+        Degrades gracefully when endpoints are scarce: a transport
+        failure becomes an empty response (the attempt is consumed, the
+        next seed is tried), and once the collection deadline passes the
+        diagnosis runs with however many successful traces arrived —
+        flagged as degraded rather than failing outright."""
         module = self._module(env.bug_id)
         snorlax = SnorlaxServer(
             module,
@@ -394,18 +500,39 @@ class FleetServer:
             collection_parallelism=self.collection_parallelism,
             analysis_cache=self.caches.analysis if self.caches else None,
             trace_cache=self.caches.traces if self.caches else None,
+            collection_deadline_s=self.collection_deadline_s,
+            min_success_traces=self.min_success_traces,
         )
         snorlax.stats.failing_traces += 1
+
+        def transport(req: TraceRequest) -> TraceResponse:
+            try:
+                return self._remote_request(env.bug_id, req)
+            except FleetError:
+                self.metrics.inc("trace_requests_failed")
+                return TraceResponse(
+                    label=req.label, outcome="unreachable", sample=None
+                )
+
         with self.metrics.timer("collection_latency"):
             successes = snorlax.collect_traces_via(
-                lambda req: self._remote_request(env.bug_id, req),
+                transport,
                 env.notification.failing_uid,
                 self.start_seed,
             )
         self.metrics.inc("traces_collected", len(successes))
+        degraded = len(successes) < self.success_traces_wanted
+        if degraded:
+            self.metrics.inc("degraded_collections")
         with self.metrics.timer("analysis_latency"):
             pipeline = snorlax.make_pipeline()
             report = pipeline.diagnose([env.sample], successes)
+        if degraded:
+            report.degraded = True
+            report.notes.append(
+                f"degraded collection: diagnosed from {len(successes)}/"
+                f"{self.success_traces_wanted} successful traces"
+            )
         for name, count in pipeline.last_cache_events.items():
             if count:
                 self.metrics.inc(name, count)
@@ -415,36 +542,88 @@ class FleetServer:
         return report
 
     def _remote_request(self, bug_id: str, request: TraceRequest) -> TraceResponse:
-        """Bridge a worker thread's TraceRequest onto the event loop."""
+        """Bridge a worker thread's TraceRequest onto the event loop.
+
+        A timeout here cancels the loop-side coroutine (its ``finally``
+        cleans the pending map) instead of leaking a forever-running
+        request against a hung endpoint."""
         if self._loop is None:
             raise FleetError("fleet server is not running")
         future = asyncio.run_coroutine_threadsafe(
             self._remote_request_async(bug_id, request), self._loop
         )
-        return future.result(timeout=self.request_timeout)
+        try:
+            # grace so the loop-side wall clock (same budget) fires first
+            return future.result(timeout=self.request_timeout + 5.0)
+        except FuturesTimeoutError:
+            future.cancel()
+            self.metrics.inc("trace_requests_abandoned")
+            raise FleetError(
+                f"trace request to {bug_id!r} abandoned after "
+                f"{self.request_timeout:.0f}s"
+            ) from None
 
     async def _remote_request_async(
         self, bug_id: str, request: TraceRequest
     ) -> TraceResponse:
         """Send to the next idle-ish endpoint of this program; an agent
-        dying mid-request just reroutes the (deterministic) run."""
-        for _attempt in range(200):
+        dying mid-request, answering garbage, or hanging just reroutes
+        the (deterministic) run to another endpoint.
+
+        Bounded by wall clock (``request_timeout``) rather than a fixed
+        attempt count, with capped exponential backoff between reroute
+        attempts so a fleet-wide outage is polled, not busy-spun."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.request_timeout
+        failures = 0
+        while True:
             conn = self._pick_agent(bug_id)
             if conn is None:
-                await asyncio.sleep(0.02)
+                if not await self._reroute_pause(deadline, failures):
+                    break
+                failures += 1
                 continue
             request_id = next(self._req_ids)
-            response_future: asyncio.Future = asyncio.get_running_loop().create_future()
+            response_future: asyncio.Future = loop.create_future()
             conn.pending[request_id] = response_future
             try:
                 conn.writer.write(encode_frame(request, request_id))
                 await conn.writer.drain()
                 self.metrics.inc("trace_requests_sent")
-                return await response_future
+                reply_budget = min(
+                    self.trace_reply_timeout, max(0.0, deadline - loop.time())
+                )
+                return await asyncio.wait_for(response_future, reply_budget)
+            except asyncio.TimeoutError:
+                self.metrics.inc("trace_request_timeouts")
+                failures += 1
             except (FleetError, ConnectionError, OSError):
+                self.metrics.inc("trace_request_reroutes")
+                failures += 1
+            finally:
+                # on success the handler already popped it; on timeout,
+                # reroute, or cancellation from _remote_request this is
+                # what keeps conn.pending from leaking futures
                 conn.pending.pop(request_id, None)
-                continue  # rerouted: the run is deterministic in the seed
-        raise FleetError(f"no endpoint for {bug_id!r} answered a trace request")
+            if not await self._reroute_pause(deadline, failures):
+                break
+        raise FleetError(
+            f"no endpoint for {bug_id!r} answered a trace request within "
+            f"{self.request_timeout:.0f}s"
+        )
+
+    async def _reroute_pause(self, deadline: float, failures: int) -> bool:
+        """Capped exponential backoff between reroute attempts; False
+        once the request's wall-clock budget is spent."""
+        delay = min(
+            self.reroute_backoff_cap_s,
+            self.reroute_backoff_base_s * (2 ** min(failures, 16)),
+        )
+        loop = asyncio.get_running_loop()
+        if loop.time() + delay >= deadline:
+            return False
+        await asyncio.sleep(delay)
+        return True
 
     def _pick_agent(self, bug_id: str) -> AgentConn | None:
         conns = [c for c in self._agents.get(bug_id, []) if c.alive]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import FleetError
 from repro.fleet.agent import FleetAgent
+from repro.fleet.chaos import FaultPlan
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.server import FleetServer, render_digest
 
@@ -41,6 +42,15 @@ class FleetConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0: pick a free port
     timeout: float = 600.0
+    # -- resilience knobs --------------------------------------------------
+    # seed-driven fault injection (None: a polite network)
+    chaos: FaultPlan | None = None
+    request_timeout: float = 120.0  # one trace request, reroutes included
+    trace_reply_timeout: float = 30.0  # one endpoint's answer, then reroute
+    collection_deadline_s: float | None = None  # degrade past this
+    min_success_traces: int = 1
+    agent_reconnect_attempts: int = 8
+    frame_timeout: float = 30.0  # started frames must finish in this
 
 
 @dataclass
@@ -53,6 +63,8 @@ class AgentOutcome:
     error: str | None = None
     trace_requests_served: int = 0
     rejections: int = 0
+    reconnects: int = 0
+    faults_injected: dict = field(default_factory=dict)  # chaos counts
 
 
 @dataclass
@@ -104,6 +116,22 @@ class FleetRunResult:
         ) + counters.get("trace_cache_misses", 0)
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def degraded_collections(self) -> int:
+        return self.metrics["counters"].get("degraded_collections", 0)
+
+    @property
+    def reconnects(self) -> int:
+        return sum(o.reconnects for o in self.outcomes)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(
+            v
+            for k, v in self.metrics["counters"].items()
+            if k.startswith("chaos_")
+        )
+
     def render(self) -> str:
         reporters = [o for o in self.outcomes if o.reporter]
         failed = [o for o in self.outcomes if o.error]
@@ -123,6 +151,24 @@ class FleetRunResult:
             f"{self.analysis_cache_hits} analysis, {self.trace_cache_hits} trace)",
             f"agent errors:      {len(failed)}",
         ]
+        if self.config.chaos is not None and self.config.chaos.active:
+            counters = self.metrics["counters"]
+            chaos = ", ".join(
+                f"{k.removeprefix('chaos_')}={v}"
+                for k, v in sorted(counters.items())
+                if k.startswith("chaos_")
+            )
+            lines.append(
+                f"chaos:             {self.faults_injected} faults injected "
+                f"({chaos or 'none landed'})"
+            )
+            lines.append(
+                f"resilience:        {self.reconnects} agent reconnects, "
+                f"{counters.get('trace_request_timeouts', 0)} request timeouts, "
+                f"{counters.get('trace_request_reroutes', 0)} reroutes, "
+                f"{counters.get('server_restarts', 0)} server restarts, "
+                f"{self.degraded_collections} degraded collections"
+            )
         for signature, digest in sorted(self.digests.items()):
             lines.append(f"--- {signature} ---")
             lines.append(render_digest(digest))
@@ -158,8 +204,30 @@ def run_fleet(
         caches=caches,
         enable_caches=cfg.cache_enabled,
         collection_parallelism=cfg.collection_parallelism,
+        request_timeout=cfg.request_timeout,
+        trace_reply_timeout=cfg.trace_reply_timeout,
+        collection_deadline_s=cfg.collection_deadline_s,
+        min_success_traces=cfg.min_success_traces,
+        frame_timeout=cfg.frame_timeout,
     )
     host, port = server.start()
+
+    # an injected server restart mid-run: agents must reconnect, reporters
+    # must re-report, in-flight collections must reroute
+    restart_timer: threading.Timer | None = None
+    if cfg.chaos is not None and cfg.chaos.server_restart_after_s is not None:
+
+        def _restart_quietly() -> None:
+            try:
+                server.restart()
+            except FleetError:
+                pass  # the run finished first; nothing left to restart
+
+        restart_timer = threading.Timer(
+            cfg.chaos.server_restart_after_s, _restart_quietly
+        )
+        restart_timer.daemon = True
+        restart_timer.start()
 
     stop = threading.Event()
     outcomes: list[AgentOutcome] = []
@@ -180,9 +248,20 @@ def run_fleet(
     def agent_main(index: int) -> None:
         spec, reporter = assignments[index]
         outcome = outcomes[index]
-        agent = FleetAgent.from_spec(outcome.agent_id, spec, host, port)
+        engine = None
+        if cfg.chaos is not None and cfg.chaos.wraps_sockets:
+            engine = cfg.chaos.engine(outcome.agent_id)
+        agent = FleetAgent.from_spec(
+            outcome.agent_id,
+            spec,
+            host,
+            port,
+            fault_engine=engine,
+            reconnect_attempts=cfg.agent_reconnect_attempts,
+            frame_timeout=cfg.frame_timeout,
+        )
         try:
-            agent.connect()
+            agent.connect_resilient(stop)
             if reporter:
                 try:
                     result = agent.produce_and_report(stop)
@@ -197,6 +276,11 @@ def run_fleet(
         finally:
             outcome.trace_requests_served = agent.trace_requests_served
             outcome.rejections = agent.rejections
+            outcome.reconnects = agent.reconnects
+            if engine is not None:
+                outcome.faults_injected = dict(engine.counts)
+                for fault, count in engine.counts.items():
+                    metrics.inc(f"chaos_{fault}", count)
             agent.close()
 
     started = time.perf_counter()
@@ -216,6 +300,8 @@ def run_fleet(
     finally:
         elapsed = time.perf_counter() - started
         stop.set()
+        if restart_timer is not None:
+            restart_timer.cancel()
         for thread in threads:
             thread.join(timeout=30)
         server.stop()

@@ -132,8 +132,15 @@ _T_DICT = 0x09
 _U32 = struct.Struct("!I")
 _F64 = struct.Struct("!d")
 
+# Nesting bound for the value codec: real payloads are a few levels deep
+# (a TraceSample dict of dicts); a crafted frame of thousands of nested
+# list tags must raise WireError, not blow the interpreter stack.
+MAX_DEPTH = 64
 
-def encode_value(value: Any, out: bytearray) -> None:
+
+def encode_value(value: Any, out: bytearray, depth: int = 0) -> None:
+    if depth > MAX_DEPTH:
+        raise WireError(f"value nesting exceeds {MAX_DEPTH} levels")
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -163,18 +170,20 @@ def encode_value(value: Any, out: bytearray) -> None:
         out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
         out += _U32.pack(len(value))
         for item in value:
-            encode_value(item, out)
+            encode_value(item, out, depth + 1)
     elif isinstance(value, dict):
         out.append(_T_DICT)
         out += _U32.pack(len(value))
         for k, v in value.items():
-            encode_value(k, out)
-            encode_value(v, out)
+            encode_value(k, out, depth + 1)
+            encode_value(v, out, depth + 1)
     else:
         raise WireError(f"cannot encode {type(value).__name__} on the wire")
 
 
-def decode_value(data: bytes, pos: int = 0) -> tuple[Any, int]:
+def decode_value(data: bytes, pos: int = 0, depth: int = 0) -> tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise WireError(f"value nesting exceeds {MAX_DEPTH} levels")
     try:
         tag = data[pos]
     except IndexError:
@@ -208,7 +217,7 @@ def decode_value(data: bytes, pos: int = 0) -> tuple[Any, int]:
             pos += 4
             items = []
             for _ in range(n):
-                item, pos = decode_value(data, pos)
+                item, pos = decode_value(data, pos, depth + 1)
                 items.append(item)
             return (items if tag == _T_LIST else tuple(items)), pos
         if tag == _T_DICT:
@@ -216,8 +225,8 @@ def decode_value(data: bytes, pos: int = 0) -> tuple[Any, int]:
             pos += 4
             result: dict = {}
             for _ in range(n):
-                k, pos = decode_value(data, pos)
-                v, pos = decode_value(data, pos)
+                k, pos = decode_value(data, pos, depth + 1)
+                v, pos = decode_value(data, pos, depth + 1)
                 result[k] = v
             return result, pos
     except struct.error:
@@ -437,7 +446,18 @@ def decode_payload(msg_type: int, payload: bytes, crc: int) -> Any:
         raise WireError(f"{len(payload) - pos} trailing bytes after payload")
     if not isinstance(value, dict):
         raise WireError("payload root must be a dict")
-    return _decode_payload(msg_type, value)
+    try:
+        return _decode_payload(msg_type, value)
+    except WireError:
+        raise
+    except Exception as exc:
+        # e.g. a flipped msg-type byte that still checksums: the payload
+        # dict is valid but carries another message's fields.  Surface a
+        # protocol error, never a KeyError/TypeError into the transport.
+        raise WireError(
+            f"malformed payload for message type {msg_type}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from None
 
 
 def decode_frame(data: bytes) -> tuple[Any, int]:
@@ -458,25 +478,52 @@ def send_frame_sock(sock: socket.socket, msg: Any, request_id: int = 0) -> None:
     sock.sendall(encode_frame(msg, request_id))
 
 
-def recv_frame_sock(sock: socket.socket) -> tuple[Any, int]:
+def recv_frame_sock(
+    sock: socket.socket, frame_timeout: float | None = 30.0
+) -> tuple[Any, int]:
     """Blocking read of one frame from a stream socket.
 
     Raises ConnectionError on EOF at a frame boundary (clean close) and
-    WireError on EOF mid-frame (the peer died mid-send).
+    WireError on EOF mid-frame (the peer died mid-send).  Once a frame
+    has started arriving, the rest must follow within ``frame_timeout``
+    seconds, or WireError is raised — a peer that hangs mid-frame
+    (truncated send, wedged process) must not wedge the reader with it.
     """
-    header = _recv_exact(sock, HEADER_SIZE, mid_frame=False)
+    header = _recv_exact(sock, HEADER_SIZE, mid_frame=False, frame_timeout=frame_timeout)
     msg_type, request_id, length, crc = decode_header(header)
-    payload = _recv_exact(sock, length, mid_frame=True) if length else b""
+    payload = (
+        _recv_exact(sock, length, mid_frame=True, frame_timeout=frame_timeout)
+        if length
+        else b""
+    )
     return decode_payload(msg_type, payload, crc), request_id
 
 
-def _recv_exact(sock: socket.socket, n: int, mid_frame: bool) -> bytes:
+def _recv_exact(
+    sock: socket.socket,
+    n: int,
+    mid_frame: bool,
+    frame_timeout: float | None = None,
+) -> bytes:
+    from time import monotonic
+
     chunks = bytearray()
+    # the frame deadline arms once we are committed: immediately when
+    # already mid-frame, at the first received byte otherwise
+    deadline = (
+        monotonic() + frame_timeout
+        if mid_frame and frame_timeout is not None
+        else None
+    )
     while len(chunks) < n:
         try:
             chunk = sock.recv(n - len(chunks))
         except socket.timeout:
             if chunks or mid_frame:
+                if deadline is not None and monotonic() > deadline:
+                    raise WireError(
+                        "peer hung mid-frame (frame timeout exceeded)"
+                    ) from None
                 continue  # committed to this frame; a poll timeout only
                 # surfaces at a clean frame boundary
             raise
@@ -484,12 +531,23 @@ def _recv_exact(sock: socket.socket, n: int, mid_frame: bool) -> bytes:
             if chunks or mid_frame:
                 raise WireError("connection closed mid-frame")
             raise ConnectionError("connection closed")
+        if not chunks and deadline is None and frame_timeout is not None:
+            deadline = monotonic() + frame_timeout
         chunks += chunk
     return bytes(chunks)
 
 
-async def read_frame_async(reader) -> tuple[Any, int]:
-    """Read one frame from an asyncio StreamReader."""
+async def read_frame_async(
+    reader, frame_timeout: float | None = 30.0
+) -> tuple[Any, int]:
+    """Read one frame from an asyncio StreamReader.
+
+    Waiting at a frame boundary is unbounded (an idle endpoint is
+    legal); waiting for a started frame's payload is not.  A corrupted
+    length field under MAX_PAYLOAD passes decode_header but declares
+    bytes that never arrive — without ``frame_timeout`` that wedges the
+    connection forever and silently eats every later frame on it.
+    """
     import asyncio
 
     try:
@@ -500,7 +558,16 @@ async def read_frame_async(reader) -> tuple[Any, int]:
         raise ConnectionError("connection closed") from None
     msg_type, request_id, length, crc = decode_header(header)
     try:
-        payload = await reader.readexactly(length) if length else b""
+        if not length:
+            payload = b""
+        elif frame_timeout is None:
+            payload = await reader.readexactly(length)
+        else:
+            payload = await asyncio.wait_for(
+                reader.readexactly(length), frame_timeout
+            )
     except asyncio.IncompleteReadError:
         raise WireError("connection closed mid-frame") from None
+    except asyncio.TimeoutError:
+        raise WireError("peer hung mid-frame (frame timeout exceeded)") from None
     return decode_payload(msg_type, payload, crc), request_id

@@ -54,6 +54,12 @@ class SnorlaxServer:
     config: PipelineConfig = field(default_factory=PipelineConfig)
     success_traces_wanted: int = 10
     max_collection_attempts: int = 2000
+    # graceful degradation: when set, collection stops at the deadline
+    # (wall-clock seconds from its start) as soon as min_success_traces
+    # have arrived, and the diagnosis runs on the evidence gathered —
+    # what a fleet does when endpoints are scarce or the network is bad
+    collection_deadline_s: float | None = None
+    min_success_traces: int = 1
     # >1 speculates trace requests concurrently (the evidence gathered is
     # byte-identical to serial collection — see _collect_parallel)
     collection_parallelism: int = 1
@@ -124,9 +130,11 @@ class SnorlaxServer:
         seed = start_seed
         attempts = 0
         misses_at_pc = 0
+        deadline = self._collection_deadline()
         while (
             len(samples) < self.success_traces_wanted
             and attempts < self.max_collection_attempts
+            and not self._deadline_hit(deadline, samples)
         ):
             # Vary how many executions of the failure PC pass before the
             # trace is captured: production traces come from executions
@@ -184,6 +192,7 @@ class SnorlaxServer:
         breakpoints = [failing_uid]
         attempts = 0
         misses_at_pc = 0
+        deadline = self._collection_deadline()
         width = self.collection_parallelism
         with ThreadPoolExecutor(
             max_workers=width, thread_name_prefix="collect"
@@ -191,6 +200,7 @@ class SnorlaxServer:
             while (
                 len(samples) < self.success_traces_wanted
                 and attempts < self.max_collection_attempts
+                and not self._deadline_hit(deadline, samples)
             ):
                 batch = min(width, self.max_collection_attempts - attempts)
                 requests = [
@@ -220,6 +230,22 @@ class SnorlaxServer:
                     if len(samples) >= self.success_traces_wanted:
                         break
         return samples
+
+    def _collection_deadline(self) -> float | None:
+        if self.collection_deadline_s is None:
+            return None
+        from time import monotonic
+
+        return monotonic() + self.collection_deadline_s
+
+    def _deadline_hit(self, deadline: float | None, samples: list) -> bool:
+        """Degrade once the deadline passes — but never below the
+        minimum evidence the pipeline needs (keep trying for that)."""
+        if deadline is None or len(samples) < self.min_success_traces:
+            return False
+        from time import monotonic
+
+        return monotonic() > deadline
 
     def _widen_breakpoints(self, failing_uid: int) -> list[int]:
         """Predecessor-block fallback: arm earlier PCs too (§4.1)."""
