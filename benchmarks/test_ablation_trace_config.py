@@ -30,7 +30,7 @@ def _diagnose_with(trace_config: TraceConfig, mtc_period_ns: int):
     server = SnorlaxServer(
         module, config=PipelineConfig(mtc_period_ns=mtc_period_ns)
     )
-    report = server.diagnose_failure(failing, client)
+    report = server.diagnose(failing, client).report
     truth = spec.ground_truth.resolve(module)
     return report, report.ordered_target_uids() == truth
 

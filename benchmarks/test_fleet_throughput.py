@@ -12,11 +12,14 @@ analysis), the stage breakdown, cache hit counts, and the dedup economy
 (reports folded per diagnosis).
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.bench import render_table
 from repro.core.cache import DiagnosisCaches
 from repro.fleet import DEFAULT_BUGS, FleetConfig, FleetMetrics, run_fleet
+from repro.obs import Observability
 
 AGENTS = 50
 REPORTERS_PER_BUG = 3
@@ -32,7 +35,15 @@ def fleet_waves():
         workers=3,
         max_pending=8,
     )
-    cold = run_fleet(config, metrics=FleetMetrics(), caches=caches)
+    # the cold wave runs with the span tracer on (registry shared with
+    # the wave's metrics, so the counters below are unaffected); its
+    # span tree goes into the emitted report
+    cold_metrics = FleetMetrics()
+    cold = run_fleet(
+        replace(config, obs=Observability(registry=cold_metrics)),
+        metrics=cold_metrics,
+        caches=caches,
+    )
     warm = run_fleet(config, metrics=FleetMetrics(), caches=caches)
     return cold, warm
 
@@ -93,16 +104,17 @@ def test_fleet_throughput(fleet_waves, emit):
         row("cache hit rate", "{:.0%}", lambda r: r.cache_hit_rate),
         row("wall clock", "{:.2f} s", lambda r: r.elapsed),
     ]
-    emit(
-        "fleet",
-        render_table(
-            f"fleet throughput: {AGENTS} agents, "
-            f"{len(DEFAULT_BUGS)} bugs x {REPORTERS_PER_BUG} reporters; "
-            "cold vs warm caches",
-            ["metric", "cold", "warm"],
-            rows,
-        ),
+    text = render_table(
+        f"fleet throughput: {AGENTS} agents, "
+        f"{len(DEFAULT_BUGS)} bugs x {REPORTERS_PER_BUG} reporters; "
+        "cold vs warm caches",
+        ["metric", "cold", "warm"],
+        rows,
     )
+    # the cold wave's span forest: one fleet_job tree per bug, with the
+    # collection round-trips and pipeline stages nested under it
+    text += "\n\ncold-wave span tree:\n" + cold.obs.tracer.render_tree()
+    emit("fleet", text)
     # service-level invariants hold in both waves
     _check_wave(cold)
     _check_wave(warm)

@@ -30,7 +30,7 @@ def main() -> None:
     dt_us = abs(report_failure.cycle[0].since - report_failure.cycle[1].since) / 1000
     print(f"  -> the two attempts are {dt_us:.0f} us apart (coarse interleaving!)\n")
 
-    report = SnorlaxServer(module).diagnose_failure(failing, client)
+    report = SnorlaxServer(module).diagnose(failing, client).report
     print(report.render())
 
     print("\nreading the result: each thread grabbed its first lock, then")

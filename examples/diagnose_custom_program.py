@@ -131,7 +131,7 @@ def main() -> None:
     loc = module.instruction(failure.failing_uid).loc
     print(f"crash: {failure.report.detail} at {loc}\n")
 
-    report = SnorlaxServer(module).diagnose_failure(failing, client)
+    report = SnorlaxServer(module).diagnose(failing, client).report
     print(report.render())
     print()
     kinds = report.root_cause.signature.kind

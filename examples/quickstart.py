@@ -33,7 +33,7 @@ def main() -> None:
     # The server collects ~10 successful traces at the same PC and runs
     # Lazy Diagnosis (steps 2-7 of the paper's Figure 2).
     server = SnorlaxServer(module)
-    report = server.diagnose_failure(failing, client)
+    report = server.diagnose(failing, client).report
     print()
     print(report.render())
 

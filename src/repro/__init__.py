@@ -12,11 +12,19 @@ Quickstart::
     spec = corpus.bug("pbzip2-n/a")
     client = SnorlaxClient(spec.module(), spec.workload)
     failing = client.find_runs(want_failing=True, count=1)[0]
-    report = SnorlaxServer(spec.module()).diagnose_failure(failing, client)
-    print(report.render())
+    result = SnorlaxServer(spec.module()).diagnose(failing, client)
+    print(result.render())
+
+or, with evidence already in hand, through the unified front door::
+
+    from repro.api import diagnose
+
+    result = diagnose(module, traces=samples)  # samples carry the failure
+    print(result.report.render())
 """
 
-from repro import baselines, bench, core, corpus, fleet, ir, pt, runtime, sim
+from repro import api, baselines, bench, core, corpus, fleet, ir, obs, pt, runtime, sim
+from repro.api import DiagnosisRequest, DiagnosisResult, diagnose
 from repro.core import (
     DiagnosisReport,
     LazyDiagnosis,
@@ -26,6 +34,7 @@ from repro.core import (
     ordering_accuracy,
 )
 from repro.ir import IRBuilder, Module, parse_module, print_module
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.pt import PTDriver, TraceConfig, decode_thread_trace
 from repro.runtime import SnorlaxClient, SnorlaxServer
 from repro.sim import Machine, RandomScheduler
@@ -33,15 +42,23 @@ from repro.sim import Machine, RandomScheduler
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "baselines",
     "bench",
     "core",
     "corpus",
     "fleet",
     "ir",
+    "obs",
     "pt",
     "runtime",
     "sim",
+    "diagnose",
+    "DiagnosisRequest",
+    "DiagnosisResult",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
     "DiagnosisReport",
     "LazyDiagnosis",
     "PipelineConfig",

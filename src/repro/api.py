@@ -1,0 +1,164 @@
+"""repro.api — the unified front door to Lazy Diagnosis.
+
+Every way of running a diagnosis — the in-process pipeline, the
+single-machine :class:`~repro.runtime.server.SnorlaxServer`, the
+networked fleet, the baseline runners — ultimately answers the same
+question with the same inputs.  This module gives that question one
+call shape::
+
+    from repro.api import diagnose
+    result = diagnose(module, traces=samples)       # samples carry
+    print(result.report.render())                   # their failure
+
+``diagnose`` accepts the evidence (a mixed list of failing and
+successful :class:`~repro.core.pipeline.TraceSample`), partitions it,
+runs the pipeline, and returns an immutable :class:`DiagnosisResult`
+that bundles the report with the run's observability: per-stage wall
+time, cache events, and (when tracing is on) the finished span tree.
+
+Legacy call shapes (``SnorlaxServer.diagnose_failure``,
+``LazyDiagnosis.diagnose`` called directly) keep working; the server
+shim emits a :class:`DeprecationWarning` pointing here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.pipeline import LazyDiagnosis, PipelineConfig, TraceSample
+from repro.core.report import DiagnosisReport
+from repro.errors import DiagnosisError
+from repro.ir.module import Module
+from repro.obs import Observability, Span, resolve_obs
+from repro.sim.failures import FailureReport
+
+
+@dataclass(frozen=True)
+class DiagnosisRequest:
+    """One diagnosis question, frozen: the module, the evidence, and the
+    analysis knobs.  ``traces`` mixes failing and successful samples;
+    the pipeline partitions them by :attr:`TraceSample.failing`."""
+
+    module: Module
+    traces: tuple[TraceSample, ...]
+    scope: bool = True
+    algorithm: str = "andersen"
+    failure: FailureReport | None = None
+
+    @property
+    def failing(self) -> tuple[TraceSample, ...]:
+        return tuple(t for t in self.traces if t.failing)
+
+    @property
+    def successes(self) -> tuple[TraceSample, ...]:
+        return tuple(t for t in self.traces if not t.failing)
+
+
+@dataclass(frozen=True)
+class DiagnosisResult:
+    """A finished diagnosis: the report plus the run's observability."""
+
+    request: DiagnosisRequest
+    report: DiagnosisReport
+    stage_seconds: dict[str, float]
+    cache_events: dict[str, int]
+    # the finished span tree of this run (root first), when tracing was on
+    spans: tuple[Span, ...] = ()
+    # the pipeline that ran, for legacy callers poking at last_analysis /
+    # last_ranking; excluded from equality and repr on purpose.
+    pipeline: LazyDiagnosis | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def diagnosed(self) -> bool:
+        return self.report.diagnosed
+
+    @property
+    def root_cause(self):
+        return self.report.root_cause
+
+    def render(self) -> str:
+        return self.report.render()
+
+
+def _resolve_caches(caches):
+    """``caches`` may be a DiagnosisCaches, an (analysis, traces) pair,
+    or None — the server passes its two independent cache fields."""
+    if caches is None:
+        return None, None
+    if isinstance(caches, tuple):
+        analysis_cache, trace_cache = caches
+        return analysis_cache, trace_cache
+    return caches.analysis, caches.traces
+
+
+def diagnose(
+    module: Module,
+    failure: FailureReport | None = None,
+    traces: Sequence[TraceSample] = (),
+    *,
+    scope: bool = True,
+    algorithm: str = "andersen",
+    config: PipelineConfig | None = None,
+    caches=None,
+    obs: Observability | None = None,
+) -> DiagnosisResult:
+    """Run Lazy Diagnosis over ``traces`` and return the bundled result.
+
+    ``failure`` is optional when the failing sample already carries its
+    :class:`FailureReport` (the normal case — snapshots arrive with the
+    report attached); pass it explicitly to diagnose raw evidence.
+    ``config`` overrides ``scope``/``algorithm`` wholesale when given.
+    ``caches`` is a :class:`~repro.core.cache.DiagnosisCaches` (or an
+    ``(analysis, traces)`` pair); ``obs`` an
+    :class:`~repro.obs.Observability` bundle, ``None`` for off.
+    """
+    samples = tuple(traces)
+    failing = [t for t in samples if t.failing]
+    successes = [t for t in samples if not t.failing]
+    if not failing:
+        raise DiagnosisError("at least one failing trace is required")
+    if failure is not None and failing[0].failure is None:
+        failing[0].failure = failure
+    effective = config or PipelineConfig(
+        scope_restriction=scope, algorithm=algorithm
+    )
+    analysis_cache, trace_cache = _resolve_caches(caches)
+    pipeline = LazyDiagnosis(
+        module,
+        effective,
+        analysis_cache=analysis_cache,
+        trace_cache=trace_cache,
+        obs=obs,
+    )
+    report = pipeline.diagnose(failing, successes)
+    request = DiagnosisRequest(
+        module=module,
+        traces=samples,
+        scope=effective.scope_restriction,
+        algorithm=effective.algorithm,
+        failure=failing[0].failure,
+    )
+    return result_from_pipeline(request, pipeline, report, obs)
+
+
+def result_from_pipeline(
+    request: DiagnosisRequest,
+    pipeline: LazyDiagnosis,
+    report: DiagnosisReport,
+    obs: Observability | None,
+) -> DiagnosisResult:
+    """Bundle a finished pipeline run (however it was driven) into the
+    public result shape — the server and fleet reuse this."""
+    resolved = resolve_obs(obs)
+    spans: tuple[Span, ...] = ()
+    if resolved.enabled and pipeline.last_root_span is not None:
+        spans = tuple(resolved.tracer.subtree(pipeline.last_root_span))
+    return DiagnosisResult(
+        request=request,
+        report=report,
+        stage_seconds=dict(pipeline.last_stage_seconds),
+        cache_events=dict(pipeline.last_cache_events),
+        spans=spans,
+        pipeline=pipeline,
+    )

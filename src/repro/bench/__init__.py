@@ -5,6 +5,7 @@ from repro.bench.harness import (
     CihMeasurement,
     OverheadMeasurement,
     client_for,
+    diagnosis_span_tree,
     extract_gaps,
     measure_cih,
     measure_tracing_overhead,
@@ -23,6 +24,7 @@ __all__ = [
     "CihMeasurement",
     "OverheadMeasurement",
     "client_for",
+    "diagnosis_span_tree",
     "extract_gaps",
     "measure_cih",
     "measure_tracing_overhead",

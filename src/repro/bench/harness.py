@@ -185,7 +185,7 @@ class AccuracyOutcome:
     report: object = None
 
 
-def run_accuracy(spec: BugSpec, start_seed: int = 0) -> AccuracyOutcome:
+def run_accuracy(spec: BugSpec, start_seed: int = 0, obs=None) -> AccuracyOutcome:
     from repro.core.accuracy import ordering_accuracy
 
     module = spec.module()
@@ -193,8 +193,8 @@ def run_accuracy(spec: BugSpec, start_seed: int = 0) -> AccuracyOutcome:
     failing = client.find_runs(True, 1, start_seed=start_seed)
     if not failing:
         raise CorpusError(f"{spec.bug_id}: no failing run found")
-    server = SnorlaxServer(module)
-    report = server.diagnose_failure(failing[0], client)
+    server = SnorlaxServer(module, obs=obs)
+    report = server.diagnose(failing[0], client).report
     truth = spec.ground_truth.resolve(module)
     diag = report.ordered_target_uids()
     return AccuracyOutcome(
@@ -207,6 +207,17 @@ def run_accuracy(spec: BugSpec, start_seed: int = 0) -> AccuracyOutcome:
         bug_kind=report.bug_kind,
         report=report,
     )
+
+
+def diagnosis_span_tree(spec: BugSpec, start_seed: int = 0) -> str:
+    """One bug's full diagnosis run with tracing on, rendered as the
+    indented span tree — what the benches append to their reports so a
+    regression in a stage's share of the time is visible in CI."""
+    from repro.obs import Observability
+
+    obs = Observability()
+    run_accuracy(spec, start_seed=start_seed, obs=obs)
+    return obs.tracer.render_tree()
 
 
 # ---------------------------------------------------------------------------

@@ -56,6 +56,18 @@ class SolverStats:
     scc_collapses: int = 0  # nodes unioned into cycle representatives
     saved_propagations: int = 0  # objects delta propagation did not re-move
 
+    def as_counters(self, prefix: str = "solver_") -> dict[str, int]:
+        """The unified ``solver_*`` counter vocabulary a
+        :class:`repro.obs.MetricsRegistry` absorbs after each solve."""
+        return {
+            f"{prefix}nodes": self.nodes,
+            f"{prefix}edges": self.edges,
+            f"{prefix}propagations": self.propagations,
+            f"{prefix}indirect_resolutions": self.indirect_resolutions,
+            f"{prefix}scc_collapses": self.scc_collapses,
+            f"{prefix}saved_propagations": self.saved_propagations,
+        }
+
 
 class AndersenResult:
     """Queryable points-to sets."""

@@ -113,6 +113,16 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_counters(self, prefix: str = "") -> dict[str, int]:
+        """The unified cache-counter vocabulary (``{prefix}hits`` …) a
+        :class:`repro.obs.MetricsRegistry` absorbs via
+        ``absorb_cache_stats``."""
+        return {
+            f"{prefix}hits": self.hits,
+            f"{prefix}misses": self.misses,
+            f"{prefix}evictions": self.evictions,
+        }
+
 
 class _LruCache:
     """Thread-safe LRU with hit/miss/eviction accounting."""
@@ -194,6 +204,7 @@ class DecodedTraceCache(_LruCache):
         tid: int,
         mtc_period_ns: int,
         events: dict[str, int] | None = None,
+        tracer=None,
     ):
         key = (
             module_fingerprint(module),
@@ -201,18 +212,25 @@ class DecodedTraceCache(_LruCache):
             hashlib.sha256(data).digest(),
             mtc_period_ns,
         )
-        trace = self.get(key)
-        if trace is not None:
-            if events is not None:
-                events["trace_cache_hits"] = events.get("trace_cache_hits", 0) + 1
-            return trace
-        from repro.pt.decoder import decode_thread_trace
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER as tracer  # noqa: N813
+        with tracer.span("trace_cache_lookup", tid=tid, bytes=len(data)) as span:
+            trace = self.get(key)
+            if trace is not None:
+                span.set(outcome="hit")
+                if events is not None:
+                    events["trace_cache_hits"] = events.get("trace_cache_hits", 0) + 1
+                return trace
+            span.set(outcome="miss")
+            from repro.pt.decoder import decode_thread_trace
 
-        trace = decode_thread_trace(module, data, tid, mtc_period_ns)
-        self.put(key, trace)
-        if events is not None:
-            events["trace_cache_misses"] = events.get("trace_cache_misses", 0) + 1
-        return trace
+            trace = decode_thread_trace(module, data, tid, mtc_period_ns)
+            self.put(key, trace)
+            if events is not None:
+                events["trace_cache_misses"] = (
+                    events.get("trace_cache_misses", 0) + 1
+                )
+            return trace
 
 
 @dataclass

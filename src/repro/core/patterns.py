@@ -88,6 +88,14 @@ class PatternComputation:
     def signatures(self) -> set[PatternSignature]:
         return {p.signature for p in self.patterns}
 
+    def summary(self) -> dict[str, int]:
+        """Span-attribute-sized digest of one execution's step-6 work."""
+        return {
+            "patterns": len(self.patterns),
+            "distinct_signatures": len(self.signatures()),
+            "candidates_explored": self.candidates_explored,
+        }
+
 
 def compute_crash_patterns(
     trace: ProcessedTrace,

@@ -26,6 +26,7 @@ from repro.core.report import DiagnosisReport, StageStats, describe_event
 from repro.core.statistics import (
     ExecutionObservation,
     cap_successful,
+    observation_breakdown,
     observe,
     score_patterns,
 )
@@ -81,14 +82,17 @@ class LazyDiagnosis:
         config: PipelineConfig | None = None,
         analysis_cache=None,
         trace_cache=None,
+        obs=None,
     ):
         self.module = module
         self.config = config or PipelineConfig()
         self.analysis_cache = analysis_cache  # AnalysisCache | None
         self.trace_cache = trace_cache  # DecodedTraceCache | None
+        self.obs = obs  # Observability | None
         self.last_analysis: PointsToAnalysis | None = None
         self.last_ranking: RankingResult | None = None
         self.last_traces: list[ProcessedTrace] = []
+        self.last_root_span = None  # Span | None (when tracing is on)
         # per-diagnose() observability: cache hit/miss counts and wall
         # time per pipeline stage, consumed by the fleet metrics.
         self.last_cache_events: dict[str, int] = {}
@@ -104,8 +108,40 @@ class LazyDiagnosis:
         report_failure = failing[0].failure
         if report_failure is None:
             raise DiagnosisError("failing sample carries no failure report")
+        from repro.obs import render_flight_recorder, resolve_obs
+
+        obs = resolve_obs(self.obs)
+        with obs.profiler() as prof:
+            with obs.tracer.span(
+                "diagnose",
+                failure_kind=report_failure.kind,
+                failing_uid=report_failure.failing_uid,
+                failing_traces=len(failing),
+                success_traces=len(successes),
+            ) as root:
+                report = self._diagnose_observed(
+                    failing, successes, report_failure, obs
+                )
+                root.set(bug_kind=report.bug_kind, diagnosed=report.diagnosed)
+        self.last_root_span = root if obs.enabled else None
+        if obs.enabled:
+            recorder = render_flight_recorder(obs.tracer, root)
+            if prof is not None:
+                root.set(**prof.summary())
+                recorder += "\n" + prof.render()
+            report.flight_recorder = recorder
+        return report
+
+    def _diagnose_observed(
+        self,
+        failing: list[TraceSample],
+        successes: list[TraceSample],
+        report_failure: FailureReport,
+        obs,
+    ) -> DiagnosisReport:
         started = _time.perf_counter()
         cfg = self.config
+        tracer = obs.tracer
         self.last_cache_events = {
             "analysis_cache_hits": 0,
             "analysis_cache_misses": 0,
@@ -113,15 +149,25 @@ class LazyDiagnosis:
             "trace_cache_misses": 0,
         }
         stages = self.last_stage_seconds = {}
+
+        def close_stage(name: str, stage_start: float) -> None:
+            stages[name] = _time.perf_counter() - stage_start
+            obs.registry.observe(f"stage_{name}", stages[name])
+
         # operand recovery happens once per diagnosis — every sample's
         # trace processing reuses the same anchors.
         operands, anchors = self._recover_operands(report_failure)
         # steps 2+3: trace processing per execution
-        traces = [
-            self._process(s, report_failure, anchors) for s in failing + successes
-        ]
-        self.last_traces = traces
-        stages["trace_processing"] = _time.perf_counter() - started
+        with tracer.span(
+            "trace_processing", samples=len(failing) + len(successes)
+        ) as span:
+            traces = [
+                self._process(s, report_failure, anchors, tracer)
+                for s in failing + successes
+            ]
+            self.last_traces = traces
+            span.set(anchors=len(anchors))
+        close_stage("trace_processing", started)
         executed: set[int] = set()
         for t in traces:
             executed |= t.executed_uids
@@ -133,9 +179,17 @@ class LazyDiagnosis:
         scope = executed if cfg.scope_restriction else None
         # step 4: hybrid points-to over the (restricted) scope
         stage_start = _time.perf_counter()
-        analysis = PointsToAnalysis(
-            self.module, scope, cfg.algorithm, cache=self.analysis_cache
-        ).run()
+        with tracer.span(
+            "points_to",
+            scope="hybrid" if scope is not None else "whole-program",
+            algorithm=cfg.algorithm,
+            executed_instructions=len(executed),
+        ) as span:
+            analysis = PointsToAnalysis(
+                self.module, scope, cfg.algorithm,
+                cache=self.analysis_cache, obs=obs,
+            ).run()
+            span.set(constraints=analysis.stats.constraints)
         self.last_analysis = analysis
         if self.analysis_cache is not None:
             outcome = analysis.stats.extra.get("cache")
@@ -143,22 +197,27 @@ class LazyDiagnosis:
                 self.last_cache_events["analysis_cache_hits"] += 1
             elif outcome == "miss":
                 self.last_cache_events["analysis_cache_misses"] += 1
-        stages["points_to"] = _time.perf_counter() - stage_start
+        close_stage("points_to", stage_start)
         # step 5: type-based ranking
         stage_start = _time.perf_counter()
         is_deadlock = report_failure.kind == "deadlock"
-        ranking = rank_candidates(
-            self.module,
-            analysis,
-            executed,
-            operands,
-            report_failure.failing_uid,
-            include_locks=is_deadlock,
-        )
-        if not cfg.type_ranking:
-            ranking = _flatten_ranks(ranking)
+        with tracer.span("type_ranking", enabled=cfg.type_ranking) as span:
+            ranking = rank_candidates(
+                self.module,
+                analysis,
+                executed,
+                operands,
+                report_failure.failing_uid,
+                include_locks=is_deadlock,
+            )
+            if not cfg.type_ranking:
+                ranking = _flatten_ranks(ranking)
+            span.set(
+                candidates=len(ranking.candidates),
+                rank1_candidates=len(ranking.rank1()),
+            )
         self.last_ranking = ranking
-        stages["ranking"] = _time.perf_counter() - stage_start
+        close_stage("type_ranking", stage_start)
         # step 6: per-execution bug pattern computation
         stage_start = _time.perf_counter()
         observations: list[ExecutionObservation] = []
@@ -168,23 +227,45 @@ class LazyDiagnosis:
             uid: (role, analysis.points_to(operand))
             for uid, role, operand in anchors
         }
-        if cfg.pattern_computation:
-            for sample, trace in zip(failing + successes, traces):
-                comp = self._compute_patterns(
-                    sample, trace, ranking, anchor_info, report_failure
+        with tracer.span(
+            "pattern_computation", enabled=cfg.pattern_computation
+        ) as span:
+            if cfg.pattern_computation:
+                for sample, trace in zip(failing + successes, traces):
+                    comp = self._compute_patterns(
+                        sample, trace, ranking, anchor_info, report_failure
+                    )
+                    computations.append(comp)
+                    observations.append(
+                        observe(sample.label, sample.failing, comp)
+                    )
+            if tracer.enabled:
+                totals = PatternComputation(
+                    patterns=[p for c in computations for p in c.patterns],
+                    candidates_explored=sum(
+                        c.candidates_explored for c in computations
+                    ),
                 )
-                computations.append(comp)
-                observations.append(observe(sample.label, sample.failing, comp))
-        stages["pattern_computation"] = _time.perf_counter() - stage_start
+                span.set(**totals.summary())
+        close_stage("pattern_computation", stage_start)
         # step 7: statistical diagnosis
         stage_start = _time.perf_counter()
-        if cfg.statistical_diagnosis and observations:
-            scored = score_patterns(cap_successful(observations))
-        elif observations:
-            scored = score_patterns(observations[: len(failing)])
-        else:
-            scored = []
-        stages["statistical_diagnosis"] = _time.perf_counter() - stage_start
+        with tracer.span(
+            "statistical_diagnosis", enabled=cfg.statistical_diagnosis
+        ) as span:
+            if cfg.statistical_diagnosis and observations:
+                capped = cap_successful(observations)
+                scored = score_patterns(capped)
+            elif observations:
+                capped = observations[: len(failing)]
+                scored = score_patterns(capped)
+            else:
+                capped = []
+                scored = []
+            if tracer.enabled:
+                span.set(scored=len(scored), **observation_breakdown(capped))
+        close_stage("statistical_diagnosis", stage_start)
+        obs.registry.merge_counters(self.last_cache_events)
         elapsed = _time.perf_counter() - started
         return self._build_report(
             report_failure, scored, traces, ranking, computations, elapsed, anchor_role
@@ -197,9 +278,11 @@ class LazyDiagnosis:
         sample: TraceSample,
         failure: FailureReport,
         anchors: list[tuple[int, str, Value]],
+        tracer=None,
     ) -> ProcessedTrace:
         thread_traces = {
-            tid: self._decode(data, tid) for tid, data in sample.buffers.items()
+            tid: self._decode(data, tid, tracer)
+            for tid, data in sample.buffers.items()
         }
         trace = process_snapshot(sample.label, thread_traces, sample.failing)
         if (
@@ -239,7 +322,7 @@ class LazyDiagnosis:
                 )
         return trace
 
-    def _decode(self, data: bytes, tid: int):
+    def _decode(self, data: bytes, tid: int, tracer=None):
         """Decode one PT buffer, via the shared trace cache when present."""
         if self.trace_cache is not None:
             return self.trace_cache.get_or_decode(
@@ -248,6 +331,7 @@ class LazyDiagnosis:
                 tid,
                 self.config.mtc_period_ns,
                 self.last_cache_events,
+                tracer=tracer,
             )
         from repro.pt.decoder import decode_thread_trace
 

@@ -69,6 +69,7 @@ class PointsToAnalysis:
         executed_uids: set[int] | None = None,
         algorithm: str = "andersen",
         cache: AnalysisCache | None = None,
+        obs=None,
     ):
         if algorithm not in _ALGORITHMS:
             raise ValueError(f"unknown points-to algorithm {algorithm!r}")
@@ -76,6 +77,7 @@ class PointsToAnalysis:
         self.executed_uids = executed_uids
         self.algorithm = algorithm
         self.cache = cache
+        self.obs = obs  # Observability | None
         self.result: AndersenResult | SteensgaardResult | None = None
         self.system: ConstraintSystem | None = None
         self.stats = PointsToStats(
@@ -84,13 +86,18 @@ class PointsToAnalysis:
         )
 
     def run(self) -> "PointsToAnalysis":
+        from repro.obs import resolve_obs
+
+        obs = resolve_obs(self.obs)
         start = _time.perf_counter()
         key = None
         if self.cache is not None:
             key = AnalysisCache.key_for(
                 self.module, self.executed_uids, self.algorithm
             )
-            cached = self.cache.get(key)
+            with obs.tracer.span("analysis_cache_lookup") as span:
+                cached = self.cache.get(key)
+                span.set(outcome="hit" if cached is not None else "miss")
             if cached is not None:
                 assert isinstance(cached, CachedAnalysis)
                 self.system = cached.system  # type: ignore[assignment]
@@ -99,13 +106,18 @@ class PointsToAnalysis:
                 self._finish_stats(start)
                 return self
             self.stats.extra["cache"] = "miss"
-        self.system = generate_constraints(self.module, self.executed_uids)
-        if self.algorithm == "andersen":
-            self.result = andersen_solve(self.system)
-        elif self.algorithm == "andersen-naive":
-            self.result = andersen_solve_naive(self.system)
-        else:
-            self.result = steensgaard_solve(self.system)
+        with obs.tracer.span("generate_constraints", scope=self.stats.scope) as span:
+            self.system = generate_constraints(self.module, self.executed_uids)
+            span.set(instructions=self.system.instructions_analyzed)
+        with obs.tracer.span("solve", algorithm=self.algorithm) as span:
+            if self.algorithm == "andersen":
+                self.result = andersen_solve(self.system)
+            elif self.algorithm == "andersen-naive":
+                self.result = andersen_solve_naive(self.system)
+            else:
+                self.result = steensgaard_solve(self.system)
+            span.set(**self.result.stats.as_counters())
+        obs.registry.absorb_solver_stats(self.result.stats)
         if self.cache is not None and key is not None:
             self.cache.put(key, CachedAnalysis(self.system, self.result))
         self._finish_stats(start)

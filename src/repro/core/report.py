@@ -71,6 +71,10 @@ class DiagnosisReport:
     # wanted number of successful traces arrived; the diagnosis ran on
     # thinner evidence and says so rather than failing outright
     degraded: bool = False
+    # observability: the human-readable span tree for this job, set when
+    # the diagnosis ran with tracing enabled.  Timing-dependent, so it
+    # must stay out of report digests (fleet vs. in-process comparison).
+    flight_recorder: str | None = None
 
     @property
     def diagnosed(self) -> bool:
@@ -152,6 +156,8 @@ class DiagnosisReport:
             lines.append("evidence:      DEGRADED (collection deadline hit)")
         for note in self.notes:
             lines.append(f"note: {note}")
+        if self.flight_recorder:
+            lines.append(self.flight_recorder)
         return "\n".join(lines)
 
 

@@ -63,6 +63,21 @@ def observe(
     return obs
 
 
+def observation_breakdown(
+    observations: list[ExecutionObservation],
+) -> dict[str, int]:
+    """Span-attribute-sized digest of the step-7 evidence base."""
+    failing = sum(1 for o in observations if o.failing)
+    return {
+        "observations": len(observations),
+        "failing_observations": failing,
+        "success_observations": len(observations) - failing,
+        "distinct_signatures": len(
+            {sig for o in observations for sig in o.signatures}
+        ),
+    }
+
+
 def score_patterns(observations: list[ExecutionObservation]) -> list[ScoredPattern]:
     """F1-rank all signatures seen in any observation.
 

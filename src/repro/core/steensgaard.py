@@ -54,6 +54,10 @@ class SteensgaardStats:
     unions: int = 0
     nodes: int = 0
 
+    def as_counters(self, prefix: str = "solver_") -> dict[str, int]:
+        """Unified counter vocabulary (see SolverStats.as_counters)."""
+        return {f"{prefix}nodes": self.nodes, f"{prefix}unions": self.unions}
+
 
 class SteensgaardResult:
     def __init__(

@@ -3,6 +3,10 @@
 Spins up the fleet server plus N endpoint agents over real TCP sockets,
 lets several endpoints per bug hit their corpus bug and report it, and
 prints the fleet-wide diagnoses and service metrics.
+
+Exit codes: 0 clean; 1 agent errors; 2 a fleet digest diverged from the
+in-process diagnosis of the same bug (the correctness tripwire —
+disable with ``--no-verify-digests``).
 """
 
 from __future__ import annotations
@@ -13,6 +17,32 @@ import sys
 from repro.fleet.chaos import FaultPlan
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.simulation import DEFAULT_BUGS, FleetConfig, run_fleet
+
+
+def _verify_digests(result, metrics, traces_wanted: int) -> list[str]:
+    """Re-diagnose each fleet-diagnosed bug in process and compare
+    digests.  Degraded digests are skipped (thinner evidence is not
+    comparable); any other divergence is a correctness failure."""
+    from repro.corpus import bug as corpus_bug
+    from repro.fleet.server import report_digest
+    from repro.runtime import SnorlaxClient, SnorlaxServer
+
+    mismatches: list[str] = []
+    for signature, digest in sorted(result.digests.items()):
+        if digest.get("degraded"):
+            continue  # evidence was thinner than in-process; not comparable
+        bug_id = signature.split("|", 1)[0]
+        spec = corpus_bug(bug_id)
+        client = SnorlaxClient(spec.module(), spec.workload, entry=spec.entry)
+        failing = client.find_runs(True, 1)[0]
+        server = SnorlaxServer(
+            spec.module(), success_traces_wanted=traces_wanted
+        )
+        expected = report_digest(server.diagnose(failing, client).report)
+        if digest != expected:
+            metrics.inc("digest_mismatches")
+            mismatches.append(signature)
+    return mismatches
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -112,6 +142,34 @@ def main(argv: list[str] | None = None) -> int:
         "--frame-timeout", type=float, default=30.0, metavar="S",
         help="a started frame must finish arriving within S seconds",
     )
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's span tree as JSONL (enables tracing)",
+    )
+    obs_group.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text format on http://HOST:PORT/metrics "
+        "during the run (0 picks a free port)",
+    )
+    obs_group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final Prometheus scrape to PATH (implies "
+        "--metrics-port 0 when no port was given)",
+    )
+    obs_group.add_argument(
+        "--profile", action="store_true",
+        help="sample stacks during each diagnosis (flight recorder)",
+    )
+    obs_group.add_argument(
+        "--verify-digests", action="store_true", default=True,
+        help="re-diagnose each bug in process and fail (exit 2) on "
+        "digest divergence (default)",
+    )
+    obs_group.add_argument(
+        "--no-verify-digests", dest="verify_digests", action="store_false",
+        help="skip the in-process digest cross-check",
+    )
     args = parser.parse_args(argv)
 
     plan = FaultPlan(
@@ -125,6 +183,9 @@ def main(argv: list[str] | None = None) -> int:
         max_crashes_per_agent=args.chaos_max_crashes,
         server_restart_after_s=args.chaos_restart_after,
     )
+    metrics_port = args.metrics_port
+    if metrics_port is None and args.metrics_out is not None:
+        metrics_port = 0  # the scrape artifact needs a live endpoint
     config = FleetConfig(
         agents=args.agents,
         bug_ids=tuple(b.strip() for b in args.bugs.split(",") if b.strip()),
@@ -139,15 +200,37 @@ def main(argv: list[str] | None = None) -> int:
         request_timeout=args.request_timeout,
         collection_deadline_s=args.collection_deadline,
         frame_timeout=args.frame_timeout,
+        trace_out=args.trace_out,
+        metrics_port=metrics_port,
+        profile=args.profile,
     )
     metrics = FleetMetrics()
     result = run_fleet(config, metrics=metrics)
+
+    mismatches: list[str] = []
+    if args.verify_digests:
+        mismatches = _verify_digests(result, metrics, args.traces)
+
     print(result.render())
     print()
     print(metrics.render())
+    if args.trace_out is not None:
+        print(f"\nspan trace: {result.spans_written} spans -> {args.trace_out}")
+    if args.metrics_out is not None and result.prometheus_scrape is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(result.prometheus_scrape)
+        print(f"prometheus scrape -> {args.metrics_out}")
     errors = [o for o in result.outcomes if o.error]
     for outcome in errors[:5]:
         print(f"agent error: {outcome.agent_id}: {outcome.error}", file=sys.stderr)
+    for signature in mismatches:
+        print(
+            f"DIGEST MISMATCH: fleet diagnosis of {signature} diverged "
+            "from the in-process diagnosis",
+            file=sys.stderr,
+        )
+    if mismatches:
+        return 2
     return 1 if errors else 0
 
 

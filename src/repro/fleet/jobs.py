@@ -59,6 +59,7 @@ class DiagnosisJobQueue:
         max_pending: int = 8,
         retry_after: float = 0.25,
         metrics: FleetMetrics | None = None,
+        tracer=None,
     ):
         if workers is None:
             # auto-scale to the machine: one worker per core, bounded —
@@ -70,6 +71,9 @@ class DiagnosisJobQueue:
         if max_pending < 1:
             raise FleetError("job queue needs max_pending >= 1")
         self.metrics = metrics or FleetMetrics()
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER as tracer  # noqa: N813
+        self.tracer = tracer
         self.retry_after = retry_after
         self.max_pending = max_pending
         self._pool = ThreadPoolExecutor(
@@ -108,9 +112,15 @@ class DiagnosisJobQueue:
         return future, False
 
     def _run(self, signature: str, fn: Callable[[], object]) -> object:
-        self.metrics.observe("queue_wait", perf_counter() - self._submitted[signature])
-        with self.metrics.timer("diagnosis_latency"):
-            return fn()
+        wait = perf_counter() - self._submitted[signature]
+        self.metrics.observe("queue_wait", wait)
+        # the job's root span lives on the worker thread; everything the
+        # diagnosis does below (fleet_diagnose, collection, pipeline
+        # stages) nests under it via the thread-local span stack
+        with self.tracer.span("fleet_job", signature=signature) as span:
+            self.tracer.record("job_queue_wait", wait, parent=span)
+            with self.metrics.timer("diagnosis_latency"):
+                return fn()
 
     def _finished(self, signature: str) -> None:
         with self._lock:

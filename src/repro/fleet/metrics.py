@@ -1,12 +1,27 @@
-"""Fleet observability: counters, gauges, and latency timers.
+"""Fleet observability: the service-counter vocabulary.
 
-A production diagnosis service must answer "is the fleet healthy?"
-without a debugger: how many failures arrived, how many were folded into
-an already-running diagnosis, how deep the queue is, and where the time
-goes per stage (trace collection vs. analysis).  ``FleetMetrics`` is a
-small thread-safe registry the server, job queue, and simulation all
-share; it exports both a machine-readable dict and a human-readable
-dump (what ``python -m repro.fleet`` prints).
+``FleetMetrics`` is now a thin, read-compatible alias of
+:class:`repro.obs.MetricsRegistry` — the process-wide registry the whole
+stack (solver, caches, pipeline stages, fleet service) records into
+under one snake_case naming convention.  Everything the fleet ever
+exposed (``inc``/``gauge``/``observe``/``timer``, ``counter``,
+``timings``, ``median``, ``percentile``, ``counters_with_prefix``,
+``as_dict``, ``render``) lives on the registry; this module keeps the
+name the server, job queue, simulation, and existing callers import,
+plus the documentation of the fleet's counter vocabulary.
+
+Service counters:
+
+* ``failures_received`` / ``diagnoses_completed`` / ``jobs_*`` — the
+  intake funnel (submitted, deduplicated, rejected, completed, failed);
+* ``trace_requests_sent`` / ``trace_responses_received`` /
+  ``traces_collected`` — step-8 collection volume;
+* ``analysis_cache_*`` / ``trace_cache_*`` — cache health (unified with
+  :class:`~repro.core.cache.CacheStats`);
+* ``solver_*`` — points-to solver work absorbed from
+  :class:`~repro.core.andersen.SolverStats`;
+* ``digest_mismatches`` — fleet digests that diverged from the
+  in-process diagnosis (the simulation's correctness tripwire).
 
 Resilience counter vocabulary (all zero on a polite network):
 
@@ -34,118 +49,13 @@ Resilience counter vocabulary (all zero on a polite network):
 
 from __future__ import annotations
 
-import statistics
-import threading
-from contextlib import contextmanager
-from time import perf_counter
+from repro.obs.registry import MetricsRegistry
 
 
-class FleetMetrics:
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
-        self._gauges: dict[str, float] = {}
-        self._timers: dict[str, list[float]] = {}
+class FleetMetrics(MetricsRegistry):
+    """Read-compatible alias of :class:`repro.obs.MetricsRegistry`.
 
-    # -- recording ---------------------------------------------------------
-
-    def inc(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
-
-    def gauge(self, name: str, value: float) -> None:
-        with self._lock:
-            self._gauges[name] = value
-
-    def observe(self, name: str, seconds: float) -> None:
-        with self._lock:
-            self._timers.setdefault(name, []).append(seconds)
-
-    @contextmanager
-    def timer(self, name: str):
-        started = perf_counter()
-        try:
-            yield
-        finally:
-            self.observe(name, perf_counter() - started)
-
-    # -- reading -----------------------------------------------------------
-
-    def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def timings(self, name: str) -> list[float]:
-        with self._lock:
-            return list(self._timers.get(name, ()))
-
-    def median(self, name: str) -> float:
-        values = self.timings(name)
-        return statistics.median(values) if values else 0.0
-
-    def percentile(self, name: str, q: float) -> float:
-        """The q-th percentile (0 < q < 100) of a timer's observations —
-        tail latency is what degrades first when the network misbehaves."""
-        values = sorted(self.timings(name))
-        if not values:
-            return 0.0
-        if len(values) == 1:
-            return values[0]
-        rank = (q / 100.0) * (len(values) - 1)
-        low = int(rank)
-        high = min(low + 1, len(values) - 1)
-        return values[low] + (values[high] - values[low]) * (rank - low)
-
-    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
-        """All counters whose name starts with ``prefix`` (e.g. the
-        ``chaos_`` family) — how the simulation reports injected faults."""
-        with self._lock:
-            return {
-                k: v for k, v in sorted(self._counters.items())
-                if k.startswith(prefix)
-            }
-
-    def as_dict(self) -> dict:
-        """A stable snapshot: counters, gauges, and timer summaries."""
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            timers = {k: list(v) for k, v in self._timers.items()}
-        summary = {}
-        for name, values in sorted(timers.items()):
-            summary[name] = {
-                "count": len(values),
-                "total_s": sum(values),
-                "mean_s": statistics.fmean(values) if values else 0.0,
-                "median_s": statistics.median(values) if values else 0.0,
-                "max_s": max(values) if values else 0.0,
-            }
-        return {
-            "counters": dict(sorted(counters.items())),
-            "gauges": dict(sorted(gauges.items())),
-            "timers": summary,
-        }
-
-    def render(self) -> str:
-        snap = self.as_dict()
-        lines = ["=== fleet metrics ==="]
-        if snap["counters"]:
-            lines.append("counters:")
-            width = max(len(k) for k in snap["counters"])
-            for name, value in snap["counters"].items():
-                lines.append(f"  {name:<{width}}  {value}")
-        if snap["gauges"]:
-            lines.append("gauges:")
-            width = max(len(k) for k in snap["gauges"])
-            for name, value in snap["gauges"].items():
-                lines.append(f"  {name:<{width}}  {value:g}")
-        if snap["timers"]:
-            lines.append("timers:")
-            for name, s in snap["timers"].items():
-                lines.append(
-                    f"  {name}: n={s['count']} total={s['total_s'] * 1000:.1f}ms "
-                    f"mean={s['mean_s'] * 1000:.1f}ms "
-                    f"median={s['median_s'] * 1000:.1f}ms "
-                    f"max={s['max_s'] * 1000:.1f}ms"
-                )
-        return "\n".join(lines)
+    Kept so existing imports and isinstance checks keep working; new
+    code should construct :class:`repro.obs.MetricsRegistry` directly
+    (an ``Observability`` bundle carries one).
+    """

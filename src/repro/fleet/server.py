@@ -50,6 +50,8 @@ from repro.fleet.wire import (
     read_frame_async,
 )
 from repro.ir.module import Module
+from repro.obs import MetricsHTTPServer, Observability, render_flight_recorder
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.protocol import TraceRequest, TraceResponse
 from repro.runtime.server import SnorlaxServer
 
@@ -175,6 +177,8 @@ class FleetServer:
         collection_deadline_s: float | None = None,
         min_success_traces: int = 1,
         frame_timeout: float = 30.0,
+        obs: Observability | None = None,
+        metrics_port: int | None = None,
     ):
         self.host = host
         self.port = port
@@ -199,12 +203,29 @@ class FleetServer:
         # the server-lifetime caches every diagnosis shares; passing a
         # caches object in lets a fleet keep them warm across restarts
         self.caches = (caches or DiagnosisCaches()) if enable_caches else None
+        # one registry for the whole service: an explicit Observability
+        # bundle brings its own (so spans and counters agree), otherwise
+        # the fleet's metrics double as the registry with tracing off —
+        # either way the pipeline, solver, and caches record into the
+        # same place the Prometheus endpoint scrapes.
+        if metrics is None and obs is not None:
+            metrics = obs.registry  # type: ignore[assignment]
         self.metrics = metrics or FleetMetrics()
+        self.obs = obs or Observability(
+            tracer=NULL_TRACER, registry=self.metrics
+        )
+        # optional Prometheus scrape endpoint (``--metrics-port``)
+        self.metrics_server: MetricsHTTPServer | None = None
+        if metrics_port is not None:
+            self.metrics_server = MetricsHTTPServer(
+                self.metrics, host=self.host, port=metrics_port
+            )
         self.jobs = DiagnosisJobQueue(
             workers=workers,
             max_pending=max_pending,
             retry_after=retry_after,
             metrics=self.metrics,
+            tracer=self.obs.tracer,
         )
         self._resolver = module_resolver or _corpus_resolver
         self._modules: dict[str, Module] = {}
@@ -233,6 +254,8 @@ class FleetServer:
         self._ready.wait()
         if self._startup_error is not None:
             raise FleetError(f"fleet server failed to start: {self._startup_error}")
+        if self.metrics_server is not None:
+            self.metrics_server.start()
         return self.host, self.port
 
     def _thread_main(self) -> None:
@@ -260,6 +283,8 @@ class FleetServer:
 
     def stop(self, drain: bool = True) -> None:
         """Stop intake, drain in-flight diagnoses, tear the loop down."""
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
         loop = self._loop
         if loop is None or self._thread is None:
             return
@@ -493,6 +518,7 @@ class FleetServer:
         diagnosis runs with however many successful traces arrived —
         flagged as degraded rather than failing outright."""
         module = self._module(env.bug_id)
+        obs = self.obs
         snorlax = SnorlaxServer(
             module,
             config=self.config,
@@ -502,6 +528,7 @@ class FleetServer:
             trace_cache=self.caches.traces if self.caches else None,
             collection_deadline_s=self.collection_deadline_s,
             min_success_traces=self.min_success_traces,
+            obs=obs,
         )
         snorlax.stats.failing_traces += 1
 
@@ -514,30 +541,36 @@ class FleetServer:
                     label=req.label, outcome="unreachable", sample=None
                 )
 
-        with self.metrics.timer("collection_latency"):
-            successes = snorlax.collect_traces_via(
-                transport,
-                env.notification.failing_uid,
-                self.start_seed,
-            )
-        self.metrics.inc("traces_collected", len(successes))
-        degraded = len(successes) < self.success_traces_wanted
-        if degraded:
-            self.metrics.inc("degraded_collections")
-        with self.metrics.timer("analysis_latency"):
-            pipeline = snorlax.make_pipeline()
-            report = pipeline.diagnose([env.sample], successes)
-        if degraded:
-            report.degraded = True
-            report.notes.append(
-                f"degraded collection: diagnosed from {len(successes)}/"
-                f"{self.success_traces_wanted} successful traces"
-            )
-        for name, count in pipeline.last_cache_events.items():
-            if count:
-                self.metrics.inc(name, count)
-        for stage, seconds in pipeline.last_stage_seconds.items():
-            self.metrics.observe(f"stage_{stage}", seconds)
+        with obs.tracer.span(
+            "fleet_diagnose",
+            bug_id=env.bug_id,
+            signature=failure_signature(env),
+        ) as root:
+            with self.metrics.timer("collection_latency"):
+                successes = snorlax.collect_traces_via(
+                    transport,
+                    env.notification.failing_uid,
+                    self.start_seed,
+                )
+            self.metrics.inc("traces_collected", len(successes))
+            degraded = len(successes) < self.success_traces_wanted
+            if degraded:
+                self.metrics.inc("degraded_collections")
+            with self.metrics.timer("analysis_latency"):
+                # the pipeline records its own stage timers and cache
+                # events into obs.registry (this server's metrics)
+                result = snorlax.diagnose_samples([env.sample], successes)
+            report = result.report
+            if degraded:
+                report.degraded = True
+                report.notes.append(
+                    f"degraded collection: diagnosed from {len(successes)}/"
+                    f"{self.success_traces_wanted} successful traces"
+                )
+            root.set(collected=len(successes), degraded=degraded)
+        if obs.enabled:
+            # the whole fleet-side job: collection round-trips included
+            report.flight_recorder = render_flight_recorder(obs.tracer, root)
         self.metrics.inc("diagnoses_completed")
         return report
 

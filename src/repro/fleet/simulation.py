@@ -25,6 +25,7 @@ from repro.fleet.agent import FleetAgent
 from repro.fleet.chaos import FaultPlan
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.server import FleetServer, render_digest
+from repro.obs import Observability, write_trace_jsonl
 
 DEFAULT_BUGS = ("pbzip2-n/a", "memcached-271", "aget-2")
 
@@ -51,6 +52,11 @@ class FleetConfig:
     min_success_traces: int = 1
     agent_reconnect_attempts: int = 8
     frame_timeout: float = 30.0  # started frames must finish in this
+    # -- observability -----------------------------------------------------
+    trace_out: str | None = None  # write the span tree here (JSONL)
+    metrics_port: int | None = None  # serve Prometheus /metrics (0: any)
+    profile: bool = False  # sample stacks during each diagnosis
+    obs: Observability | None = None  # bring your own bundle
 
 
 @dataclass
@@ -74,6 +80,13 @@ class FleetRunResult:
     metrics: dict
     outcomes: list[AgentOutcome]
     digests: dict[str, dict] = field(default_factory=dict)  # signature -> digest
+    # observability artifacts of this run
+    spans_written: int = 0  # spans written to config.trace_out
+    metrics_url: str | None = None  # Prometheus endpoint while running
+    # the final GET /metrics body, fetched over HTTP just before the
+    # endpoint shut down (None when metrics_port was not set)
+    prometheus_scrape: str | None = None
+    obs: Observability | None = None  # the bundle the run recorded into
 
     @property
     def failures_received(self) -> int:
@@ -194,6 +207,12 @@ def run_fleet(
         spec.module()  # build (and cache) before threads share it
 
     metrics = metrics or FleetMetrics()
+    # tracing is opt-in: only build an enabled tracer when someone will
+    # consume the spans (a long-lived disabled fleet must not accumulate
+    # span memory).  The registry is always the shared fleet metrics.
+    obs = cfg.obs
+    if obs is None and (cfg.trace_out is not None or cfg.profile):
+        obs = Observability(registry=metrics, profile=cfg.profile)
     server = FleetServer(
         host=cfg.host,
         port=cfg.port,
@@ -209,8 +228,13 @@ def run_fleet(
         collection_deadline_s=cfg.collection_deadline_s,
         min_success_traces=cfg.min_success_traces,
         frame_timeout=cfg.frame_timeout,
+        obs=obs,
+        metrics_port=cfg.metrics_port,
     )
     host, port = server.start()
+    metrics_url = (
+        server.metrics_server.url if server.metrics_server is not None else None
+    )
 
     # an injected server restart mid-run: agents must reconnect, reporters
     # must re-report, in-flight collections must reroute
@@ -304,16 +328,32 @@ def run_fleet(
             restart_timer.cancel()
         for thread in threads:
             thread.join(timeout=30)
+        prometheus_scrape = None
+        if server.metrics_server is not None:
+            from urllib.request import urlopen
+
+            try:
+                with urlopen(server.metrics_server.url, timeout=5) as resp:
+                    prometheus_scrape = resp.read().decode()
+            except OSError:
+                pass  # endpoint raced shutdown; the run itself succeeded
         server.stop()
 
     digests: dict[str, dict] = {}
     for outcome in outcomes:
         if outcome.signature is not None and outcome.digest is not None:
             digests[outcome.signature] = outcome.digest
+    spans_written = 0
+    if cfg.trace_out is not None and obs is not None:
+        spans_written = write_trace_jsonl(cfg.trace_out, obs.tracer)
     return FleetRunResult(
         config=cfg,
         elapsed=elapsed,
         metrics=metrics.as_dict(),
         outcomes=outcomes,
         digests=digests,
+        spans_written=spans_written,
+        metrics_url=metrics_url,
+        prometheus_scrape=prometheus_scrape,
+        obs=obs,
     )

@@ -1,0 +1,107 @@
+"""Optional sampling profiler: hot-path attribution for one job.
+
+Spans say *which stage* a diagnosis spent its time in; the profiler
+says *which functions*.  It is a classic periodic stack sampler: a
+daemon thread wakes every ``interval_s``, grabs the observed thread's
+frame via ``sys._current_frames()``, and counts one *self* sample for
+the innermost function plus one *cumulative* sample per function on the
+stack.  No instrumentation is installed in the observed thread
+(``sys.setprofile`` would tax every call), so the observed job runs at
+full speed and the error is purely statistical — the right trade for
+per-job, in-production attribution.
+
+Activate per job via ``Observability(profile=True)`` or the fleet's
+``--profile`` flag; results land in the job's root span attributes and
+the flight recorder.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import Counter
+
+
+def _frame_key(frame) -> str:
+    code = frame.f_code
+    return f"{code.co_name} ({code.co_filename.rsplit('/', 1)[-1]}:{code.co_firstlineno})"
+
+
+class SamplingProfiler:
+    """Samples one thread's stack periodically; a context manager.
+
+    The thread entering the ``with`` block is the one profiled.
+    """
+
+    def __init__(self, interval_s: float = 0.002, max_depth: int = 64):
+        if interval_s <= 0:
+            raise ValueError("profiler needs interval_s > 0")
+        self.interval_s = interval_s
+        self.max_depth = max_depth
+        self.samples = 0
+        self.self_counts: Counter[str] = Counter()
+        self.cumulative_counts: Counter[str] = Counter()
+        self._target_ident: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        return False
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is None:
+                continue
+            self.samples += 1
+            seen: set[str] = set()
+            depth = 0
+            leaf = True
+            while frame is not None and depth < self.max_depth:
+                key = _frame_key(frame)
+                if leaf:
+                    self.self_counts[key] += 1
+                    leaf = False
+                if key not in seen:  # recursion counts once per sample
+                    self.cumulative_counts[key] += 1
+                    seen.add(key)
+                frame = frame.f_back
+                depth += 1
+
+    # -- reading -----------------------------------------------------------
+
+    def top(self, n: int = 5, cumulative: bool = False) -> list[tuple[str, int]]:
+        """The hottest functions: (function, samples), hottest first."""
+        counts = self.cumulative_counts if cumulative else self.self_counts
+        return counts.most_common(n)
+
+    def summary(self, n: int = 5) -> dict[str, object]:
+        """Span-attribute-sized digest of the profile."""
+        return {
+            "profile_samples": self.samples,
+            "profile_interval_s": self.interval_s,
+            "profile_top_self": [f"{name} x{c}" for name, c in self.top(n)],
+            "profile_top_cumulative": [
+                f"{name} x{c}" for name, c in self.top(n, cumulative=True)
+            ],
+        }
+
+    def render(self, n: int = 8) -> str:
+        lines = [f"profile: {self.samples} samples @ {self.interval_s * 1000:.1f} ms"]
+        for name, count in self.top(n):
+            share = count / self.samples if self.samples else 0.0
+            lines.append(f"  {share:6.1%}  {name}")
+        return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""The process-wide metrics registry: one naming surface for the stack.
+
+Before ``repro.obs`` existed the reproduction had three disjoint ad-hoc
+metric surfaces: ``repro.fleet.metrics.FleetMetrics`` (service
+counters/timers), ``repro.core.andersen.SolverStats`` (solver work
+counts), and ``repro.core.cache.CacheStats`` (hit/miss/eviction).  The
+:class:`MetricsRegistry` unifies them: counters, gauges, and histograms
+under one snake_case vocabulary, with ``percentile()`` and
+``counters_with_prefix()`` everywhere, absorbed from the legacy stats
+objects via :meth:`absorb_solver_stats` / :meth:`absorb_cache_stats`
+(the legacy classes keep their read surface — see their modules).
+
+Metric name vocabulary (prefix -> owner):
+
+* ``solver_*`` — points-to solver work (propagations, SCC collapses…);
+* ``analysis_cache_*`` / ``trace_cache_*`` — diagnosis cache health;
+* ``stage_*`` (histograms) — per-pipeline-stage wall time;
+* ``jobs_*`` / ``queue_*`` — diagnosis job queue;
+* ``trace_request*`` / ``agents_*`` / ``chaos_*`` — fleet service and
+  resilience counters (documented in :mod:`repro.fleet.metrics`);
+* ``digest_mismatches`` — fleet vs. in-process verification failures.
+
+Histograms are stored as raw observation lists ("timers" in the export
+snapshot, for backward compatibility with the fleet dashboards/tests
+that consume ``as_dict()["timers"]``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges, and histograms with percentiles."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, list[float]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._timers.setdefault(name, []).append(seconds)
+
+    @contextmanager
+    def timer(self, name: str):
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, perf_counter() - started)
+
+    def merge_counters(self, counters: dict[str, int], prefix: str = "") -> None:
+        """Add a batch of counter increments (e.g. a legacy stats object
+        rendered through its ``as_counters()`` accessor)."""
+        with self._lock:
+            for name, amount in counters.items():
+                key = prefix + name
+                self._counters[key] = self._counters.get(key, 0) + amount
+
+    def absorb_solver_stats(self, stats) -> None:
+        """Fold a :class:`~repro.core.andersen.SolverStats` (or any stats
+        object exposing ``as_counters()``) into the unified vocabulary."""
+        as_counters = getattr(stats, "as_counters", None)
+        if as_counters is not None:
+            self.merge_counters(as_counters())
+
+    def absorb_cache_stats(self, name: str, stats) -> None:
+        """Snapshot one cache's :class:`~repro.core.cache.CacheStats`
+        under ``{name}_hits`` / ``_misses`` / ``_evictions``.
+
+        Cache stats are cumulative on the cache object, so this *sets*
+        gauges-as-counters rather than incrementing: absorbing twice
+        reflects the latest totals, not double counts.
+        """
+        with self._lock:
+            for key, value in stats.as_counters(prefix=f"{name}_").items():
+                self._counters[key] = value
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def timings(self, name: str) -> list[float]:
+        with self._lock:
+            return list(self._timers.get(name, ()))
+
+    def median(self, name: str) -> float:
+        values = self.timings(name)
+        return statistics.median(values) if values else 0.0
+
+    def percentile(self, name: str, q: float) -> float:
+        """The q-th percentile (0 < q < 100) of a histogram's
+        observations — tail latency is what degrades first when the
+        network misbehaves."""
+        values = sorted(self.timings(name))
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = (q / 100.0) * (len(values) - 1)
+        low = int(rank)
+        high = min(low + 1, len(values) - 1)
+        return values[low] + (values[high] - values[low]) * (rank - low)
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """All counters whose name starts with ``prefix`` (e.g. the
+        ``chaos_`` family) — how the simulation reports injected faults."""
+        with self._lock:
+            return {
+                k: v for k, v in sorted(self._counters.items())
+                if k.startswith(prefix)
+            }
+
+    def as_dict(self) -> dict:
+        """A stable snapshot: counters, gauges, and histogram summaries
+        (exported under the legacy ``timers`` key)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            timers = {k: list(v) for k, v in self._timers.items()}
+        summary = {}
+        for name, values in sorted(timers.items()):
+            summary[name] = {
+                "count": len(values),
+                "total_s": sum(values),
+                "mean_s": statistics.fmean(values) if values else 0.0,
+                "median_s": statistics.median(values) if values else 0.0,
+                "max_s": max(values) if values else 0.0,
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "timers": summary,
+        }
+
+    def render(self) -> str:
+        snap = self.as_dict()
+        lines = ["=== fleet metrics ==="]
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(k) for k in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name:<{width}}  {value}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(k) for k in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name:<{width}}  {value:g}")
+        if snap["timers"]:
+            lines.append("timers:")
+            for name, s in snap["timers"].items():
+                lines.append(
+                    f"  {name}: n={s['count']} total={s['total_s'] * 1000:.1f}ms "
+                    f"mean={s['mean_s'] * 1000:.1f}ms "
+                    f"median={s['median_s'] * 1000:.1f}ms "
+                    f"max={s['max_s'] * 1000:.1f}ms"
+                )
+        return "\n".join(lines)
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry that records nothing: what disabled observability
+    threads through the pipeline so hot paths need no ``if obs`` forks."""
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    def merge_counters(self, counters: dict[str, int], prefix: str = "") -> None:
+        pass
+
+    def absorb_cache_stats(self, name: str, stats) -> None:
+        pass
+
+
+NULL_REGISTRY = NullMetricsRegistry()
+"""Shared no-op registry (safe to share: it never accumulates state)."""

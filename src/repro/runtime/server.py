@@ -10,6 +10,7 @@ gathered it runs Lazy Diagnosis (steps 2-7) and returns the report.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -19,6 +20,7 @@ from repro.core.report import DiagnosisReport
 from repro.errors import DiagnosisError
 from repro.ir.cfg import predecessor_chain
 from repro.ir.module import Module
+from repro.obs import Observability, render_flight_recorder, resolve_obs
 from repro.runtime.client import ClientRun, SnorlaxClient
 from repro.runtime.protocol import TraceRequest, TraceResponse
 
@@ -67,21 +69,64 @@ class SnorlaxServer:
     analysis_cache: AnalysisCache | None = None
     trace_cache: DecodedTraceCache | None = None
     stats: ServerStats = field(default_factory=ServerStats)
+    # observability context every diagnosis this server runs records into
+    obs: Observability | None = None
     last_pipeline: LazyDiagnosis | None = field(default=None, repr=False)
+
+    def diagnose(
+        self, failing_run: ClientRun, client: SnorlaxClient, start_seed: int = 10_000
+    ):
+        """The full server-side flow for one in-production failure:
+        collect step-8 evidence, run the pipeline, return the bundled
+        :class:`repro.api.DiagnosisResult`."""
+        if failing_run.failure is None or failing_run.snapshot is None:
+            raise DiagnosisError("failing run carries no failure/snapshot")
+        obs = resolve_obs(self.obs)
+        with obs.tracer.span(
+            "diagnosis_job", failing_uid=failing_run.failure.failing_uid
+        ) as job:
+            failing_sample = self.sample_from_run("failure", failing_run)
+            self.stats.failing_traces += 1
+            successes = self.collect_successful_traces(
+                client, failing_run.failure.failing_uid, start_seed
+            )
+            result = self.diagnose_samples([failing_sample], successes)
+        if obs.enabled:
+            # widen the flight recorder from the pipeline subtree to the
+            # whole job: collection round-trips included
+            result.report.flight_recorder = render_flight_recorder(
+                obs.tracer, job
+            )
+        return result
+
+    def diagnose_samples(self, failing: list[TraceSample], successes: list[TraceSample]):
+        """Diagnose already-collected evidence through :mod:`repro.api`
+        (the fleet server hands traces collected over the network)."""
+        from repro import api
+
+        result = api.diagnose(
+            self.module,
+            traces=[*failing, *successes],
+            config=self.config,
+            caches=(self.analysis_cache, self.trace_cache),
+            obs=self.obs,
+        )
+        self.last_pipeline = result.pipeline
+        return result
 
     def diagnose_failure(
         self, failing_run: ClientRun, client: SnorlaxClient, start_seed: int = 10_000
     ) -> DiagnosisReport:
-        """The full server-side flow for one in-production failure."""
-        if failing_run.failure is None or failing_run.snapshot is None:
-            raise DiagnosisError("failing run carries no failure/snapshot")
-        failing_sample = self.sample_from_run("failure", failing_run)
-        self.stats.failing_traces += 1
-        successes = self.collect_successful_traces(
-            client, failing_run.failure.failing_uid, start_seed
+        """Deprecated: use :meth:`diagnose` (returns the full
+        :class:`repro.api.DiagnosisResult`; this shim keeps the old
+        report-only return shape)."""
+        warnings.warn(
+            "SnorlaxServer.diagnose_failure() is deprecated; call "
+            "SnorlaxServer.diagnose() or repro.api.diagnose() instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        pipeline = self.make_pipeline()
-        return pipeline.diagnose([failing_sample], successes)
+        return self.diagnose(failing_run, client, start_seed).report
 
     def make_pipeline(self) -> LazyDiagnosis:
         """A pipeline bound to this server's config and shared caches."""
@@ -90,6 +135,7 @@ class SnorlaxServer:
             self.config,
             analysis_cache=self.analysis_cache,
             trace_cache=self.trace_cache,
+            obs=self.obs,
         )
         self.last_pipeline = pipeline
         return pipeline
@@ -123,8 +169,53 @@ class SnorlaxServer:
         speculating batches; the consumed evidence is byte-identical to
         what this serial loop gathers (see :meth:`_collect_parallel`).
         """
-        if self.collection_parallelism > 1:
-            return self._collect_parallel(send, failing_uid, start_seed)
+        obs = resolve_obs(self.obs)
+        with obs.tracer.span(
+            "collect_traces",
+            failing_uid=failing_uid,
+            wanted=self.success_traces_wanted,
+            parallelism=self.collection_parallelism,
+        ) as cspan:
+            send = self._traced_transport(send, obs.tracer, cspan)
+            if self.collection_parallelism > 1:
+                samples = self._collect_parallel(send, failing_uid, start_seed)
+            else:
+                samples = self._collect_serial(send, failing_uid, start_seed)
+            cspan.set(collected=len(samples))
+        return samples
+
+    def _traced_transport(
+        self, send: TraceTransport, tracer, parent
+    ) -> TraceTransport:
+        """Wrap a transport so every step-8 round-trip becomes a
+        ``trace_request`` span.  Parentage is explicit: speculative
+        batches run on pool threads, where the thread-local stack would
+        not see the collection span."""
+        if not tracer.enabled:
+            return send
+
+        def traced(request: TraceRequest) -> TraceResponse:
+            with tracer.span(
+                "trace_request",
+                parent=parent,
+                seed=request.seed,
+                skip=request.breakpoint_skip,
+                breakpoints=len(request.breakpoint_uids),
+            ) as span:
+                resp = send(request)
+                if resp.sample is None:
+                    span.set(outcome="miss")
+                else:
+                    span.set(
+                        outcome="failing" if resp.sample.failing else "ok"
+                    )
+            return resp
+
+        return traced
+
+    def _collect_serial(
+        self, send: TraceTransport, failing_uid: int, start_seed: int
+    ) -> list[TraceSample]:
         samples: list[TraceSample] = []
         breakpoints = [failing_uid]
         seed = start_seed

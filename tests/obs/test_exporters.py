@@ -1,0 +1,108 @@
+"""Exporters: Prometheus text round-trip, HTTP scrape, JSONL span log."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsHTTPServer,
+    MetricsRegistry,
+    Tracer,
+    parse_prometheus_text,
+    prometheus_text,
+    read_trace_jsonl,
+    render_flight_recorder,
+    write_trace_jsonl,
+)
+
+
+@pytest.fixture
+def registry():
+    m = MetricsRegistry()
+    m.inc("jobs_completed", 3)
+    m.inc("trace_cache_hits", 17)
+    m.gauge("queue_depth", 2)
+    for v in (0.010, 0.020, 0.030, 0.040):
+        m.observe("diagnosis_latency", v)
+    return m
+
+
+def test_prometheus_round_trip(registry):
+    samples = parse_prometheus_text(prometheus_text(registry))
+    # counters survive exactly
+    assert samples["snorlax_jobs_completed"] == 3
+    assert samples["snorlax_trace_cache_hits"] == 17
+    assert samples["snorlax_queue_depth"] == 2
+    # histograms export as summaries with count/sum/quantiles
+    assert samples["snorlax_diagnosis_latency_seconds_count"] == 4
+    assert samples["snorlax_diagnosis_latency_seconds_sum"] == pytest.approx(0.1)
+    p50 = samples['snorlax_diagnosis_latency_seconds{quantile="0.5"}']
+    assert p50 == pytest.approx(registry.percentile("diagnosis_latency", 50))
+
+
+def test_prometheus_type_lines_and_prefix(registry):
+    text = prometheus_text(registry, prefix="repro_")
+    assert "# TYPE repro_jobs_completed counter" in text
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert "# TYPE repro_diagnosis_latency_seconds summary" in text
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_prometheus_text("this is { not a sample\n")
+
+
+def test_metric_names_are_sanitized():
+    m = MetricsRegistry()
+    m.inc("weird name-with.chars")
+    samples = parse_prometheus_text(prometheus_text(m))
+    assert samples["snorlax_weird_name_with_chars"] == 1
+
+
+def test_http_scrape_endpoint(registry):
+    server = MetricsHTTPServer(registry, port=0)
+    try:
+        host, port = server.start()
+        assert port > 0
+        with urllib.request.urlopen(server.url, timeout=5) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            body = resp.read().decode()
+        samples = parse_prometheus_text(body)
+        assert samples["snorlax_jobs_completed"] == 3
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(
+                f"http://{host}:{port}/not-metrics", timeout=5
+            )
+    finally:
+        server.stop()
+
+
+def test_trace_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("root", bug="pbzip2"):
+        with tracer.span("stage"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    assert write_trace_jsonl(path, tracer) == 2
+    spans = read_trace_jsonl(path)
+    assert [s["name"] for s in spans] == ["root", "stage"]
+    assert spans[0]["attrs"] == {"bug": "pbzip2"}
+    # an empty tracer writes an empty (but valid) artifact
+    empty = tmp_path / "empty.jsonl"
+    assert write_trace_jsonl(empty, Tracer()) == 0
+    assert read_trace_jsonl(empty) == []
+
+
+def test_flight_recorder_renders_the_subtree():
+    tracer = Tracer()
+    with tracer.span("other_job"):
+        pass
+    with tracer.span("diagnosis_job") as root:
+        with tracer.span("points_to"):
+            pass
+    text = render_flight_recorder(tracer, root)
+    assert text.startswith("--- flight recorder ---")
+    assert "diagnosis_job" in text and "points_to" in text
+    assert "other_job" not in text  # only the job's own subtree

@@ -1,0 +1,44 @@
+"""Sampling profiler: attribution without instrumenting the hot path."""
+
+import time
+
+import pytest
+
+from repro.obs import Observability, SamplingProfiler
+
+
+def _busy(deadline: float) -> int:
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+def test_profiler_samples_the_entering_thread():
+    profiler = SamplingProfiler(interval_s=0.002)
+    with profiler:
+        deadline = time.perf_counter() + 0.05
+        while profiler.samples < 3 and time.perf_counter() < deadline + 1.0:
+            _busy(time.perf_counter() + 0.02)
+    assert profiler.samples >= 3
+    assert profiler.self_counts  # the busy loop showed up somewhere
+    top = profiler.top(3)
+    assert top and top[0][1] >= 1
+    summary = profiler.summary()
+    assert summary["profile_samples"] == profiler.samples
+    assert summary["profile_top_self"]
+    assert "profile:" in profiler.render()
+
+
+def test_profiler_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval_s=0)
+
+
+def test_observability_profiler_hook():
+    off = Observability()
+    with off.profiler() as prof:
+        assert prof is None  # profiling off: a null context
+    on = Observability(profile=True, profile_interval_s=0.001)
+    with on.profiler() as prof:
+        assert isinstance(prof, SamplingProfiler)

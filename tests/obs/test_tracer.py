@@ -1,0 +1,126 @@
+"""Span tracer unit behaviour: nesting, threads, disabled no-op."""
+
+import json
+import threading
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+
+
+def test_nesting_follows_the_thread_stack():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert [s.name for s in tracer.finished_spans()] == ["inner", "outer"]
+    assert outer.duration_ns >= inner.duration_ns >= 0
+
+
+def test_attributes_at_open_and_via_set():
+    tracer = Tracer()
+    with tracer.span("work", phase="solve") as span:
+        span.set(constraints=7)
+    done = tracer.finished_spans()[0]
+    assert done.attrs == {"phase": "solve", "constraints": 7}
+
+
+def test_exception_marks_the_span_and_still_finishes():
+    tracer = Tracer()
+    try:
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    span = tracer.finished_spans()[0]
+    assert span.attrs["error"] == "RuntimeError"
+    assert span.end_ns is not None
+
+
+def test_sibling_threads_do_not_nest_into_each_other():
+    tracer = Tracer()
+    ready = threading.Barrier(2)
+
+    def worker(name):
+        ready.wait()
+        with tracer.span(name):
+            pass
+
+    threads = [
+        threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(s.parent_id is None for s in tracer.finished_spans())
+
+
+def test_explicit_parent_crosses_threads():
+    tracer = Tracer()
+    with tracer.span("collect") as parent:
+
+        def worker():
+            with tracer.span("trace_request", parent=parent):
+                pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    child = next(s for s in tracer.finished_spans() if s.name == "trace_request")
+    assert child.parent_id == parent.span_id
+
+
+def test_record_backdates_a_finished_span():
+    tracer = Tracer()
+    with tracer.span("job") as job:
+        span = tracer.record("queue_wait", 0.5, parent=job)
+    assert span.parent_id == job.span_id
+    assert 0.4 < span.duration_s < 0.6
+
+
+def test_disabled_tracer_is_a_shared_noop():
+    tracer = Tracer(enabled=False)
+    # no allocation: every span() call hands back the same context
+    # manager, which yields the same null span
+    assert tracer.span("a") is tracer.span("b")
+    with tracer.span("a") as span:
+        span.set(anything=1)
+    assert span is NULL_SPAN
+    assert span.attrs == {}
+    assert tracer.finished_spans() == []
+    assert len(tracer) == 0
+    assert tracer.record("late", 1.0) is NULL_SPAN
+    assert len(NULL_TRACER) == 0  # the shared instance never accumulates
+
+
+def test_subtree_and_render_tree():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("a"):
+            with tracer.span("leaf"):
+                pass
+        with tracer.span("b"):
+            pass
+    root = next(s for s in tracer.finished_spans() if s.name == "root")
+    names = [s.name for s in tracer.subtree(root)]
+    assert names == ["root", "a", "leaf", "b"]  # depth-first, start order
+    rendered = tracer.render_tree()
+    lines = rendered.splitlines()
+    assert lines[0].startswith("root")
+    assert lines[1].startswith("  a")
+    assert lines[2].startswith("    leaf")
+
+
+def test_jsonl_is_one_valid_object_per_span():
+    tracer = Tracer()
+    with tracer.span("outer", k="v"):
+        with tracer.span("inner"):
+            pass
+    lines = tracer.to_jsonl().splitlines()
+    spans = [json.loads(line) for line in lines]
+    assert [s["name"] for s in spans] == ["outer", "inner"]  # start order
+    assert spans[1]["parent_id"] == spans[0]["span_id"]
+    assert spans[0]["attrs"] == {"k": "v"}
+    tracer.reset()
+    assert len(tracer) == 0
