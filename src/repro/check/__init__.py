@@ -1,0 +1,43 @@
+"""repro.check — differential/invariant fuzzing for the diagnosis pipeline.
+
+The paper's product is a *correct* root cause from one failure, so the
+pipeline's correctness is the thing to test — not just on the fixed
+54-bug corpus, but on randomized programs, schedules, traces, and
+evidence.  This package is that harness:
+
+* :mod:`repro.check.generator` — seeded generators of random IR
+  programs with injected bug patterns (known ground truth), synthetic
+  decoded thread traces, pattern-evidence observations, and job-queue
+  workloads.
+* :mod:`repro.check.invariants` — the oracle layer: partial-order
+  sanity, processed-trace structural invariants, Andersen-optimized ≡
+  Andersen-naive ≡ (⊆ Steensgaard) equivalence, F1 scores recomputable
+  from raw observations, digest equality across cache and fleet paths.
+* :mod:`repro.check.stages` — one checkable stage family per pipeline
+  layer (``trace``, ``stats``, ``pointsto``, ``jobs``, ``e2e``), each a
+  pure function of a :class:`~repro.check.cases.CheckCase`.
+* :mod:`repro.check.shrink` — a reducer that minimizes a failing case's
+  knobs and writes a replayable reproducer to
+  ``benchmarks/out/check-failures/``.
+* :mod:`repro.check.runner` / ``python -m repro.check`` — the driver.
+
+Everything is deterministic in ``(stage, seed, params)``: a reproducer
+file replays bit-for-bit with ``python -m repro.check --replay FILE``.
+"""
+
+from repro.check.cases import CheckCase
+from repro.check.invariants import InvariantViolation
+from repro.check.runner import CheckStats, run_check
+from repro.check.shrink import shrink_case, write_reproducer
+from repro.check.stages import STAGES, stage_names
+
+__all__ = [
+    "CheckCase",
+    "CheckStats",
+    "InvariantViolation",
+    "STAGES",
+    "run_check",
+    "shrink_case",
+    "stage_names",
+    "write_reproducer",
+]

@@ -1,0 +1,131 @@
+"""``python -m repro.check`` — the self-check CLI.
+
+Examples::
+
+    python -m repro.check --cases 300 --seed 5
+    python -m repro.check --stages trace,stats --cases 50
+    python -m repro.check --replay benchmarks/out/check-failures/trace-seed123.json
+    python -m repro.check --cases 100 --metrics-out check-metrics.txt
+
+Exit status: 0 when every case passes (or the replayed case no longer
+fails), 1 when any invariant was violated (shrunk reproducers are
+written to the output directory), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+
+from repro.check.runner import DEFAULT_OUT_DIR, replay, run_check
+from repro.check.stages import stage_names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description=(
+            "Differential/invariant fuzzing of the Lazy Diagnosis "
+            "pipeline: randomized programs, traces, and evidence checked "
+            "against stage invariants and cross-implementation equivalence."
+        ),
+    )
+    parser.add_argument(
+        "--cases", type=int, default=200, help="cases to run (default 200)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    parser.add_argument(
+        "--stages",
+        help=f"comma-separated stage filter; available: "
+             f"{','.join(stage_names())}",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT_DIR,
+        help=f"reproducer directory (default {DEFAULT_OUT_DIR})",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, default=5,
+        help="stop after this many failures (default 5)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="write original failing cases without minimizing them",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        help="write the run's check_* counters as Prometheus text",
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE",
+        help="re-run one reproducer JSON instead of a fuzzing run",
+    )
+    parser.add_argument(
+        "--list-stages", action="store_true", help="list stages and exit"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print each case as it runs",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_stages:
+        from repro.check.stages import STAGES
+
+        for spec in STAGES.values():
+            knobs = " ".join(
+                f"{k}={v}" for k, v in sorted(spec.defaults.items())
+            )
+            print(f"{spec.name:10s} weight={spec.weight:<3d} {knobs}")
+        return 0
+
+    if args.replay:
+        error = replay(args.replay)
+        if error is None:
+            print(f"PASS: {args.replay} no longer fails")
+            return 0
+        print(f"FAIL: {args.replay}")
+        traceback.print_exception(type(error), error, error.__traceback__)
+        return 1
+
+    if args.cases < 1:
+        parser.error("--cases must be >= 1")
+    stages = None
+    if args.stages:
+        stages = [s.strip() for s in args.stages.split(",") if s.strip()]
+        unknown = [s for s in stages if s not in stage_names()]
+        if unknown:
+            parser.error(
+                f"unknown stage(s) {unknown}; available: {stage_names()}"
+            )
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    progress = None
+    if args.verbose:
+        def progress(i: int, case) -> None:  # noqa: ANN001
+            print(f"[{i + 1}/{args.cases}] {case.describe()}", flush=True)
+
+    stats = run_check(
+        cases=args.cases,
+        seed=args.seed,
+        stages=stages,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        obs=obs,
+        progress=progress,
+    )
+    print(stats.render())
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(obs.registry.render())
+        print(f"metrics written to {args.metrics_out}")
+    return 0 if stats.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

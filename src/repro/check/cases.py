@@ -1,0 +1,50 @@
+"""The unit of self-checking: one seeded, parameterized case.
+
+A case is fully described by ``(stage, seed, params)`` — the stage
+regenerates every artifact from the seed, so shrinking is just "rerun
+with smaller knobs" and a reproducer file is a three-field JSON object.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CheckCase:
+    stage: str
+    seed: int
+    params: dict[str, int] = field(default_factory=dict)
+
+    def with_param(self, name: str, value: int) -> "CheckCase":
+        params = dict(self.params)
+        params[name] = value
+        return replace(self, params=params)
+
+    def size(self) -> int:
+        """The shrink objective: total knob volume."""
+        return sum(self.params.values())
+
+    def describe(self) -> str:
+        knobs = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.stage}[seed={self.seed}] {knobs}"
+
+    def as_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "seed": self.seed,
+            "params": dict(sorted(self.params.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CheckCase":
+        return cls(
+            stage=d["stage"],
+            seed=int(d["seed"]),
+            params={k: int(v) for k, v in d.get("params", {}).items()},
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckCase":
+        return cls.from_dict(json.loads(text))

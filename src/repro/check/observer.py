@@ -1,0 +1,67 @@
+"""The checkpoint observer: in-situ invariant checks during a diagnosis.
+
+Installed via :func:`repro.core.checkpoints.observed` for the span of
+one end-to-end case, it receives every stage's real artifacts and runs
+the matching oracles from :mod:`repro.check.invariants`.  The Andersen
+differential re-solves the constraint system naively, so it is gated on
+system size to keep a 300-case run CI-sized.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.check import invariants
+
+
+class InvariantObserver:
+    """Dispatches checkpoint announcements to stage oracles."""
+
+    def __init__(
+        self,
+        rng: random.Random | None = None,
+        solver_differential: bool = True,
+        max_differential_constraints: int = 6_000,
+    ):
+        self.rng = rng or random.Random(0)
+        self.solver_differential = solver_differential
+        self.max_differential_constraints = max_differential_constraints
+        self.checks = 0
+        self.checks_by_point: dict[str, int] = {}
+
+    def __call__(self, point: str, payload: dict) -> None:
+        handler = getattr(self, "_" + point.replace(".", "_"), None)
+        if handler is None:
+            return
+        handler(payload)
+        self.checks += 1
+        self.checks_by_point[point] = self.checks_by_point.get(point, 0) + 1
+
+    # -- per-point handlers ----------------------------------------------
+
+    def _trace_processing_process_snapshot(self, payload: dict) -> None:
+        invariants.check_processed_trace(payload["trace"], rng=self.rng)
+
+    def _pipeline_trace(self, payload: dict) -> None:
+        # after anchors and blocked attempts were attached: the trace
+        # must still satisfy every structural invariant
+        invariants.check_processed_trace(payload["trace"], rng=self.rng)
+
+    def _andersen_solve(self, payload: dict) -> None:
+        if not self.solver_differential:
+            return
+        system = payload["system"]
+        size = (
+            len(system.copies) + len(system.loads) + len(system.stores)
+            + len(system.addr_of)
+        )
+        if size > self.max_differential_constraints:
+            return
+        invariants.check_andersen_equivalence(system, payload["result"])
+        invariants.check_steensgaard_superset(system, payload["result"])
+
+    def _statistics_score_patterns(self, payload: dict) -> None:
+        invariants.check_scores(payload["observations"], payload["scored"])
+
+    def _pipeline_report(self, payload: dict) -> None:
+        invariants.check_report_sanity(payload["report"])

@@ -1,0 +1,102 @@
+"""The shrinking reducer: minimize a failing case, write a reproducer.
+
+Because every case regenerates its artifacts from ``(seed, params)``,
+shrinking is parameter descent: for each knob, try the floor, then
+binary-search upward until the smallest still-failing value is found.
+The seed never changes, so the shrunk case fails for the *same* reason
+at a fraction of the size — a 2-thread, 3-event trace instead of a
+4-thread, 12-event one reads like a unit test.
+
+Reproducers land in ``benchmarks/out/check-failures/`` as three-field
+JSON replayable with ``python -m repro.check --replay FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from pathlib import Path
+
+from repro.check.cases import CheckCase
+
+
+def _failure_of(run, case: CheckCase) -> BaseException | None:
+    """Run the case; return the exception it fails with, None if it
+    passes.  CaseSkipped counts as passing — a shrink step must not
+    turn a real failure into a vacuous case."""
+    from repro.check.stages import CaseSkipped
+
+    try:
+        run(case)
+    except CaseSkipped:
+        return None
+    except BaseException as exc:  # noqa: BLE001 — any failure shrinks
+        return exc
+    return None
+
+
+def shrink_case(
+    case: CheckCase,
+    run,
+    minimums: dict[str, int] | None = None,
+    max_attempts: int = 150,
+) -> tuple[CheckCase, BaseException]:
+    """Minimize ``case`` while it keeps failing under ``run``.
+
+    Returns the smallest failing case found and its exception.  The
+    original must fail (ValueError otherwise).
+    """
+    minimums = minimums or {}
+    failure = _failure_of(run, case)
+    if failure is None:
+        raise ValueError(f"cannot shrink a passing case: {case.describe()}")
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for name in sorted(case.params):
+            floor = minimums.get(name, 0)
+            value = case.params[name]
+            if value <= floor:
+                continue
+            # try the floor first (the biggest single jump), then halve
+            # the remaining distance while the case still fails
+            candidates = [floor]
+            span = value - floor
+            while span > 1:
+                span //= 2
+                candidates.append(value - span)
+            for candidate in candidates:
+                if candidate >= value:
+                    continue
+                attempts += 1
+                trial = case.with_param(name, candidate)
+                exc = _failure_of(run, trial)
+                if exc is not None:
+                    case, failure = trial, exc
+                    improved = True
+                    break
+                if attempts >= max_attempts:
+                    break
+            if attempts >= max_attempts:
+                break
+    return case, failure
+
+
+def write_reproducer(
+    out_dir: str | Path, case: CheckCase, error: BaseException
+) -> Path:
+    """Persist one shrunk failing case as a replayable JSON file."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{case.stage}-seed{case.seed}.json"
+    payload = {
+        **case.as_dict(),
+        "error": f"{type(error).__name__}: {error}",
+        "traceback": traceback.format_exception(
+            type(error), error, error.__traceback__
+        )[-4:],
+        "replay": f"PYTHONPATH=src python -m repro.check --replay {path}",
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -197,11 +197,14 @@ class _OptimizedSolver:
       that have not yet been pushed through ``rep``'s outgoing edges or
       shown to its load/store/call uses;
     * collapsing an SCC unions all per-node state and re-queues the
-      symmetric difference of the members' points-to sets, which is the
-      only part some member's successors may not have seen yet.
+      merged points-to set, so anything some member's successors or
+      moved uses have not seen yet is guaranteed to flow again.
 
-    Merges happen only between worklist pops (in :meth:`_collapse_sccs`),
-    so one node's processing never races its own representative change.
+    Merges are NOT confined to :meth:`_collapse_sccs`: online 2-cycle
+    detection in :meth:`add_edge` can re-parent a node while its own
+    popped delta is mid-flight in :meth:`_process`, which is why
+    :meth:`_merge` re-queues the full set rather than trying to
+    reconstruct what each side has already pushed.
     """
 
     def __init__(self, system: ConstraintSystem):
@@ -247,7 +250,6 @@ class _OptimizedSolver:
             pa, pb = pb, pa
         self.parent[b] = a
         self.stats.scc_collapses += 1
-        sym = pa ^ pb
         if pb:
             pa |= pb
         self.pts[a] = pa
@@ -256,10 +258,16 @@ class _OptimizedSolver:
         db = self.delta.pop(b, None)
         if db:
             da |= db
-        # Members may have propagated different subsets already; only the
-        # symmetric difference can be unseen by some side's successors.
-        if sym:
-            da |= sym
+        # Re-queue the merged node's FULL set, not just the symmetric
+        # difference of the members: online 2-cycle detection fires
+        # inside _process's use loops, so a merge can land while one
+        # member's popped delta is still mid-flight — those objects sit
+        # in both sets (invisible to the symmetric difference) yet may
+        # not have crossed either side's successor edges or reached the
+        # other member's moved uses.  Destinations re-diff on add_pts,
+        # so the cost is one full-set diff per merge, not a re-flood.
+        if pa:
+            da |= pa
         succ_b = self.succ.pop(b, None)
         if succ_b:
             self.succ.setdefault(a, set()).update(succ_b)
@@ -472,4 +480,8 @@ class _OptimizedSolver:
 
 def solve(system: ConstraintSystem) -> AndersenResult:
     """Solve with the optimized (SCC-collapsing, delta) solver."""
-    return _OptimizedSolver(system).run()
+    from repro.core.checkpoints import checkpoint
+
+    result = _OptimizedSolver(system).run()
+    checkpoint("andersen.solve", system=system, result=result)
+    return result

@@ -551,6 +551,7 @@ def synthesize_blocked_attempts(
             continue
         seq = 1 + max((d.seq for d in trace.dynamic if d.tid == tid), default=-1)
         inst = DynamicInstruction(uid, tid, seq, since, since)
-        trace.dynamic.append(inst)
-        trace.by_uid.setdefault(uid, []).append(inst)
-        trace.executed_uids.add(uid)
+        # add_instance registers the blocked thread (its own trace may be
+        # desynced) and the re-sort keeps instances() in (t_lo, seq) order.
+        trace.add_instance(inst)
+        trace.by_uid[uid].sort(key=lambda d: (d.t_lo, d.seq))

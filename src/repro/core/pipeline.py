@@ -15,6 +15,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field
 
+from repro.core.checkpoints import checkpoint
 from repro.core.patterns import (
     PatternComputation,
     compute_crash_patterns,
@@ -191,6 +192,12 @@ class LazyDiagnosis:
             ).run()
             span.set(constraints=analysis.stats.constraints)
         self.last_analysis = analysis
+        checkpoint(
+            "pipeline.points_to",
+            analysis=analysis,
+            module=self.module,
+            executed=executed if scope is not None else None,
+        )
         if self.analysis_cache is not None:
             outcome = analysis.stats.extra.get("cache")
             if outcome == "hit":
@@ -265,11 +272,14 @@ class LazyDiagnosis:
             if tracer.enabled:
                 span.set(scored=len(scored), **observation_breakdown(capped))
         close_stage("statistical_diagnosis", stage_start)
+        checkpoint("pipeline.scored", observations=capped, scored=scored)
         obs.registry.merge_counters(self.last_cache_events)
         elapsed = _time.perf_counter() - started
-        return self._build_report(
+        report = self._build_report(
             report_failure, scored, traces, ranking, computations, elapsed, anchor_role
         )
+        checkpoint("pipeline.report", report=report)
+        return report
 
     # -- stages ---------------------------------------------------------------
 
@@ -320,6 +330,7 @@ class LazyDiagnosis:
                     sample.snapshot_time,
                     prefer_decoded=False,
                 )
+        checkpoint("pipeline.trace", trace=trace, sample=sample)
         return trace
 
     def _decode(self, data: bytes, tid: int, tracer=None):

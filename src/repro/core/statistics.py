@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.checkpoints import checkpoint
 from repro.core.patterns import PatternInstance, PatternSignature
 
 SUCCESS_TRACE_CAP_FACTOR = 10
@@ -105,23 +106,24 @@ def score_patterns(observations: list[ExecutionObservation]) -> list[ScoredPatte
             if precision + recall > 0
             else 0.0
         )
-        best_rank = 3
+        # best_rank is the true minimum over every instance of this
+        # signature; the example prefers failing runs (they carry the
+        # real gaps), then better type rank, then an instance whose
+        # dynamics are actually populated.
+        witnessed = [
+            (o, o.instances[sig]) for o in observations if sig in o.instances
+        ]
+        best_rank = min((inst.rank for _, inst in witnessed), default=0)
         example: PatternInstance | None = None
-        for o in observations:
-            inst = o.instances.get(sig)
-            if inst is not None and inst.rank < best_rank:
-                best_rank = inst.rank
-                if o.failing or example is None:
-                    example = inst
-            if o.failing and sig in o.instances and (
-                example is None or not example.dynamics
-            ):
-                example = o.instances[sig]
-        # prefer an example from a failing run (it carries the real gaps)
-        for o in observations:
-            if o.failing and sig in o.instances:
-                example = o.instances[sig]
-                break
+        if witnessed:
+            _, example = min(
+                witnessed,
+                key=lambda pair: (
+                    not pair[0].failing,
+                    pair[1].rank,
+                    not any(d is not None for d in pair[1].dynamics),
+                ),
+            )
         scored.append(
             ScoredPattern(
                 sig, precision, recall, f1, fail_support, ok_support, best_rank, example
@@ -140,6 +142,9 @@ def score_patterns(observations: list[ExecutionObservation]) -> list[ScoredPatte
             -s.failing_support,
             str(s.signature),
         )
+    )
+    checkpoint(
+        "statistics.score_patterns", observations=observations, scored=scored
     )
     return scored
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.checkpoints import checkpoint
 from repro.pt.decoder import DynamicInstruction, ThreadTrace
 
 
@@ -107,9 +108,15 @@ def process_snapshot(
         )
         anchor = DynamicInstruction(anchor_uid, tid, seq, t, t)
         pt.anchor = anchor
-        pt.executed_uids.add(anchor_uid)
-        pt.dynamic.append(anchor)
-        pt.by_uid.setdefault(anchor_uid, []).append(anchor)
+        # add_instance registers the anchor's thread too — essential when
+        # the anchoring thread's own trace was fully desynced and skipped
+        # above, so the anchor is its only dynamic evidence.
+        pt.add_instance(anchor)
+        # Restore the per-uid (t_lo, seq) order: the anchor's timestamp
+        # can precede decoded instances of the same uid, and instances()
+        # consumers (attach_anchor's "last instance" pick) rely on it.
+        pt.by_uid[anchor_uid].sort(key=lambda d: (d.t_lo, d.seq))
+    checkpoint("trace_processing.process_snapshot", trace=pt)
     return pt
 
 
@@ -150,6 +157,7 @@ def attach_anchor(
     seq = 1 + max((d.seq for d in trace.dynamic if d.tid == tid), default=-1)
     anchor = DynamicInstruction(uid, tid, seq, t, t)
     trace.add_instance(anchor)
+    trace.by_uid[uid].sort(key=lambda d: (d.t_lo, d.seq))
     trace.anchors.append(anchor)
     if trace.anchor is None:
         trace.anchor = anchor

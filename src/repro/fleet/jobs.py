@@ -112,7 +112,9 @@ class DiagnosisJobQueue:
         return future, False
 
     def _run(self, signature: str, fn: Callable[[], object]) -> object:
-        wait = perf_counter() - self._submitted[signature]
+        with self._lock:
+            submitted = self._submitted.get(signature)
+        wait = perf_counter() - submitted if submitted is not None else 0.0
         self.metrics.observe("queue_wait", wait)
         # the job's root span lives on the worker thread; everything the
         # diagnosis does below (fleet_diagnose, collection, pipeline
@@ -132,7 +134,10 @@ class DiagnosisJobQueue:
             if failed:
                 # don't poison the signature: a re-report retries
                 self._futures.pop(signature, None)
-                self._submitted.pop(signature, None)
+            # the submit timestamp served its purpose (queue_wait); keeping
+            # it for successful jobs would grow without bound alongside the
+            # intentional _futures result cache
+            self._submitted.pop(signature, None)
             self.metrics.gauge("queue_depth", len(self._pending))
         self.metrics.inc("jobs_failed" if failed else "jobs_completed")
 
@@ -142,6 +147,12 @@ class DiagnosisJobQueue:
     def depth(self) -> int:
         with self._lock:
             return len(self._pending)
+
+    @property
+    def tracked_submissions(self) -> int:
+        """Submit timestamps still held — bounded by in-flight jobs."""
+        with self._lock:
+            return len(self._submitted)
 
     def result_for(self, signature: str) -> Future | None:
         with self._lock:

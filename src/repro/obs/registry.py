@@ -79,6 +79,14 @@ class MetricsRegistry:
         if as_counters is not None:
             self.merge_counters(as_counters())
 
+    def absorb_check_stats(self, stats) -> None:
+        """Fold a :class:`~repro.check.runner.CheckStats` into the
+        unified ``check_*`` counter vocabulary — a self-check run is
+        scraped/exported exactly like a fleet run."""
+        as_counters = getattr(stats, "as_counters", None)
+        if as_counters is not None:
+            self.merge_counters(as_counters())
+
     def absorb_cache_stats(self, name: str, stats) -> None:
         """Snapshot one cache's :class:`~repro.core.cache.CacheStats`
         under ``{name}_hits`` / ``_misses`` / ``_evictions``.

@@ -1,0 +1,99 @@
+"""Runner determinism, the shrinking reducer, reproducers, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.check.cases import CheckCase
+from repro.check.runner import run_check
+from repro.check.shrink import shrink_case, write_reproducer
+from repro.check.stages import STAGES
+from repro.obs import Observability
+
+
+def test_run_check_fast_stages_all_pass(tmp_path):
+    stats = run_check(
+        cases=40, seed=1, stages=["trace", "stats", "pointsto"],
+        out_dir=tmp_path,
+    )
+    assert stats.ok
+    assert stats.cases == 40
+    assert stats.passed + stats.skipped == 40
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_run_check_is_deterministic(tmp_path):
+    kw = dict(cases=25, seed=9, stages=["trace", "stats"], out_dir=tmp_path)
+    a, b = run_check(**kw), run_check(**kw)
+    assert a.by_stage == b.by_stage
+    assert (a.passed, a.failed, a.skipped) == (b.passed, b.failed, b.skipped)
+
+
+def test_run_check_exports_counters(tmp_path):
+    obs = Observability()
+    stats = run_check(
+        cases=10, seed=2, stages=["stats"], out_dir=tmp_path, obs=obs,
+    )
+    assert obs.registry.counter("check_cases") == stats.cases == 10
+    assert obs.registry.counter("check_stage_stats_cases") == 10
+
+
+def test_shrink_finds_the_minimal_failing_knob():
+    def run(case):
+        if case.params["x"] >= 3:
+            raise AssertionError(f"x={case.params['x']} too big")
+
+    case = CheckCase("trace", 0, {"x": 9, "y": 5})
+    shrunk, error = shrink_case(case, run, minimums={"x": 1, "y": 1})
+    assert shrunk.params["x"] == 3  # the exact boundary
+    assert shrunk.params["y"] == 1  # irrelevant knob at its floor
+    assert "too big" in str(error)
+
+
+def test_shrink_refuses_passing_case():
+    with pytest.raises(ValueError):
+        shrink_case(CheckCase("trace", 0, {"x": 1}), lambda case: None)
+
+
+def test_reproducer_roundtrip(tmp_path):
+    case = CheckCase("stats", 42, {"observations": 3, "sigs": 2})
+    path = write_reproducer(tmp_path, case, AssertionError("boom"))
+    payload = json.loads(path.read_text())
+    assert payload["stage"] == "stats"
+    assert payload["seed"] == 42
+    assert "boom" in payload["error"]
+    assert "--replay" in payload["replay"]
+    loaded = CheckCase.from_json(path.read_text())
+    assert loaded == case
+
+
+def test_stage_registry_knobs_are_integers():
+    # the shrinker minimizes by integer descent, so every default and
+    # floor must be an int
+    for spec in STAGES.values():
+        assert all(isinstance(v, int) for v in spec.defaults.values())
+        assert all(isinstance(v, int) for v in spec.minimums.values())
+        assert set(spec.minimums) <= set(spec.defaults)
+
+
+def test_cli_smoke(tmp_path, capsys):
+    from repro.check.__main__ import main
+
+    assert main(["--list-stages"]) == 0
+    rc = main([
+        "--cases", "8", "--seed", "3", "--stages", "trace,stats",
+        "--out", str(tmp_path),
+        "--metrics-out", str(tmp_path / "metrics.txt"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "checked 8 cases" in out
+    assert "check_cases" in (tmp_path / "metrics.txt").read_text()
+
+
+def test_cli_rejects_unknown_stage():
+    from repro.check.__main__ import main
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--stages", "nope"])
+    assert exc.value.code == 2

@@ -263,3 +263,45 @@ def test_indirect_calls_resolve_identically():
         assert (
             opt.stats.indirect_resolutions == naive.stats.indirect_resolutions
         )
+
+
+def test_merge_mid_flight_does_not_drop_delta():
+    """Regression (found by repro.check): online 2-cycle detection can
+    re-parent a node while its popped delta is mid-flight in _process;
+    re-queuing only the members' symmetric difference then lost objects
+    present in both sets, leaving the optimized fixpoint a strict
+    subset of the naive one (pts(v2) missed o1/o2 on this system)."""
+    from repro.core.constraints import AbstractObject, ConstraintSystem
+
+    objs = [
+        AbstractObject("stack", 500, "o0"),
+        AbstractObject("stack", 501, "o1"),
+        AbstractObject("global", 502, "o2"),
+        AbstractObject("global", 503, "o3"),
+    ]
+    system = ConstraintSystem()
+    for o in objs:
+        system.objects[o.uid] = o
+    system.add_addr_of("v1", objs[0])
+    system.add_addr_of("v8", objs[1])
+    system.add_addr_of("v8", objs[2])
+    system.add_addr_of("v10", objs[3])
+    system.copies += [
+        ("v3", "v5"), ("v10", "v0"), ("v7", "v7"), ("v9", "v11"),
+        ("v3", "v1"), ("v5", "v11"), ("v0", "v2"), ("v2", "v5"),
+    ]
+    # self-loads (v9 <- *v9, v0 <- *v0) plus stores through the same
+    # variables build the contents-node 2-cycles that trigger the merge
+    system.loads += [
+        ("v1", "v9"), ("v8", "v5"), ("v9", "v9"),
+        ("v6", "v10"), ("v0", "v0"), ("v11", "v10"),
+    ]
+    system.stores += [
+        ("v8", "v3"), ("v0", "v9"), ("v10", "v1"),
+        ("v4", "v2"), ("v2", "v8"),
+    ]
+    opt, naive = solve_opt(system), solve_naive(system)
+    for v in [f"v{i}" for i in range(12)]:
+        assert opt.points_to(v) == naive.points_to(v), v
+    for o in objs:
+        assert opt.contents_of(o) == naive.contents_of(o), o

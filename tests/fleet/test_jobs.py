@@ -122,3 +122,48 @@ def test_queue_depth_gauge_tracks_pending():
     gate.set()
     queue.shutdown(wait=True)
     assert queue.depth == 0
+
+
+def _drain_tracking(queue, deadline=5.0):
+    # _finished runs on the executor thread after the future resolves;
+    # give the callback a bounded moment to fire
+    end = time.monotonic() + deadline
+    while queue.tracked_submissions and time.monotonic() < end:
+        time.sleep(0.005)
+    return queue.tracked_submissions
+
+
+def test_completed_jobs_release_submit_tracking():
+    # Regression: successful jobs never popped their _submitted entry,
+    # so the submit-timestamp map grew one entry per distinct signature
+    # for the life of the queue.
+    queue = DiagnosisJobQueue(workers=2, max_pending=8)
+    try:
+        futures = [
+            queue.submit(f"sig-{i}", lambda i=i: f"report-{i}")[0]
+            for i in range(6)
+        ]
+        for f in futures:
+            assert f.result(timeout=10).startswith("report-")
+        assert _drain_tracking(queue) == 0
+    finally:
+        queue.shutdown(wait=True)
+
+
+def test_failed_jobs_release_submit_tracking():
+    queue = DiagnosisJobQueue(workers=1, max_pending=4)
+
+    def boom():
+        raise RuntimeError("injected")
+
+    try:
+        future, _ = queue.submit("sig-err", boom)
+        with pytest.raises(RuntimeError):
+            future.result(timeout=10)
+        assert _drain_tracking(queue) == 0
+        # the signature is resubmittable (not served from a dead future)
+        again, dedup = queue.submit("sig-err", lambda: "ok")
+        assert not dedup
+        assert again.result(timeout=10) == "ok"
+    finally:
+        queue.shutdown(wait=True)
