@@ -346,6 +346,35 @@ def run_e2e(case: CheckCase) -> None:
         invariants.check_digest_match(
             digest, report_digest(via_wire.report), "fleet-wire"
         )
+    if p.get("store_check", 1):
+        # store-backed differential: persisting fixpoints/traces and
+        # rebinding them from disk (fresh in-memory LRUs each run, so
+        # the second run can only hit via the store) must not change a
+        # single digest byte vs the store-free baseline
+        from repro.store import DiagnosisStore, persistent_caches
+
+        with DiagnosisStore() as db:
+            first = api.diagnose(
+                module, traces=samples, caches=persistent_caches(db)
+            )
+            invariants.check_digest_match(
+                digest, report_digest(first.report), "store-cold"
+            )
+            second = api.diagnose(
+                module, traces=samples, caches=persistent_caches(db)
+            )
+            invariants.check_digest_match(
+                digest, report_digest(second.report), "store-warm"
+            )
+            wrote = db.analysis_stats.writes + db.trace_stats.writes
+            hydrated = db.analysis_stats.hits + db.trace_stats.hits
+            if wrote > 0 and hydrated == 0:
+                raise InvariantViolation(
+                    "store-hydrates",
+                    f"the first run persisted {wrote} payloads but the "
+                    "second (fresh-LRU) run hydrated none of them from "
+                    "the store",
+                )
 
 
 # -- registry ----------------------------------------------------------------
@@ -408,7 +437,7 @@ STAGES: dict[str, StageSpec] = {
             defaults={
                 "successes": 10, "seed_scan": 25, "quantum": 500, "iters": 6,
                 "kloc": 2, "cold": 0, "solver_diff": 1, "cache_check": 1,
-                "wire_check": 1,
+                "wire_check": 1, "store_check": 1,
             },
             minimums={"successes": 10, "seed_scan": 1, "quantum": 350,
                       "iters": 4, "kloc": 1},

@@ -104,6 +104,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    # persistent tiers (repro.store) count fills; pure in-memory LRUs
+    # leave this at zero
+    writes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -116,11 +119,14 @@ class CacheStats:
     def as_counters(self, prefix: str = "") -> dict[str, int]:
         """The unified cache-counter vocabulary (``{prefix}hits`` …) a
         :class:`repro.obs.MetricsRegistry` absorbs via
-        ``absorb_cache_stats``."""
+        ``absorb_cache_stats``.  Covers the persistent-store tiers too:
+        with ``prefix="store_"`` this yields ``store_hits`` /
+        ``store_misses`` / ``store_writes`` / ``store_evictions``."""
         return {
             f"{prefix}hits": self.hits,
             f"{prefix}misses": self.misses,
             f"{prefix}evictions": self.evictions,
+            f"{prefix}writes": self.writes,
         }
 
 

@@ -96,7 +96,14 @@ class PointsToAnalysis:
                 self.module, self.executed_uids, self.algorithm
             )
             with obs.tracer.span("analysis_cache_lookup") as span:
-                cached = self.cache.get(key)
+                # a store-backed cache hydrates from disk on a memory
+                # miss, which needs the live module to rebind the
+                # fixpoint — prefer its richer hook when it has one
+                get_for_module = getattr(self.cache, "get_for_module", None)
+                if get_for_module is not None:
+                    cached = get_for_module(key, self.module, self.executed_uids)
+                else:
+                    cached = self.cache.get(key)
                 span.set(outcome="hit" if cached is not None else "miss")
             if cached is not None:
                 assert isinstance(cached, CachedAnalysis)

@@ -16,6 +16,7 @@ Layers::
     jobs        bounded diagnosis worker pool: dedup + backpressure
     server      asyncio TCP server wrapping SnorlaxServer
     agent       synchronous endpoint agent owning a SnorlaxClient
+    shard       consistent-hash sharding: N servers, one shared store
     simulation  ≥50-agent localhost fleet (python -m repro.fleet)
 """
 
@@ -34,6 +35,12 @@ from repro.fleet.server import (
     failure_signature,
     render_digest,
     report_digest,
+)
+from repro.fleet.shard import (
+    HashRing,
+    ShardedFleet,
+    ShardRouter,
+    signature_for_failure,
 )
 from repro.fleet.simulation import (
     DEFAULT_BUGS,
@@ -71,6 +78,10 @@ __all__ = [
     "failure_signature",
     "render_digest",
     "report_digest",
+    "HashRing",
+    "ShardedFleet",
+    "ShardRouter",
+    "signature_for_failure",
     "DEFAULT_BUGS",
     "AgentOutcome",
     "FleetConfig",

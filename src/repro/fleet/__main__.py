@@ -87,6 +87,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="speculate N trace-collection requests concurrently per diagnosis",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run N fleet-server shards, consistent-hash routed by "
+        "failure signature (default: one server)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="SQLite diagnosis store: persists reports, points-to "
+        "fixpoints, and decoded traces so restarts resume warm and "
+        "shards deduplicate across each other",
+    )
     chaos = parser.add_argument_group(
         "chaos", "deterministic fault injection (all rates are per-frame)"
     )
@@ -195,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         success_traces_wanted=args.traces,
         cache_enabled=not args.no_cache,
         collection_parallelism=args.collect_parallel,
+        shards=args.shards,
+        store_path=args.store,
         chaos=plan if plan.active else None,
         trace_reply_timeout=args.reply_timeout,
         request_timeout=args.request_timeout,

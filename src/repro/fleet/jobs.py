@@ -83,6 +83,7 @@ class DiagnosisJobQueue:
         self._futures: dict[str, Future] = {}
         self._submitted: dict[str, float] = {}  # signature -> submit time
         self._pending: set[str] = set()  # submitted, not yet finished
+        self._listeners: list[Callable[[str, object], None]] = []
         self._closed = False
 
     # -- intake ------------------------------------------------------------
@@ -124,6 +125,20 @@ class DiagnosisJobQueue:
             with self.metrics.timer("diagnosis_latency"):
                 return fn()
 
+    def add_completion_listener(
+        self, listener: Callable[[str, object], None]
+    ) -> None:
+        """Register ``listener(signature, result)`` to run after each
+        *successful* diagnosis (failed jobs are evicted and retried, so
+        there is no result to announce).  Listeners run on the worker
+        thread that finished the job, outside the queue lock; one that
+        raises is counted (``completion_listener_errors``) and never
+        breaks the queue.  This is how a persistent store learns about
+        fresh reports without the server threading a callback through
+        every submit call."""
+        with self._lock:
+            self._listeners.append(listener)
+
     def _finished(self, signature: str) -> None:
         with self._lock:
             self._pending.discard(signature)
@@ -139,7 +154,15 @@ class DiagnosisJobQueue:
             # intentional _futures result cache
             self._submitted.pop(signature, None)
             self.metrics.gauge("queue_depth", len(self._pending))
+            listeners = list(self._listeners) if not failed else ()
         self.metrics.inc("jobs_failed" if failed else "jobs_completed")
+        if listeners:
+            result = future.result()
+            for listener in listeners:
+                try:
+                    listener(signature, result)
+                except Exception:
+                    self.metrics.inc("completion_listener_errors")
 
     # -- introspection -----------------------------------------------------
 
@@ -150,7 +173,16 @@ class DiagnosisJobQueue:
 
     @property
     def tracked_submissions(self) -> int:
-        """Submit timestamps still held — bounded by in-flight jobs."""
+        """Submit timestamps currently held.
+
+        Bounded by the number of in-flight jobs (≤ ``max_pending``), not
+        by queue lifetime: a timestamp exists from ``submit`` until the
+        job's completion callback, where it is dropped regardless of
+        outcome — it only ever feeds the ``queue_wait`` observation.
+        Deduplicated submits reuse the original timestamp, and a cached
+        (already-finished) signature holds none.  A value that stays
+        above zero after the fleet quiesces therefore means a job is
+        genuinely stuck, which is what the chaos harness polls it for."""
         with self._lock:
             return len(self._submitted)
 

@@ -179,6 +179,7 @@ class FleetServer:
         frame_timeout: float = 30.0,
         obs: Observability | None = None,
         metrics_port: int | None = None,
+        store=None,
     ):
         self.host = host
         self.port = port
@@ -201,8 +202,21 @@ class FleetServer:
         self.frame_timeout = frame_timeout
         self.collection_parallelism = collection_parallelism
         # the server-lifetime caches every diagnosis shares; passing a
-        # caches object in lets a fleet keep them warm across restarts
-        self.caches = (caches or DiagnosisCaches()) if enable_caches else None
+        # caches object in lets a fleet keep them warm across restarts.
+        # With a persistent store (and no explicit caches) they become
+        # write-through: a fresh server process hydrates fixpoints and
+        # decoded traces from disk instead of re-deriving them.
+        self.store = store
+        if not enable_caches:
+            self.caches = None
+        elif caches is not None:
+            self.caches = caches
+        elif store is not None:
+            from repro.store import persistent_caches
+
+            self.caches = persistent_caches(store)
+        else:
+            self.caches = DiagnosisCaches()
         # one registry for the whole service: an explicit Observability
         # bundle brings its own (so spans and counters agree), otherwise
         # the fleet's metrics double as the registry with tracing off —
@@ -227,6 +241,8 @@ class FleetServer:
             metrics=self.metrics,
             tracer=self.obs.tracer,
         )
+        if self.store is not None:
+            self.jobs.add_completion_listener(self._persist_report)
         self._resolver = module_resolver or _corpus_resolver
         self._modules: dict[str, Module] = {}
         self._module_lock = threading.Lock()
@@ -299,6 +315,10 @@ class FleetServer:
         self._thread.join(timeout=10)
         self._thread = None
         self._loop = None
+        if self.store is not None:
+            # final totals (absorb SETS counters, so this is idempotent
+            # with the per-serve absorbs)
+            self.store.absorb_into(self.metrics)
 
     async def _close_server(self) -> None:
         if self._server is not None:
@@ -440,6 +460,27 @@ class FleetServer:
     ) -> None:
         self.metrics.inc("failures_received")
         signature = failure_signature(env)
+        # persistent-store fast path: a signature some earlier process —
+        # or another shard — already diagnosed is served from disk
+        # without touching the job queue.  The in-memory future cache
+        # still wins for signatures this server diagnosed (submit dedup
+        # is cheaper and its counters feed the existing dedup tests).
+        if self.store is not None and self.jobs.result_for(signature) is None:
+            stored = self.store.get_report(signature)
+            if stored is not None:
+                self.metrics.inc("diagnoses_from_store")
+                self.store.absorb_into(self.metrics)
+                conn.writer.write(
+                    encode_frame(
+                        DiagnosisResult(
+                            signature=signature, digest=stored.digest
+                        ),
+                        request_id,
+                    )
+                )
+                await conn.writer.drain()
+                self.metrics.inc("results_delivered")
+                return
         try:
             future, _dedup = self.jobs.submit(
                 signature, lambda: self._diagnose(env)
@@ -499,6 +540,22 @@ class FleetServer:
             self.metrics.inc("result_delivery_failures")
 
     # -- the diagnosis job (worker thread) --------------------------------
+
+    def _persist_report(self, signature: str, report) -> None:
+        """Job-queue completion listener: write each finished diagnosis
+        through to the store (degraded reports are never persisted — a
+        later, fully-evidenced diagnosis must not be masked by one cut
+        short at the collection deadline)."""
+        if not isinstance(report, DiagnosisReport) or report.degraded:
+            return
+        bug_id = signature.split("|", 1)[0]
+        self.store.put_report(
+            signature,
+            bug_id,
+            report_digest(report),
+            flight_recorder=report.flight_recorder,
+        )
+        self.store.absorb_into(self.metrics)
 
     def _module(self, bug_id: str) -> Module:
         with self._module_lock:

@@ -43,6 +43,13 @@ class FleetConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0: pick a free port
     timeout: float = 600.0
+    # -- sharding & persistence --------------------------------------------
+    # >1: run that many FleetServer shards (consistent-hash routed by
+    # failure signature) instead of a single server
+    shards: int = 1
+    # SQLite DiagnosisStore path; None: no persistence.  ":memory:" is
+    # valid for tests.  Shards always share the one store.
+    store_path: str | None = None
     # -- resilience knobs --------------------------------------------------
     # seed-driven fault injection (None: a polite network)
     chaos: FaultPlan | None = None
@@ -133,6 +140,31 @@ class FleetRunResult:
     def degraded_collections(self) -> int:
         return self.metrics["counters"].get("degraded_collections", 0)
 
+    # -- persistence & sharding counters -----------------------------------
+
+    @property
+    def store_hits(self) -> int:
+        return self.metrics["counters"].get("store_hits", 0)
+
+    @property
+    def store_misses(self) -> int:
+        return self.metrics["counters"].get("store_misses", 0)
+
+    @property
+    def store_writes(self) -> int:
+        return self.metrics["counters"].get("store_writes", 0)
+
+    @property
+    def diagnoses_from_store(self) -> int:
+        """Failure reports answered straight from the persistent store
+        (no pipeline run, no job queue) — the cross-process/cross-shard
+        dedup path."""
+        return self.metrics["counters"].get("diagnoses_from_store", 0)
+
+    @property
+    def shard_routes(self) -> int:
+        return self.metrics["counters"].get("shard_routes", 0)
+
     @property
     def reconnects(self) -> int:
         return sum(o.reconnects for o in self.outcomes)
@@ -164,6 +196,18 @@ class FleetRunResult:
             f"{self.analysis_cache_hits} analysis, {self.trace_cache_hits} trace)",
             f"agent errors:      {len(failed)}",
         ]
+        if self.config.shards > 1:
+            lines.append(
+                f"shards:            {self.config.shards} "
+                f"({self.shard_routes} signatures routed)"
+            )
+        if self.config.store_path is not None:
+            lines.append(
+                f"store:             {self.config.store_path} "
+                f"({self.store_hits} hits, {self.store_misses} misses, "
+                f"{self.store_writes} writes; "
+                f"{self.diagnoses_from_store} diagnoses served from store)"
+            )
         if self.config.chaos is not None and self.config.chaos.active:
             counters = self.metrics["counters"]
             chaos = ", ".join(
@@ -200,12 +244,19 @@ def run_fleet(
     cfg = config or FleetConfig()
     if cfg.agents < len(cfg.bug_ids):
         raise FleetError("need at least one agent per bug")
+    if cfg.shards > 1:
+        return _run_sharded(cfg, metrics, caches)
     from repro.corpus import bug as corpus_bug
 
     specs = [corpus_bug(bug_id) for bug_id in cfg.bug_ids]
     for spec in specs:
         spec.module()  # build (and cache) before threads share it
 
+    store = None
+    if cfg.store_path is not None:
+        from repro.store import DiagnosisStore
+
+        store = DiagnosisStore(cfg.store_path)
     metrics = metrics or FleetMetrics()
     # tracing is opt-in: only build an enabled tracer when someone will
     # consume the spans (a long-lived disabled fleet must not accumulate
@@ -230,6 +281,7 @@ def run_fleet(
         frame_timeout=cfg.frame_timeout,
         obs=obs,
         metrics_port=cfg.metrics_port,
+        store=store,
     )
     host, port = server.start()
     metrics_url = (
@@ -338,6 +390,251 @@ def run_fleet(
             except OSError:
                 pass  # endpoint raced shutdown; the run itself succeeded
         server.stop()
+        if store is not None:
+            store.close()
+
+    digests: dict[str, dict] = {}
+    for outcome in outcomes:
+        if outcome.signature is not None and outcome.digest is not None:
+            digests[outcome.signature] = outcome.digest
+    spans_written = 0
+    if cfg.trace_out is not None and obs is not None:
+        spans_written = write_trace_jsonl(cfg.trace_out, obs.tracer)
+    return FleetRunResult(
+        config=cfg,
+        elapsed=elapsed,
+        metrics=metrics.as_dict(),
+        outcomes=outcomes,
+        digests=digests,
+        spans_written=spans_written,
+        metrics_url=metrics_url,
+        prometheus_scrape=prometheus_scrape,
+        obs=obs,
+    )
+
+
+def _run_sharded(
+    cfg: FleetConfig, metrics: FleetMetrics | None, caches
+) -> FleetRunResult:
+    """The ``shards > 1`` variant of :func:`run_fleet`.
+
+    Reporters route *themselves*: each finds its failure offline (no
+    connection needed), computes the signature the server would, hashes
+    it onto the ring, and connects to the owning shard.  Population
+    (non-reporting) agents connect to **every** shard — one thread per
+    (agent, shard) — so each shard sees the full endpoint pool for
+    trace collection, the same way a production endpoint would register
+    with whichever frontends exist.
+
+    Chaos ``server_restart_after_s`` kills the shard that owns the
+    first routed signature (the one with in-flight work), which is the
+    shard-kill convergence scenario the acceptance test asserts on.
+    """
+    from repro.corpus import bug as corpus_bug
+    from repro.fleet.shard import ShardedFleet, signature_for_failure
+
+    specs = [corpus_bug(bug_id) for bug_id in cfg.bug_ids]
+    for spec in specs:
+        spec.module()  # build (and cache) before threads share it
+
+    store = None
+    if cfg.store_path is not None:
+        from repro.store import DiagnosisStore
+
+        store = DiagnosisStore(cfg.store_path)
+    metrics = metrics or FleetMetrics()
+    obs = cfg.obs
+    if obs is None and (cfg.trace_out is not None or cfg.profile):
+        obs = Observability(registry=metrics, profile=cfg.profile)
+    fleet = ShardedFleet(
+        shards=cfg.shards,
+        store=store,
+        host=cfg.host,
+        metrics=metrics,
+        obs=obs,
+        workers=cfg.workers,
+        max_pending=cfg.max_pending,
+        success_traces_wanted=cfg.success_traces_wanted,
+        caches=caches,
+        enable_caches=cfg.cache_enabled,
+        collection_parallelism=cfg.collection_parallelism,
+        request_timeout=cfg.request_timeout,
+        trace_reply_timeout=cfg.trace_reply_timeout,
+        collection_deadline_s=cfg.collection_deadline_s,
+        min_success_traces=cfg.min_success_traces,
+        frame_timeout=cfg.frame_timeout,
+    )
+    addresses = fleet.start()
+    metrics_server = None
+    if cfg.metrics_port is not None:
+        from repro.obs import MetricsHTTPServer
+
+        metrics_server = MetricsHTTPServer(
+            metrics, host=cfg.host, port=cfg.metrics_port
+        )
+        metrics_server.start()
+
+    stop = threading.Event()
+    outcomes: list[AgentOutcome] = []
+    per_bug_count: dict[str, int] = {}
+    assignments: list[tuple[object, bool]] = []
+    for i in range(cfg.agents):
+        spec = specs[i % len(specs)]
+        seen = per_bug_count.get(spec.bug_id, 0)
+        per_bug_count[spec.bug_id] = seen + 1
+        reporter = seen < cfg.reporters_per_bug
+        assignments.append((spec, reporter))
+        outcomes.append(AgentOutcome(f"agent-{i:03d}", spec.bug_id, reporter))
+
+    reporters_total = sum(1 for _, r in assignments if r)
+    state_lock = threading.Lock()
+    reporters_done = [0]
+    routed: dict[str, str] = {}  # signature -> owning shard name
+
+    def _engine_for(endpoint_id: str):
+        if cfg.chaos is not None and cfg.chaos.wraps_sockets:
+            return cfg.chaos.engine(endpoint_id)
+        return None
+
+    def _account(outcome: AgentOutcome, agent: FleetAgent, engine) -> None:
+        with state_lock:
+            outcome.trace_requests_served += agent.trace_requests_served
+            outcome.rejections += agent.rejections
+            outcome.reconnects += agent.reconnects
+        if engine is not None:
+            for fault, count in engine.counts.items():
+                metrics.inc(f"chaos_{fault}", count)
+
+    def reporter_main(index: int) -> None:
+        spec, _ = assignments[index]
+        outcome = outcomes[index]
+        engine = _engine_for(outcome.agent_id)
+        agent = FleetAgent.from_spec(
+            outcome.agent_id,
+            spec,
+            cfg.host,
+            0,  # placeholder; the route decides the real address
+            fault_engine=engine,
+            reconnect_attempts=cfg.agent_reconnect_attempts,
+            frame_timeout=cfg.frame_timeout,
+        )
+        try:
+            try:
+                failing_run = agent.find_failure()
+                signature = signature_for_failure(spec.bug_id, failing_run)
+                shard_name = fleet.route(signature)
+                with state_lock:
+                    routed.setdefault(signature, shard_name)
+                agent.host, agent.port = addresses[shard_name]
+                agent.connect_resilient(stop)
+                result = agent.report_failure(failing_run, stop=stop)
+                outcome.signature = result.signature
+                outcome.digest = result.digest
+            finally:
+                with state_lock:
+                    reporters_done[0] += 1
+            agent.serve_until(stop)
+        except Exception as exc:  # recorded, never raised into the pool
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            _account(outcome, agent, engine)
+            if engine is not None:
+                outcome.faults_injected = dict(engine.counts)
+            agent.close()
+
+    def population_main(index: int, shard_name: str) -> None:
+        spec, _ = assignments[index]
+        outcome = outcomes[index]
+        endpoint_id = f"{outcome.agent_id}@{shard_name}"
+        engine = _engine_for(endpoint_id)
+        host, port = addresses[shard_name]
+        agent = FleetAgent.from_spec(
+            endpoint_id,
+            spec,
+            host,
+            port,
+            fault_engine=engine,
+            reconnect_attempts=cfg.agent_reconnect_attempts,
+            frame_timeout=cfg.frame_timeout,
+        )
+        try:
+            agent.connect_resilient(stop)
+            agent.serve_until(stop)
+        except Exception as exc:
+            with state_lock:
+                if outcome.error is None:
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            _account(outcome, agent, engine)
+            agent.close()
+
+    restart_timer: threading.Timer | None = None
+    if cfg.chaos is not None and cfg.chaos.server_restart_after_s is not None:
+
+        def _restart_quietly() -> None:
+            with state_lock:
+                target = next(iter(routed.values()), fleet.shard_names[0])
+            try:
+                fleet.restart_shard(target)
+            except FleetError:
+                pass  # the run finished first; nothing left to restart
+
+        restart_timer = threading.Timer(
+            cfg.chaos.server_restart_after_s, _restart_quietly
+        )
+        restart_timer.daemon = True
+        restart_timer.start()
+
+    threads: list[threading.Thread] = []
+    for i, (_, reporter) in enumerate(assignments):
+        if reporter:
+            threads.append(
+                threading.Thread(
+                    target=reporter_main, args=(i,), name=f"agent-{i:03d}"
+                )
+            )
+        else:
+            threads.extend(
+                threading.Thread(
+                    target=population_main,
+                    args=(i, shard_name),
+                    name=f"agent-{i:03d}@{shard_name}",
+                )
+                for shard_name in fleet.shard_names
+            )
+
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + cfg.timeout
+    try:
+        while time.monotonic() < deadline:
+            with state_lock:
+                if reporters_done[0] >= reporters_total:
+                    break
+            time.sleep(0.05)
+    finally:
+        elapsed = time.perf_counter() - started
+        stop.set()
+        if restart_timer is not None:
+            restart_timer.cancel()
+        for thread in threads:
+            thread.join(timeout=30)
+        prometheus_scrape = None
+        metrics_url = None
+        if metrics_server is not None:
+            from urllib.request import urlopen
+
+            metrics_url = metrics_server.url
+            try:
+                with urlopen(metrics_server.url, timeout=5) as resp:
+                    prometheus_scrape = resp.read().decode()
+            except OSError:
+                pass  # endpoint raced shutdown; the run itself succeeded
+            metrics_server.stop()
+        fleet.stop()
+        if store is not None:
+            store.close()
 
     digests: dict[str, dict] = {}
     for outcome in outcomes:

@@ -163,3 +163,23 @@ def test_lru_eviction_accounting():
     assert cache.get("c") == 3
     assert len(cache) == 2
     assert cache.stats.hit_rate == 0.5
+
+
+# -- the unified counter vocabulary -----------------------------------------
+
+
+def test_as_counters_covers_the_store_vocabulary():
+    from repro.core.cache import CacheStats
+
+    stats = CacheStats(hits=4, misses=2, evictions=1, writes=7)
+    assert stats.as_counters(prefix="store_") == {
+        "store_hits": 4,
+        "store_misses": 2,
+        "store_evictions": 1,
+        "store_writes": 7,
+    }
+    # in-memory LRUs never fill the store tier: writes stays zero
+    cache = AnalysisCache()
+    cache.put("k", 1)
+    assert cache.stats.writes == 0
+    assert cache.stats.as_counters()["writes"] == 0

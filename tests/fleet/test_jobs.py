@@ -167,3 +167,58 @@ def test_failed_jobs_release_submit_tracking():
         assert again.result(timeout=10) == "ok"
     finally:
         queue.shutdown(wait=True)
+
+
+# -- completion listeners ----------------------------------------------------
+
+
+def test_completion_listener_fires_for_successes_only():
+    queue = DiagnosisJobQueue(workers=1, max_pending=4)
+    seen = []
+    queue.add_completion_listener(lambda sig, result: seen.append((sig, result)))
+
+    def boom():
+        raise RuntimeError("injected")
+
+    try:
+        ok, _ = queue.submit("sig-ok", lambda: "report")
+        assert ok.result(timeout=10) == "report"
+        bad, _ = queue.submit("sig-bad", boom)
+        with pytest.raises(RuntimeError):
+            bad.result(timeout=10)
+        deadline = time.monotonic() + 5
+        while not seen and time.monotonic() < deadline:
+            time.sleep(0.005)
+        # only the successful diagnosis is announced: the failed job was
+        # evicted and has no result a listener could persist
+        assert seen == [("sig-ok", "report")]
+        # dedup hits reuse the cached future and do not re-announce
+        again, dedup = queue.submit("sig-ok", lambda: "other")
+        assert dedup and again.result(timeout=10) == "report"
+        time.sleep(0.05)
+        assert seen == [("sig-ok", "report")]
+    finally:
+        queue.shutdown(wait=True)
+
+
+def test_completion_listener_errors_are_counted_not_raised():
+    metrics = FleetMetrics()
+    queue = DiagnosisJobQueue(workers=1, max_pending=4, metrics=metrics)
+
+    def angry_listener(signature, result):
+        raise RuntimeError("listener bug")
+
+    calm = []
+    queue.add_completion_listener(angry_listener)
+    queue.add_completion_listener(lambda s, r: calm.append(s))
+    try:
+        future, _ = queue.submit("sig", lambda: 1)
+        assert future.result(timeout=10) == 1
+        deadline = time.monotonic() + 5
+        while not calm and time.monotonic() < deadline:
+            time.sleep(0.005)
+        # the broken listener is counted; later listeners still ran
+        assert metrics.counter("completion_listener_errors") == 1
+        assert calm == ["sig"]
+    finally:
+        queue.shutdown(wait=True)

@@ -107,3 +107,16 @@ def test_null_registry_records_nothing():
     NULL_REGISTRY.absorb_cache_stats("c", stats)
     assert NULL_REGISTRY.counter("x") == 0
     assert NULL_REGISTRY.as_dict() == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+def test_store_counters_flow_through_absorb_unchanged():
+    # the satellite contract: the store's hit/miss/write totals arrive
+    # in the registry exactly as CacheStats.as_counters emits them
+    stats = CacheStats(hits=4, misses=2, evictions=0, writes=7)
+    m = MetricsRegistry()
+    m.absorb_cache_stats("store", stats)
+    for key, value in stats.as_counters(prefix="store_").items():
+        assert m.counter(key) == value
+    stats.writes = 9  # the store keeps counting; re-absorb SETS totals
+    m.absorb_cache_stats("store", stats)
+    assert m.counter("store_writes") == 9

@@ -1,0 +1,132 @@
+"""DiagnosisStore: schema versioning, the three tiers, counters."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import FleetError
+from repro.obs import MetricsRegistry
+from repro.store import SCHEMA_VERSION, DiagnosisStore, scope_key
+from repro.store.store import _DDL_V1
+
+DIGEST = {"bug_kind": "order-violation", "failing_uid": 7, "diagnosed": True}
+
+
+def test_fresh_store_is_at_current_schema(tmp_path):
+    with DiagnosisStore(str(tmp_path / "s.db")) as db:
+        assert db.schema_version == SCHEMA_VERSION
+        assert db.counts() == {"reports": 0, "analyses": 0, "traces": 0}
+
+
+def test_v1_file_migrates_forward(tmp_path):
+    path = str(tmp_path / "old.db")
+    conn = sqlite3.connect(path)
+    with conn:
+        for ddl in _DDL_V1:
+            conn.execute(ddl)
+        conn.execute(
+            "INSERT INTO meta (key, value) VALUES ('schema_version', '1')"
+        )
+        # a v1 row (no flight_recorder column yet)
+        conn.execute(
+            "INSERT INTO reports (signature, bug_id, digest, degraded, "
+            "created_at) VALUES ('b|crash|1', 'b', '{}', 0, 0.0)"
+        )
+    conn.close()
+    with DiagnosisStore(path) as db:
+        assert db.schema_version == SCHEMA_VERSION
+        # the migrated column exists and reads back as NULL for old rows
+        report = db.get_report("b|crash|1")
+        assert report is not None
+        assert report.flight_recorder is None
+        # and new rows can populate it
+        assert db.put_report("b|crash|2", "b", DIGEST, flight_recorder="fr")
+        assert db.get_report("b|crash|2").flight_recorder == "fr"
+
+
+def test_future_schema_is_refused(tmp_path):
+    path = str(tmp_path / "future.db")
+    with DiagnosisStore(path):
+        pass
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute(
+            "UPDATE meta SET value=? WHERE key='schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+    conn.close()
+    with pytest.raises(FleetError):
+        DiagnosisStore(path)
+
+
+def test_report_roundtrip_and_idempotent_writes():
+    with DiagnosisStore() as db:
+        assert db.get_report("sig") is None  # counted as a miss
+        assert db.put_report("sig", "bug", DIGEST) is True
+        assert db.put_report("sig", "bug", {"other": 1}) is False  # first wins
+        report = db.get_report("sig")
+        assert report.digest == DIGEST
+        assert report.bug_id == "bug"
+        assert not report.degraded
+        assert db.report_stats.hits == 1
+        assert db.report_stats.misses == 1
+        assert db.report_stats.writes == 1  # the duplicate did not count
+        assert db.signatures() == ["sig"]
+
+
+def test_degraded_reports_are_never_stored():
+    with DiagnosisStore() as db:
+        assert db.put_report("sig", "bug", DIGEST, degraded=True) is False
+        assert db.get_report("sig") is None
+        assert db.counts()["reports"] == 0
+
+
+def test_analysis_and_trace_tiers_roundtrip():
+    with DiagnosisStore() as db:
+        assert db.get_analysis("fp", "whole", "andersen") is None
+        assert db.put_analysis("fp", "whole", "andersen", b"payload")
+        assert not db.put_analysis("fp", "whole", "andersen", b"other")
+        assert db.get_analysis("fp", "whole", "andersen") == b"payload"
+
+        assert db.get_trace("fp", 1, "abcd", 500) is None
+        assert db.put_trace("fp", 1, "abcd", 500, b"trace")
+        assert db.get_trace("fp", 1, "abcd", 500) == b"trace"
+        assert db.get_trace("fp", 2, "abcd", 500) is None  # tid keys
+
+        assert db.analysis_stats.writes == 1
+        assert db.trace_stats.writes == 1
+        assert db.counts() == {"reports": 0, "analyses": 1, "traces": 1}
+
+
+def test_aggregate_stats_and_absorb_vocabulary():
+    with DiagnosisStore() as db:
+        db.put_report("sig", "bug", DIGEST)
+        db.get_report("sig")
+        db.get_analysis("fp", "whole", "andersen")  # miss
+        registry = MetricsRegistry()
+        db.absorb_into(registry)
+        assert registry.counter("store_hits") == 1
+        assert registry.counter("store_misses") == 1
+        assert registry.counter("store_writes") == 1
+        assert registry.counter("report_store_hits") == 1
+        assert registry.counter("analysis_store_misses") == 1
+        # absorb sets totals: re-absorbing is idempotent
+        db.absorb_into(registry)
+        assert registry.counter("store_writes") == 1
+
+
+def test_rows_survive_reopen(tmp_path):
+    path = str(tmp_path / "persist.db")
+    with DiagnosisStore(path) as db:
+        db.put_report("sig", "bug", DIGEST)
+        db.put_analysis("fp", "whole", "andersen", b"a")
+        db.put_trace("fp", 1, "hash", 500, b"t")
+    with DiagnosisStore(path) as db:
+        assert db.counts() == {"reports": 1, "analyses": 1, "traces": 1}
+        assert db.get_report("sig").digest == DIGEST
+
+
+def test_scope_key_is_order_free_and_marks_whole_program():
+    assert scope_key(None) == "whole"
+    assert scope_key({3, 1, 2}) == scope_key([2, 3, 1])
+    assert scope_key({1}) != scope_key({2})
