@@ -15,10 +15,18 @@ Run after the benchmarks::
     PYTHONPATH=src python -m pytest benchmarks/test_table4_analysis_speedup.py \
         benchmarks/test_fleet_throughput.py -q
     python benchmarks/compare_bench.py
+
+CI regression gate: ``--check-against BASELINE.json`` compares the
+freshly parsed summary to a committed baseline and exits non-zero when
+the warm fleet latency regressed more than ``--max-regress`` (default
+20%).  Sub-``--abs-slack-ms`` absolute deltas are ignored — the warm
+path is a few milliseconds, where a relative gate alone would flap on
+scheduler noise.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import re
 import sys
@@ -72,7 +80,36 @@ def parse_fleet(text: str) -> dict:
     }
 
 
-def main(out_dir: Path = OUT_DIR) -> dict:
+def check_regression(
+    summary: dict,
+    baseline: dict,
+    max_regress: float = 0.20,
+    abs_slack_ms: float = 25.0,
+) -> list[str]:
+    """Regressions of the warm fleet latency vs a baseline summary.
+
+    A regression is reported when the new number exceeds the baseline
+    by more than ``max_regress`` (relative) *and* by more than
+    ``abs_slack_ms`` (absolute).  Returns human-readable problem lines,
+    empty when the gate passes; a baseline without the metric passes
+    (first run after the metric landed).
+    """
+    problems: list[str] = []
+    old = (baseline.get("fleet_median_latency_ms") or {}).get("warm")
+    new = (summary.get("fleet_median_latency_ms") or {}).get("warm")
+    if old is None or new is None:
+        return problems
+    if new > old * (1.0 + max_regress) and new - old > abs_slack_ms:
+        problems.append(
+            f"warm fleet latency regressed: {old:.0f} ms -> {new:.0f} ms "
+            f"(+{(new - old) / old:.0%}, gate is +{max_regress:.0%} "
+            f"and >{abs_slack_ms:.0f} ms)"
+        )
+    return problems
+
+
+def main(out_dir: Path | None = None) -> dict:
+    out_dir = OUT_DIR if out_dir is None else out_dir
     summary: dict = {"benchmark": "diagnosis", "sources": []}
     table4 = out_dir / "table4.txt"
     fleet = out_dir / "fleet.txt"
@@ -93,5 +130,40 @@ def main(out_dir: Path = OUT_DIR) -> dict:
     return summary
 
 
+def cli(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE",
+        type=Path,
+        help="committed BENCH_diagnosis.json to gate against",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.20,
+        help="allowed relative warm-latency regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--abs-slack-ms",
+        type=float,
+        default=25.0,
+        help="absolute delta below which a regression is noise (ms)",
+    )
+    args = parser.parse_args(argv)
+    summary = main()
+    if args.check_against is None:
+        return 0
+    baseline = json.loads(args.check_against.read_text())
+    problems = check_regression(
+        summary, baseline, args.max_regress, args.abs_slack_ms
+    )
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    if not problems:
+        print("benchmark regression gate: OK", file=sys.stderr)
+    return 1 if problems else 0
+
+
 if __name__ == "__main__":
-    main()
+    raise SystemExit(cli())

@@ -34,6 +34,10 @@ def fleet_waves():
         reporters_per_bug=REPORTERS_PER_BUG,
         workers=3,
         max_pending=8,
+        # the pipelined collection path: batched wire frames (default)
+        # plus adaptive stopping — stop as soon as the top-ranked
+        # pattern is stable instead of always collecting the fixed count
+        stopping="stable-top",
     )
     # the cold wave runs with the span tracer on (registry shared with
     # the wave's metrics, so the counters below are unaffected); its
@@ -81,6 +85,16 @@ def test_fleet_throughput(fleet_waves, emit):
             lambda r: r.metrics["counters"].get("trace_requests_sent", 0),
         ),
         row(
+            "batch frames sent",
+            "{}",
+            lambda r: r.metrics["counters"].get("trace_batches_sent", 0),
+        ),
+        row(
+            "evidence cache hits",
+            "{}",
+            lambda r: r.metrics["counters"].get("evidence_cache_hits", 0),
+        ),
+        row(
             "median diagnosis latency",
             "{:.0f} ms",
             lambda r: r.median_diagnosis_latency_s * 1000,
@@ -89,6 +103,18 @@ def test_fleet_throughput(fleet_waves, emit):
             "  median trace collection",
             "{:.0f} ms",
             lambda r: ms(r, "collection_latency"),
+        ),
+        row("  collect stage p50", "{:.0f} ms", lambda r: ms(r, "stage_collect")),
+        row(
+            "  collect stage p95",
+            "{:.0f} ms",
+            lambda r: ms(r, "stage_collect", "p95_s"),
+        ),
+        row("  decode stage p50", "{:.2f} ms", lambda r: ms(r, "stage_decode")),
+        row(
+            "  decode stage p95",
+            "{:.2f} ms",
+            lambda r: ms(r, "stage_decode", "p95_s"),
         ),
         row("  median analysis", "{:.2f} ms", lambda r: ms(r, "analysis_latency")),
         row(
@@ -127,5 +153,10 @@ def test_fleet_throughput(fleet_waves, emit):
     assert warm.trace_cache_hits > 0
     assert warm.cache_hit_rate == 1.0
     assert warm.metrics["counters"].get("trace_cache_misses", 0) == 0
-    # cached analysis is dramatically cheaper than cold analysis
-    assert ms(warm, "analysis_latency") < ms(cold, "analysis_latency")
+    # evidence memoization: the warm wave replays the cold wave's
+    # collected samples — zero remote executions for recurring failures
+    assert cold.metrics["counters"].get("evidence_cache_hits", 0) == 0
+    assert warm.metrics["counters"].get("evidence_cache_hits", 0) == len(
+        DEFAULT_BUGS
+    )
+    assert warm.metrics["counters"].get("trace_requests_sent", 0) == 0

@@ -20,6 +20,9 @@ pointsto Andersen optimized ≡ naive ≡ (⊆ Steensgaard) on random
          constraint systems and on generated program modules
 jobs     ``DiagnosisJobQueue``: dedup, backpressure, result caching, and
          bounded bookkeeping after completion
+collect  step-8 transport differential: serial ≡ thread-parallel ≡
+         batched-through-the-wire-codec evidence, adaptive stopping
+         invariant across transports, digest equality of the diagnoses
 e2e      a full client/server diagnosis of a generated bug under the
          checkpoint observer, plus cache-on ≡ cache-off ≡ cache-warm and
          fleet-wire ≡ in-process digest equality, against ground truth
@@ -132,6 +135,7 @@ def run_pointsto(case: CheckCase) -> None:
 
     rng = _rng(case)
     p = case.params
+    module = executed = None
     if rng.randrange(100) < p.get("module_pct", 30):
         module, _truth, _workload, _kind = generator.gen_bug(rng, p)
         uids = [i.uid for fn in module.functions.values()
@@ -146,6 +150,26 @@ def run_pointsto(case: CheckCase) -> None:
     result = solve(system)
     invariants.check_andersen_equivalence(system, result)
     invariants.check_steensgaard_superset(system, result)
+    if module is not None and executed and p.get("seeded_diff", 1):
+        # incremental-seeding differential: solving a sub-scope first
+        # and replaying its fixpoint into the full solve must land on
+        # the identical fixpoint as the cold solve above
+        sub = set(rng.sample(sorted(executed), max(1, len(executed) // 2)))
+        sub_result = solve(generate_constraints(module, sub))
+        seeded = solve(system, seed=sub_result)
+        cold_pts, seeded_pts = result.as_sets(), seeded.as_sets()
+        for node in set(cold_pts) | set(seeded_pts):
+            if cold_pts.get(node, frozenset()) != seeded_pts.get(
+                node, frozenset()
+            ):
+                raise InvariantViolation(
+                    "seeded-solve-equal",
+                    f"seeding from a {len(sub)}-uid sub-scope changed the "
+                    f"fixpoint at node {node!r}: cold="
+                    f"{sorted(o.name for o in cold_pts.get(node, ()))} "
+                    f"seeded="
+                    f"{sorted(o.name for o in seeded_pts.get(node, ()))}",
+                )
 
 
 # -- jobs: the fleet queue ---------------------------------------------------
@@ -237,6 +261,145 @@ def run_jobs(case: CheckCase) -> None:
     finally:
         gate.set()
         queue.shutdown(wait=True)
+
+
+# -- collect: step 8 transport/stopping differential -------------------------
+
+
+def run_collect(case: CheckCase) -> None:
+    """Evidence equivalence across every trace-collection transport.
+
+    The pipelining contract: serial, thread-parallel, and batched
+    (round-tripped through the wire codec, like a real fleet frame)
+    collection must produce byte-identical evidence, and the adaptive
+    stopping rule must be a pure function of the sample prefix — the
+    serial and batched adaptive runs must agree with each other too.
+    """
+    from repro import api
+    from repro.fleet.server import report_digest
+    from repro.fleet.wire import decode_frame, encode_frame
+    from repro.runtime.client import SnorlaxClient
+    from repro.runtime.server import SnorlaxServer
+
+    rng = _rng(case)
+    p = case.params
+    module, _truth, workload, _kind = generator.gen_bug(rng, p)
+    client = SnorlaxClient(module, workload)
+    base = rng.randrange(1_000_000)
+    failing_run = None
+    for offset in range(max(1, p.get("seed_scan", 25))):
+        run = client.run_once(base + offset)
+        if run.failed:
+            failing_run = run
+            break
+    if failing_run is None:
+        raise CaseSkipped(f"no failing run in {p.get('seed_scan', 25)} seeds")
+    uid = failing_run.failure.failing_uid
+    start_seed = base + 10_000
+    wanted = max(1, p.get("successes", 6))
+
+    def make_server(**kw) -> SnorlaxServer:
+        return SnorlaxServer(
+            module,
+            success_traces_wanted=wanted,
+            max_collection_attempts=300,
+            **kw,
+        )
+
+    def batch_transport(server: SnorlaxServer):
+        """A batch send that exercises the real wire codec end to end."""
+        from repro.fleet.wire import TraceBatchRequest, TraceBatchResponse
+
+        def send_batch(requests):
+            frame = encode_frame(TraceBatchRequest(requests=tuple(requests)))
+            batch, _rid = decode_frame(frame)
+            responses = TraceBatchResponse(
+                responses=tuple(
+                    server.handle_trace_request(client, r)
+                    for r in batch.requests
+                )
+            )
+            reply, _rid = decode_frame(encode_frame(responses))
+            return list(reply.responses)
+
+        return send_batch
+
+    def evidence(samples):
+        return [
+            (s.label, s.failing, s.buffers, s.positions) for s in samples
+        ]
+
+    serial = make_server()
+    base_samples = serial.collect_successful_traces(client, uid, start_seed)
+    families = [("serial", serial, base_samples)]
+    par = make_server(collection_parallelism=3)
+    families.append(
+        ("parallel", par, par.collect_successful_traces(client, uid, start_seed))
+    )
+    batched = make_server()
+    families.append(
+        (
+            "batched-wire",
+            batched,
+            batched.collect_traces_via(
+                lambda req: batched.handle_trace_request(client, req),
+                uid,
+                start_seed,
+                send_batch=batch_transport(batched),
+            ),
+        )
+    )
+    want = evidence(base_samples)
+    for label, server, samples in families[1:]:
+        if evidence(samples) != want:
+            raise InvariantViolation(
+                "collect-evidence-equal",
+                f"{label} collection diverged from serial: "
+                f"{[s.label for s in samples]} vs "
+                f"{[s.label for s in base_samples]}",
+            )
+        if server.stats.success_traces != serial.stats.success_traces:
+            raise InvariantViolation(
+                "collect-stats-equal",
+                f"{label} counted {server.stats.success_traces} successes, "
+                f"serial counted {serial.stats.success_traces}",
+            )
+    failing_sample = serial.sample_from_run("failure", failing_run)
+    if p.get("adaptive_check", 1):
+        # adaptive stopping must depend only on the sample prefix, never
+        # on the transport that delivered it
+        adaptive = {}
+        for label, send_batch_of in (
+            ("adaptive-serial", lambda s: None),
+            ("adaptive-batched", batch_transport),
+        ):
+            server = make_server(stopping="stable-top", adaptive_min_traces=3)
+            adaptive[label] = server.collect_traces_via(
+                lambda req, s=server: s.handle_trace_request(client, req),
+                uid,
+                start_seed,
+                send_batch=send_batch_of(server),
+                failing_sample=failing_sample,
+            )
+        if evidence(adaptive["adaptive-serial"]) != evidence(
+            adaptive["adaptive-batched"]
+        ):
+            raise InvariantViolation(
+                "adaptive-transport-invariant",
+                "adaptive stopping collected different evidence over "
+                "serial vs batched transport: "
+                f"{[s.label for s in adaptive['adaptive-serial']]} vs "
+                f"{[s.label for s in adaptive['adaptive-batched']]}",
+            )
+    if p.get("digest_check", 1):
+        digest = report_digest(
+            api.diagnose(module, traces=[failing_sample, *base_samples]).report
+        )
+        for label, _server, samples in families[1:]:
+            again = api.diagnose(module, traces=[failing_sample, *samples])
+            invariants.check_digest_match(
+                digest, report_digest(again.report), label
+            )
 
 
 # -- e2e: the whole pipeline -------------------------------------------------
@@ -429,6 +592,17 @@ STAGES: dict[str, StageSpec] = {
             run=run_jobs,
             defaults={"jobs": 6, "fail_pct": 30, "workers": 2},
             minimums={"jobs": 1, "workers": 1},
+            weight=10,
+        ),
+        StageSpec(
+            name="collect",
+            run=run_collect,
+            defaults={
+                "successes": 6, "seed_scan": 25, "quantum": 500, "iters": 6,
+                "kloc": 2, "cold": 0, "adaptive_check": 1, "digest_check": 1,
+            },
+            minimums={"successes": 1, "seed_scan": 1, "quantum": 350,
+                      "iters": 4, "kloc": 1},
             weight=10,
         ),
         StageSpec(

@@ -55,6 +55,7 @@ class SolverStats:
     # optimized-solver extensions (zero for the naive solver)
     scc_collapses: int = 0  # nodes unioned into cycle representatives
     saved_propagations: int = 0  # objects delta propagation did not re-move
+    seeded_objects: int = 0  # objects pre-loaded from a cached sub-scope
 
     def as_counters(self, prefix: str = "solver_") -> dict[str, int]:
         """The unified ``solver_*`` counter vocabulary a
@@ -66,6 +67,7 @@ class SolverStats:
             f"{prefix}indirect_resolutions": self.indirect_resolutions,
             f"{prefix}scc_collapses": self.scc_collapses,
             f"{prefix}saved_propagations": self.saved_propagations,
+            f"{prefix}seeded_objects": self.seeded_objects,
         }
 
 
@@ -85,6 +87,12 @@ class AndersenResult:
 
     def may_alias(self, a: Value, b: Value) -> bool:
         return bool(self.points_to(a) & self.points_to(b))
+
+    def as_sets(self) -> dict[object, frozenset[AbstractObject]]:
+        """Every node's points-to set, as independent frozensets (SCC
+        members stop sharing storage).  This is the seeding surface:
+        a cached sub-scope result replayed into a superset solve."""
+        return {node: frozenset(objs) for node, objs in self._pts.items()}
 
     def objects_named(self, name: str) -> list[AbstractObject]:
         # One pass over the points-to sets builds the whole name index;
@@ -207,8 +215,9 @@ class _OptimizedSolver:
     reconstruct what each side has already pushed.
     """
 
-    def __init__(self, system: ConstraintSystem):
+    def __init__(self, system: ConstraintSystem, seed: AndersenResult | None = None):
         self.system = system
+        self.seed = seed
         self.stats = SolverStats()
         self.parent: dict[object, object] = {}  # child -> parent (roots absent)
         self.pts: dict[object, set[AbstractObject]] = {}
@@ -403,6 +412,19 @@ class _OptimizedSolver:
 
     def run(self) -> AndersenResult:
         system = self.system
+        if self.seed is not None:
+            # Incremental seeding: replay a cached sub-scope fixpoint
+            # before loading this system's constraints.  Sound because a
+            # sub-scope's constraints are a subset of this system's, so
+            # its least fixpoint is contained in ours — starting the
+            # monotone closure there converges to the identical lfp,
+            # skipping the propagation work that derives those facts.
+            for node, objs in self.seed.as_sets().items():
+                if not objs:
+                    continue
+                self._touch(node)
+                if self.add_pts(self.find(node), set(objs)):
+                    self.stats.seeded_objects += len(objs)
         for node, objs in system.addr_of.items():
             self._touch(node)
             self.add_pts(self.find(node), set(objs))
@@ -478,10 +500,18 @@ class _OptimizedSolver:
         return AndersenResult(out, self.stats)
 
 
-def solve(system: ConstraintSystem) -> AndersenResult:
-    """Solve with the optimized (SCC-collapsing, delta) solver."""
+def solve(
+    system: ConstraintSystem, seed: AndersenResult | None = None
+) -> AndersenResult:
+    """Solve with the optimized (SCC-collapsing, delta) solver.
+
+    ``seed`` is an optional cached result of a *sub-scope* of this
+    system (same fingerprint, strictly fewer executed instructions);
+    its points-to sets are pre-loaded so the worklist only derives the
+    facts the wider scope adds.  The fixpoint is identical either way.
+    """
     from repro.core.checkpoints import checkpoint
 
-    result = _OptimizedSolver(system).run()
+    result = _OptimizedSolver(system, seed=seed).run()
     checkpoint("andersen.solve", system=system, result=result)
     return result

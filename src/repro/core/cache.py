@@ -190,6 +190,44 @@ class AnalysisCache(_LruCache):
         scope = None if executed_uids is None else frozenset(executed_uids)
         return (module_fingerprint(module), scope, algorithm)
 
+    def seed_candidate(
+        self,
+        module: Module,
+        executed_uids: set[int] | None,
+        algorithm: str = "andersen",
+    ) -> CachedAnalysis | None:
+        """The best cached *sub-scope* analysis to seed a new solve.
+
+        A cached entry qualifies when it is the same module fingerprint
+        and algorithm but a strictly smaller executed scope: its
+        constraints are a subset of the target's, so its fixpoint is
+        contained in the target's and can be replayed as a starting
+        point (see :func:`repro.core.andersen.solve`).  The largest
+        qualifying scope wins — it prepays the most propagation.
+
+        This is a read-only scan: no hit/miss accounting, no LRU
+        reordering — a seed probe must not perturb cache stats the
+        fleet asserts on.
+        """
+        if executed_uids is None:
+            return None
+        target = frozenset(executed_uids)
+        fingerprint = module_fingerprint(module)
+        best_key: tuple | None = None
+        best_size = -1
+        with self._lock:
+            for key in self._entries:
+                fp, scope, algo = key
+                if fp != fingerprint or algo != algorithm:
+                    continue
+                if scope is None or not (scope < target):
+                    continue
+                if len(scope) > best_size:
+                    best_key, best_size = key, len(scope)
+            if best_key is None:
+                return None
+            return self._entries[best_key]  # type: ignore[return-value]
+
 
 class DecodedTraceCache(_LruCache):
     """Memoized decoded thread traces, content-keyed.
@@ -240,8 +278,57 @@ class DecodedTraceCache(_LruCache):
 
 
 @dataclass
+class CollectedEvidence:
+    """One satisfied step-8 collection: the samples plus how it ran."""
+
+    samples: tuple  # tuple[TraceSample, ...], treated as immutable
+    attempts: int
+
+
+class CollectedEvidenceCache(_LruCache):
+    """Memoized step-8 evidence for recurring failures, content-keyed.
+
+    Collection is deterministic in (module, failing seed, policy): the
+    same failure recurring across the fleet re-derives byte-identical
+    evidence, execution by execution.  Caching the collected samples
+    turns the production steady state — the same bug failing again —
+    into zero remote executions: the diagnosis replays the stored
+    evidence through the (also cached) analysis pipeline.
+
+    Key: (module fingerprint, program/workload id, failing seed,
+    failing uid, collection start seed, full stopping policy).  Only
+    *satisfied* collections belong here — a degraded run (deadline hit,
+    endpoints scarce) must collect for real next time.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        super().__init__(max_entries)
+
+    @staticmethod
+    def key_for(
+        module: Module,
+        workload_id: str,
+        failing_seed: int,
+        failing_uid: int,
+        start_seed: int,
+        policy: tuple,
+    ) -> tuple:
+        return (
+            module_fingerprint(module),
+            workload_id,
+            failing_seed,
+            failing_uid,
+            start_seed,
+            policy,
+        )
+
+
+@dataclass
 class DiagnosisCaches:
-    """The cache pair a server shares across all its diagnoses."""
+    """The caches a server shares across all its diagnoses."""
 
     analysis: AnalysisCache = field(default_factory=AnalysisCache)
     traces: DecodedTraceCache = field(default_factory=DecodedTraceCache)
+    evidence: CollectedEvidenceCache = field(
+        default_factory=CollectedEvidenceCache
+    )

@@ -113,12 +113,26 @@ class PointsToAnalysis:
                 self._finish_stats(start)
                 return self
             self.stats.extra["cache"] = "miss"
+        seed = None
+        if self.cache is not None and self.algorithm == "andersen":
+            # incremental seeding: a cached solve of a *sub-scope* of
+            # this trace's executed set replays as the starting point,
+            # so the worklist only derives the facts the wider scope
+            # adds.  Store-backed caches may not expose the scan.
+            seed_candidate = getattr(self.cache, "seed_candidate", None)
+            if seed_candidate is not None:
+                cached_sub = seed_candidate(
+                    self.module, self.executed_uids, self.algorithm
+                )
+                if cached_sub is not None:
+                    seed = cached_sub.result
+                    self.stats.extra["seeded"] = True
         with obs.tracer.span("generate_constraints", scope=self.stats.scope) as span:
             self.system = generate_constraints(self.module, self.executed_uids)
             span.set(instructions=self.system.instructions_analyzed)
         with obs.tracer.span("solve", algorithm=self.algorithm) as span:
             if self.algorithm == "andersen":
-                self.result = andersen_solve(self.system)
+                self.result = andersen_solve(self.system, seed=seed)
             elif self.algorithm == "andersen-naive":
                 self.result = andersen_solve_naive(self.system)
             else:

@@ -15,6 +15,7 @@ the failing ones — the paper's empirically determined bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.checkpoints import checkpoint
 from repro.core.patterns import PatternInstance, PatternSignature
@@ -147,6 +148,65 @@ def score_patterns(observations: list[ExecutionObservation]) -> list[ScoredPatte
         "statistics.score_patterns", observations=observations, scored=scored
     )
     return scored
+
+
+@dataclass
+class StabilityStopRule:
+    """Adaptive stopping for step-8 collection: stop once the evidence is
+    statistically sufficient instead of at a fixed trace count.
+
+    The paper collects a fixed ~10x successful traces per failure; its own
+    F1 framing suggests a lazier rule: if the top-ranked pattern signature
+    has not changed across ``window`` consecutive successful samples, more
+    samples are overwhelmingly likely to re-rank nothing — stop.  The
+    fixed ``success_traces_wanted`` count stays as the cap (and as the
+    fallback mode when the rule is disabled), so adaptive collection can
+    only ever gather *fewer* traces than the fixed policy, never more.
+
+    ``evaluate`` maps the successful samples gathered so far to the
+    current top signature (or ``None`` when no diagnosis emerges yet);
+    it must be a pure function of the sample prefix, which makes the stop
+    decision — and therefore the collected evidence — identical across
+    serial, thread-parallel, and batched transports.
+    """
+
+    evaluate: Callable[[list], object]
+    window: int = 3
+    min_samples: int = 4
+    satisfied: bool = False
+    evaluations: int = 0
+    _top: object = None
+    _streak: int = 0
+
+    def observe(self, samples: list) -> None:
+        """Feed the successful-sample prefix after each consumed sample."""
+        if self.satisfied:
+            return
+        # evaluations earlier than this can never complete a streak that
+        # also satisfies the min-samples floor, so skip their cost
+        first_useful = max(1, self.min_samples - self.window + 1)
+        if len(samples) < first_useful:
+            return
+        top = self.evaluate(list(samples))
+        self.evaluations += 1
+        if top is not None and top == self._top:
+            self._streak += 1
+        else:
+            self._streak = 1 if top is not None else 0
+        self._top = top
+        if (
+            top is not None
+            and self._streak >= self.window
+            and len(samples) >= self.min_samples
+        ):
+            self.satisfied = True
+
+    def lookahead(self) -> int:
+        """How many more stable samples could satisfy the rule — the
+        useful speculation depth for a batched transport."""
+        if self.satisfied:
+            return 0
+        return max(1, self.window - self._streak)
 
 
 def cap_successful(observations: list[ExecutionObservation]) -> list[ExecutionObservation]:

@@ -56,6 +56,8 @@ from repro.fleet.wire import (
     Hello,
     MsgType,
     Reject,
+    TraceBatchRequest,
+    TraceBatchResponse,
     WireFault,
     decode_frame,
     encode_frame,
@@ -93,6 +95,8 @@ __all__ = [
     "Hello",
     "MsgType",
     "Reject",
+    "TraceBatchRequest",
+    "TraceBatchResponse",
     "WireFault",
     "decode_frame",
     "encode_frame",

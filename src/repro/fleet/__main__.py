@@ -19,10 +19,15 @@ from repro.fleet.metrics import FleetMetrics
 from repro.fleet.simulation import DEFAULT_BUGS, FleetConfig, run_fleet
 
 
-def _verify_digests(result, metrics, traces_wanted: int) -> list[str]:
+def _verify_digests(result, metrics, config) -> list[str]:
     """Re-diagnose each fleet-diagnosed bug in process and compare
     digests.  Degraded digests are skipped (thinner evidence is not
-    comparable); any other divergence is a correctness failure."""
+    comparable); any other divergence is a correctness failure.
+
+    The in-process server mirrors the fleet's stopping configuration —
+    the evidence-equivalence contract says transport must not change
+    the evidence, but the stopping *rule* legitimately does.
+    """
     from repro.corpus import bug as corpus_bug
     from repro.fleet.server import report_digest
     from repro.runtime import SnorlaxClient, SnorlaxServer
@@ -36,7 +41,11 @@ def _verify_digests(result, metrics, traces_wanted: int) -> list[str]:
         client = SnorlaxClient(spec.module(), spec.workload, entry=spec.entry)
         failing = client.find_runs(True, 1)[0]
         server = SnorlaxServer(
-            spec.module(), success_traces_wanted=traces_wanted
+            spec.module(),
+            success_traces_wanted=config.success_traces_wanted,
+            stopping=config.stopping,
+            stability_window=config.stability_window,
+            adaptive_min_traces=config.adaptive_min_traces,
         )
         expected = report_digest(server.diagnose(failing, client).report)
         if digest != expected:
@@ -86,6 +95,34 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         metavar="N",
         help="speculate N trace-collection requests concurrently per diagnosis",
+    )
+    parser.add_argument(
+        "--no-batch-collect",
+        action="store_true",
+        help="send trace-collection waves one request per frame instead "
+        "of batched frames (the pre-pipelining wire behavior)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max batched trace requests per agent per round",
+    )
+    parser.add_argument(
+        "--adaptive-traces",
+        action="store_true",
+        help="stop collecting once the top-ranked pattern is stable "
+        "across --stability-window consecutive samples (instead of a "
+        "fixed trace count)",
+    )
+    parser.add_argument(
+        "--stability-window",
+        type=int,
+        default=3,
+        metavar="K",
+        help="consecutive stable top-pattern evaluations required by "
+        "--adaptive-traces",
     )
     parser.add_argument(
         "--shards",
@@ -211,6 +248,10 @@ def main(argv: list[str] | None = None) -> int:
         success_traces_wanted=args.traces,
         cache_enabled=not args.no_cache,
         collection_parallelism=args.collect_parallel,
+        collection_batching=not args.no_batch_collect,
+        collection_batch_window=args.batch_window,
+        stopping="stable-top" if args.adaptive_traces else "fixed",
+        stability_window=args.stability_window,
         shards=args.shards,
         store_path=args.store,
         chaos=plan if plan.active else None,
@@ -227,7 +268,7 @@ def main(argv: list[str] | None = None) -> int:
 
     mismatches: list[str] = []
     if args.verify_digests:
-        mismatches = _verify_digests(result, metrics, args.traces)
+        mismatches = _verify_digests(result, metrics, config)
 
     print(result.render())
     print()

@@ -42,6 +42,8 @@ from repro.fleet.wire import (
     Goodbye,
     Hello,
     Reject,
+    TraceBatchRequest,
+    TraceBatchResponse,
     WireFault,
     recv_frame_sock,
     send_frame_sock,
@@ -115,6 +117,9 @@ class FleetAgent:
         sock = socket.create_connection(
             (self.host, self.port), timeout=self.connect_timeout
         )
+        # small request/response frames ping-pong on this socket; Nagle
+        # + delayed ACK would add ~40ms to every collection round-trip
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(_POLL_S)
         if self.fault_engine is not None:
             sock = self.fault_engine.wrap(sock)
@@ -195,13 +200,15 @@ class FleetAgent:
                 msg, request_id = frame
                 if isinstance(msg, TraceRequest):
                     self._serve_trace_request(msg, request_id)
+                elif isinstance(msg, TraceBatchRequest):
+                    self._serve_trace_batch(msg, request_id)
                 # anything else while idle (late results for a signature
                 # we also reported) is informational; drop it
             except _RECOVERABLE:
                 if not self._reconnect(stop):
                     return
 
-    def _serve_trace_request(self, request: TraceRequest, request_id: int) -> None:
+    def _run_trace_request(self, request: TraceRequest) -> TraceResponse:
         run = self.client.run_once(
             request.seed,
             breakpoint_uids=request.breakpoint_uids,
@@ -210,11 +217,23 @@ class FleetAgent:
         sample = None
         if run.snapshot is not None:
             sample = sample_from_run(request.label, run)
-        self._send(
-            TraceResponse(label=request.label, outcome=run.result.outcome, sample=sample),
-            request_id,
-        )
         self.trace_requests_served += 1
+        return TraceResponse(
+            label=request.label, outcome=run.result.outcome, sample=sample
+        )
+
+    def _serve_trace_request(self, request: TraceRequest, request_id: int) -> None:
+        self._send(self._run_trace_request(request), request_id)
+
+    def _serve_trace_batch(self, batch: TraceBatchRequest, request_id: int) -> None:
+        """Run a whole speculative wave chunk and answer with one frame.
+
+        Executions are sequential on this endpoint (one CPU's worth of
+        production machine); the fan-out parallelism lives on the server
+        side, which shards the wave across many agents.
+        """
+        responses = tuple(self._run_trace_request(r) for r in batch.requests)
+        self._send(TraceBatchResponse(responses=responses), request_id)
 
     def _recv_poll(self):
         if self._sock is None:
@@ -270,6 +289,8 @@ class FleetAgent:
                 if isinstance(msg, TraceRequest):
                     # the reporting endpoint still serves step-8 collection
                     self._serve_trace_request(msg, request_id)
+                elif isinstance(msg, TraceBatchRequest):
+                    self._serve_trace_batch(msg, request_id)
                 elif isinstance(msg, DiagnosisResult):
                     return msg
                 elif isinstance(msg, Reject):

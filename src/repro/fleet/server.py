@@ -33,7 +33,11 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.cache import DiagnosisCaches
+from repro.core.cache import (
+    CollectedEvidence,
+    CollectedEvidenceCache,
+    DiagnosisCaches,
+)
 from repro.core.pipeline import PipelineConfig
 from repro.core.report import DiagnosisReport
 from repro.errors import FleetError, WireError
@@ -45,6 +49,8 @@ from repro.fleet.wire import (
     Goodbye,
     Hello,
     Reject,
+    TraceBatchRequest,
+    TraceBatchResponse,
     WireFault,
     encode_frame,
     read_frame_async,
@@ -171,6 +177,11 @@ class FleetServer:
         caches: DiagnosisCaches | None = None,
         enable_caches: bool = True,
         collection_parallelism: int = 1,
+        collection_batching: bool = True,
+        collection_batch_window: int = 8,
+        stopping: str = "fixed",
+        stability_window: int = 3,
+        adaptive_min_traces: int = 4,
         trace_reply_timeout: float = 30.0,
         reroute_backoff_base_s: float = 0.02,
         reroute_backoff_cap_s: float = 0.5,
@@ -201,6 +212,17 @@ class FleetServer:
         # sever the connection, not wedge its reader forever
         self.frame_timeout = frame_timeout
         self.collection_parallelism = collection_parallelism
+        # batched collection ships whole speculative waves, one frame per
+        # agent chunk, instead of one round-trip per execution; the
+        # evidence consumed is byte-identical to the serial loop's
+        self.collection_batching = collection_batching
+        # cap on requests per agent per wave (keeps one slow endpoint
+        # from hoarding a whole wave, and bounds the reply budget)
+        self.collection_batch_window = max(1, collection_batch_window)
+        # adaptive stopping config, forwarded to the per-job SnorlaxServer
+        self.stopping = stopping
+        self.stability_window = stability_window
+        self.adaptive_min_traces = adaptive_min_traces
         # the server-lifetime caches every diagnosis shares; passing a
         # caches object in lets a fleet keep them warm across restarts.
         # With a persistent store (and no explicit caches) they become
@@ -419,6 +441,15 @@ class FleetServer:
                         # deterministic in the seed, so no evidence
                         # differs)
                         self.metrics.inc("orphan_trace_responses")
+                elif isinstance(msg, TraceBatchResponse):
+                    future = conn.pending.pop(request_id, None)
+                    if future is not None and not future.done():
+                        self.metrics.inc(
+                            "trace_responses_received", len(msg.responses)
+                        )
+                        future.set_result(msg)
+                    else:
+                        self.metrics.inc("orphan_trace_responses")
                 elif isinstance(msg, Goodbye):
                     break
                 else:
@@ -581,6 +612,9 @@ class FleetServer:
             config=self.config,
             success_traces_wanted=self.success_traces_wanted,
             collection_parallelism=self.collection_parallelism,
+            stopping=self.stopping,
+            stability_window=self.stability_window,
+            adaptive_min_traces=self.adaptive_min_traces,
             analysis_cache=self.caches.analysis if self.caches else None,
             trace_cache=self.caches.traces if self.caches else None,
             collection_deadline_s=self.collection_deadline_s,
@@ -598,19 +632,77 @@ class FleetServer:
                     label=req.label, outcome="unreachable", sample=None
                 )
 
+        batch_transport = None
+        if self.collection_batching:
+
+            def batch_transport(requests):
+                return self._remote_batch(env.bug_id, requests)
+
+        # evidence memoization: collection is deterministic in (module,
+        # failing seed, policy), so a failure recurring across the fleet
+        # replays the stored samples instead of re-executing remotely
+        evidence_key = None
+        cached_evidence = None
+        if self.caches is not None:
+            evidence_key = CollectedEvidenceCache.key_for(
+                module,
+                env.bug_id,
+                env.seed,
+                env.notification.failing_uid,
+                self.start_seed,
+                (
+                    self.success_traces_wanted,
+                    self.stopping,
+                    self.stability_window,
+                    self.adaptive_min_traces,
+                    self.min_success_traces,
+                    self.collection_deadline_s,
+                ),
+            )
+            cached_evidence = self.caches.evidence.get(evidence_key)
+
         with obs.tracer.span(
             "fleet_diagnose",
             bug_id=env.bug_id,
             signature=failure_signature(env),
         ) as root:
             with self.metrics.timer("collection_latency"):
-                successes = snorlax.collect_traces_via(
-                    transport,
-                    env.notification.failing_uid,
-                    self.start_seed,
-                )
+                if cached_evidence is not None:
+                    self.metrics.inc("evidence_cache_hits")
+                    successes = list(cached_evidence.samples)
+                    degraded = False
+                    root.set(evidence_cache="hit")
+                else:
+                    if evidence_key is not None:
+                        self.metrics.inc("evidence_cache_misses")
+                    successes = snorlax.collect_traces_via(
+                        transport,
+                        env.notification.failing_uid,
+                        self.start_seed,
+                        send_batch=batch_transport,
+                        failing_sample=env.sample,
+                    )
+                    # adaptive stopping satisfied early is sufficiency,
+                    # not degradation; degraded means collection gave up
+                    state = snorlax.last_collection
+                    degraded = (
+                        not state.satisfied
+                        if state is not None
+                        else len(successes) < self.success_traces_wanted
+                    )
+                    if evidence_key is not None and not degraded:
+                        self.caches.evidence.put(
+                            evidence_key,
+                            CollectedEvidence(
+                                samples=tuple(successes),
+                                attempts=(
+                                    state.attempts
+                                    if state is not None
+                                    else len(successes)
+                                ),
+                            ),
+                        )
             self.metrics.inc("traces_collected", len(successes))
-            degraded = len(successes) < self.success_traces_wanted
             if degraded:
                 self.metrics.inc("degraded_collections")
             with self.metrics.timer("analysis_latency"):
@@ -701,6 +793,151 @@ class FleetServer:
             f"no endpoint for {bug_id!r} answered a trace request within "
             f"{self.request_timeout:.0f}s"
         )
+
+    def _remote_batch(
+        self, bug_id: str, requests: list[TraceRequest]
+    ) -> list[TraceResponse]:
+        """Bridge a worker thread's speculative wave onto the event loop.
+
+        Always returns positional responses: an item no endpoint answered
+        within the budget comes back as ``outcome="unreachable"`` with no
+        sample, which the collection policy consumes as a miss — exactly
+        the per-request transport's failure semantics, so batched and
+        serial collection degrade identically."""
+        if self._loop is None:
+            raise FleetError("fleet server is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self._remote_batch_async(bug_id, list(requests)), self._loop
+        )
+        try:
+            return future.result(timeout=self.request_timeout + 5.0)
+        except FuturesTimeoutError:
+            future.cancel()
+            self.metrics.inc("trace_requests_abandoned", len(requests))
+            return [
+                TraceResponse(label=r.label, outcome="unreachable", sample=None)
+                for r in requests
+            ]
+
+    async def _remote_batch_async(
+        self, bug_id: str, requests: list[TraceRequest]
+    ) -> list[TraceResponse]:
+        """Fan one speculative wave across every live endpoint at once.
+
+        The wave is striped over the live agents (at most
+        ``collection_batch_window`` requests per agent per round), each
+        chunk ships as a single :class:`TraceBatchRequest` frame, and the
+        chunk sends/replies run concurrently under ``asyncio.gather`` —
+        one round-trip depth per wave instead of one per execution.  A
+        chunk that times out, lands on a dying connection, or comes back
+        malformed re-enters the pending pool and is re-striped over
+        whoever is still alive (the runs are deterministic in the seed,
+        so a re-run answers identically)."""
+        responses: list[TraceResponse | None] = [None] * len(requests)
+        pending = list(range(len(requests)))
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.request_timeout
+        failures = 0
+        suspect: set[int] = set()  # id() of conns whose chunk went dark
+        while pending:
+            agents = [c for c in self._agents.get(bug_id, []) if c.alive]
+            if not agents:
+                failures += 1
+                if not await self._reroute_pause(deadline, failures):
+                    break
+                continue
+            # rotate like _pick_agent so reruns don't pin to the list
+            # head, and push endpoints whose last chunk went unanswered
+            # to the back — a hung-but-connected agent must not swallow
+            # a narrow rerun round over and over
+            start = next(self._rr[bug_id]) % len(agents)
+            agents = agents[start:] + agents[:start]
+            agents.sort(key=lambda c: id(c) in suspect)
+            take = min(len(pending), self.collection_batch_window * len(agents))
+            assign = pending[:take]
+            # fill frames before fanning wider: a small wave rides one
+            # endpoint as a single full frame instead of 1-request
+            # frames sprayed across the whole fleet (same responses
+            # either way — the stripe only changes who runs what)
+            fanout = min(
+                len(agents),
+                -(-take // self.collection_batch_window),
+            )
+            chunks = [
+                (agents[j], assign[j::fanout])
+                for j in range(fanout)
+                if assign[j::fanout]
+            ]
+            results = await asyncio.gather(
+                *(
+                    self._batch_to_agent(conn, [requests[i] for i in idxs], deadline)
+                    for conn, idxs in chunks
+                )
+            )
+            progressed = False
+            rerun: list[int] = []
+            for (conn, idxs), result in zip(chunks, results):
+                if result is None:
+                    suspect.add(id(conn))
+                    rerun.extend(idxs)
+                    continue
+                progressed = True
+                suspect.discard(id(conn))
+                for i, resp in zip(idxs, result):
+                    responses[i] = resp
+            pending = rerun + pending[take:]
+            if pending:
+                if progressed:
+                    failures = 0
+                else:
+                    failures += 1
+                    if not await self._reroute_pause(deadline, failures):
+                        break
+        for i, resp in enumerate(responses):
+            if resp is None:
+                self.metrics.inc("trace_requests_failed")
+                responses[i] = TraceResponse(
+                    label=requests[i].label, outcome="unreachable", sample=None
+                )
+        return responses  # type: ignore[return-value]
+
+    async def _batch_to_agent(
+        self, conn: AgentConn, chunk: list[TraceRequest], deadline: float
+    ):
+        """One chunk, one frame, one reply; None means 'reroute me'."""
+        loop = asyncio.get_running_loop()
+        request_id = next(self._req_ids)
+        response_future: asyncio.Future = loop.create_future()
+        conn.pending[request_id] = response_future
+        try:
+            conn.writer.write(
+                encode_frame(TraceBatchRequest(requests=tuple(chunk)), request_id)
+            )
+            await conn.writer.drain()
+            self.metrics.inc("trace_batches_sent")
+            self.metrics.inc("trace_requests_sent", len(chunk))
+            # the endpoint runs its chunk sequentially: budget scales
+            # with chunk size, clamped to the wave's wall-clock budget
+            reply_budget = min(
+                self.trace_reply_timeout * len(chunk),
+                max(0.0, deadline - loop.time()),
+            )
+            reply = await asyncio.wait_for(response_future, reply_budget)
+            if (
+                not isinstance(reply, TraceBatchResponse)
+                or len(reply.responses) != len(chunk)
+            ):
+                self.metrics.inc("trace_request_reroutes", len(chunk))
+                return None
+            return list(reply.responses)
+        except asyncio.TimeoutError:
+            self.metrics.inc("trace_request_timeouts", len(chunk))
+            return None
+        except (FleetError, ConnectionError, OSError):
+            self.metrics.inc("trace_request_reroutes", len(chunk))
+            return None
+        finally:
+            conn.pending.pop(request_id, None)
 
     async def _reroute_pause(self, deadline: float, failures: int) -> bool:
         """Capped exponential backoff between reroute attempts; False

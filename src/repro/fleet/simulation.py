@@ -40,6 +40,15 @@ class FleetConfig:
     success_traces_wanted: int = 10
     cache_enabled: bool = True
     collection_parallelism: int = 1
+    # -- pipelined collection ----------------------------------------------
+    # batch speculative waves into one frame per agent chunk (step 8)
+    collection_batching: bool = True
+    collection_batch_window: int = 8  # max requests per agent per round
+    # "fixed": stop at success_traces_wanted; "stable-top": stop when the
+    # top-ranked pattern is stable across stability_window samples
+    stopping: str = "fixed"
+    stability_window: int = 3
+    adaptive_min_traces: int = 4
     host: str = "127.0.0.1"
     port: int = 0  # 0: pick a free port
     timeout: float = 600.0
@@ -196,6 +205,21 @@ class FleetRunResult:
             f"{self.analysis_cache_hits} analysis, {self.trace_cache_hits} trace)",
             f"agent errors:      {len(failed)}",
         ]
+        timers = self.metrics.get("timers", {})
+        collect = timers.get("stage_collect")
+        decode = timers.get("stage_decode")
+        if collect or decode:
+
+            def _stage(t):
+                if not t:
+                    return "n/a"
+                p95 = t.get("p95_s", t.get("max_s", 0.0))
+                return f"p50 {t['median_s'] * 1000:.0f} ms / p95 {p95 * 1000:.0f} ms"
+
+            lines.append(
+                f"collection stages: collect {_stage(collect)}; "
+                f"decode {_stage(decode)}"
+            )
         if self.config.shards > 1:
             lines.append(
                 f"shards:            {self.config.shards} "
@@ -274,6 +298,11 @@ def run_fleet(
         caches=caches,
         enable_caches=cfg.cache_enabled,
         collection_parallelism=cfg.collection_parallelism,
+        collection_batching=cfg.collection_batching,
+        collection_batch_window=cfg.collection_batch_window,
+        stopping=cfg.stopping,
+        stability_window=cfg.stability_window,
+        adaptive_min_traces=cfg.adaptive_min_traces,
         request_timeout=cfg.request_timeout,
         trace_reply_timeout=cfg.trace_reply_timeout,
         collection_deadline_s=cfg.collection_deadline_s,
@@ -458,6 +487,11 @@ def _run_sharded(
         caches=caches,
         enable_caches=cfg.cache_enabled,
         collection_parallelism=cfg.collection_parallelism,
+        collection_batching=cfg.collection_batching,
+        collection_batch_window=cfg.collection_batch_window,
+        stopping=cfg.stopping,
+        stability_window=cfg.stability_window,
+        adaptive_min_traces=cfg.adaptive_min_traces,
         request_timeout=cfg.request_timeout,
         trace_reply_timeout=cfg.trace_reply_timeout,
         collection_deadline_s=cfg.collection_deadline_s,

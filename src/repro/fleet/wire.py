@@ -57,6 +57,8 @@ class MsgType(IntEnum):
     REJECT = 6
     GOODBYE = 7
     ERROR = 8
+    TRACE_BATCH_REQUEST = 9
+    TRACE_BATCH_RESPONSE = 10
 
 
 # -- fleet envelope messages (wrap the runtime protocol types) -------------
@@ -92,6 +94,27 @@ class DiagnosisResult:
 
     signature: str
     digest: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TraceBatchRequest:
+    """Server -> agent: many speculative trace requests in one frame.
+
+    One round-trip per *wave* instead of one per execution: the server
+    shards a wave of seeds across every live agent, each agent runs its
+    chunk sequentially and answers with a single
+    :class:`TraceBatchResponse` echoing the frame's ``request_id``.
+    Responses are positional — ``responses[i]`` answers ``requests[i]``.
+    """
+
+    requests: tuple[TraceRequest, ...]
+
+
+@dataclass
+class TraceBatchResponse:
+    """Agent -> server: the positional answers to a batch request."""
+
+    responses: tuple[TraceResponse, ...]
 
 
 @dataclass(frozen=True)
@@ -328,6 +351,41 @@ def sample_from_dict(d: dict) -> TraceSample:
     )
 
 
+def _trace_request_to_dict(msg: TraceRequest) -> dict:
+    return {
+        "label": msg.label,
+        "seed": msg.seed,
+        "breakpoint_uids": tuple(msg.breakpoint_uids),
+        "breakpoint_skip": msg.breakpoint_skip,
+    }
+
+
+def _trace_request_from_dict(d: dict) -> TraceRequest:
+    return TraceRequest(
+        label=d["label"],
+        seed=d["seed"],
+        breakpoint_uids=tuple(d["breakpoint_uids"]),
+        breakpoint_skip=d["breakpoint_skip"],
+    )
+
+
+def _trace_response_to_dict(msg: TraceResponse) -> dict:
+    return {
+        "label": msg.label,
+        "outcome": msg.outcome,
+        "sample": None if msg.sample is None else sample_to_dict(msg.sample),
+    }
+
+
+def _trace_response_from_dict(d: dict) -> TraceResponse:
+    sample = d["sample"]
+    return TraceResponse(
+        label=d["label"],
+        outcome=d["outcome"],
+        sample=None if sample is None else sample_from_dict(sample),
+    )
+
+
 def _encode_payload(msg: Any) -> tuple[MsgType, dict]:
     if isinstance(msg, Hello):
         return MsgType.HELLO, {"agent_id": msg.agent_id, "bug_id": msg.bug_id}
@@ -345,17 +403,16 @@ def _encode_payload(msg: Any) -> tuple[MsgType, dict]:
             "sample": sample_to_dict(msg.sample),
         }
     if isinstance(msg, TraceRequest):
-        return MsgType.TRACE_REQUEST, {
-            "label": msg.label,
-            "seed": msg.seed,
-            "breakpoint_uids": tuple(msg.breakpoint_uids),
-            "breakpoint_skip": msg.breakpoint_skip,
-        }
+        return MsgType.TRACE_REQUEST, _trace_request_to_dict(msg)
     if isinstance(msg, TraceResponse):
-        return MsgType.TRACE_RESPONSE, {
-            "label": msg.label,
-            "outcome": msg.outcome,
-            "sample": None if msg.sample is None else sample_to_dict(msg.sample),
+        return MsgType.TRACE_RESPONSE, _trace_response_to_dict(msg)
+    if isinstance(msg, TraceBatchRequest):
+        return MsgType.TRACE_BATCH_REQUEST, {
+            "requests": [_trace_request_to_dict(r) for r in msg.requests],
+        }
+    if isinstance(msg, TraceBatchResponse):
+        return MsgType.TRACE_BATCH_RESPONSE, {
+            "responses": [_trace_response_to_dict(r) for r in msg.responses],
         }
     if isinstance(msg, DiagnosisResult):
         return MsgType.RESULT, {"signature": msg.signature, "digest": msg.digest}
@@ -385,18 +442,16 @@ def _decode_payload(msg_type: int, d: dict) -> Any:
             sample=sample_from_dict(d["sample"]),
         )
     if msg_type == MsgType.TRACE_REQUEST:
-        return TraceRequest(
-            label=d["label"],
-            seed=d["seed"],
-            breakpoint_uids=tuple(d["breakpoint_uids"]),
-            breakpoint_skip=d["breakpoint_skip"],
-        )
+        return _trace_request_from_dict(d)
     if msg_type == MsgType.TRACE_RESPONSE:
-        sample = d["sample"]
-        return TraceResponse(
-            label=d["label"],
-            outcome=d["outcome"],
-            sample=None if sample is None else sample_from_dict(sample),
+        return _trace_response_from_dict(d)
+    if msg_type == MsgType.TRACE_BATCH_REQUEST:
+        return TraceBatchRequest(
+            requests=tuple(_trace_request_from_dict(r) for r in d["requests"]),
+        )
+    if msg_type == MsgType.TRACE_BATCH_RESPONSE:
+        return TraceBatchResponse(
+            responses=tuple(_trace_response_from_dict(r) for r in d["responses"]),
         )
     if msg_type == MsgType.RESULT:
         return DiagnosisResult(signature=d["signature"], digest=d["digest"])

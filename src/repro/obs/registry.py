@@ -33,6 +33,18 @@ from contextlib import contextmanager
 from time import perf_counter
 
 
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated q-th percentile of pre-sorted observations."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
 class MetricsRegistry:
     """Thread-safe counters, gauges, and histograms with percentiles."""
 
@@ -121,15 +133,7 @@ class MetricsRegistry:
         """The q-th percentile (0 < q < 100) of a histogram's
         observations — tail latency is what degrades first when the
         network misbehaves."""
-        values = sorted(self.timings(name))
-        if not values:
-            return 0.0
-        if len(values) == 1:
-            return values[0]
-        rank = (q / 100.0) * (len(values) - 1)
-        low = int(rank)
-        high = min(low + 1, len(values) - 1)
-        return values[low] + (values[high] - values[low]) * (rank - low)
+        return _quantile(sorted(self.timings(name)), q)
 
     def counters_with_prefix(self, prefix: str) -> dict[str, int]:
         """All counters whose name starts with ``prefix`` (e.g. the
@@ -149,12 +153,14 @@ class MetricsRegistry:
             timers = {k: list(v) for k, v in self._timers.items()}
         summary = {}
         for name, values in sorted(timers.items()):
+            ordered = sorted(values)
             summary[name] = {
                 "count": len(values),
                 "total_s": sum(values),
                 "mean_s": statistics.fmean(values) if values else 0.0,
                 "median_s": statistics.median(values) if values else 0.0,
-                "max_s": max(values) if values else 0.0,
+                "p95_s": _quantile(ordered, 95.0),
+                "max_s": ordered[-1] if ordered else 0.0,
             }
         return {
             "counters": dict(sorted(counters.items())),

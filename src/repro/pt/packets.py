@@ -43,6 +43,18 @@ PSB_BYTES = bytes([0x82, 0x02] * 8)
 
 TNT_MAX_BITS = 6
 
+# Precomputed TNT bit tuples: _TNT_BITS[count][payload] is the decoded
+# (oldest-first) flag tuple for a payload byte carrying ``count`` bits.
+# 6 x 256 shared tuples replace a per-packet Python bit loop — TNT is
+# the dominant packet kind, so decode spends most of its time here.
+_TNT_BITS: tuple[tuple[tuple[bool, ...], ...], ...] = tuple(
+    tuple(
+        tuple(bool(payload >> b & 1) for b in range(count))
+        for payload in range(256)
+    )
+    for count in range(TNT_MAX_BITS + 1)
+)
+
 
 @dataclass(frozen=True)
 class Packet:
@@ -148,9 +160,7 @@ def parse_packets(data: bytes, start: int = 0):
             count = tag - TAG_TNT_BASE
             if i + 1 >= n:
                 return
-            payload = data[i + 1]
-            bits = tuple(bool(payload >> b & 1) for b in range(count))
-            yield TntPacket("tnt", i, bits)
+            yield TntPacket("tnt", i, _TNT_BITS[count][data[i + 1]])
             i += 2
             continue
         if tag == TAG_MTC:

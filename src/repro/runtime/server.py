@@ -27,6 +27,10 @@ from repro.runtime.protocol import TraceRequest, TraceResponse
 TraceTransport = Callable[[TraceRequest], TraceResponse]
 """How the server reaches a client: in-process call or network hop."""
 
+BatchTraceTransport = Callable[[list[TraceRequest]], list[TraceResponse]]
+"""A transport that delivers a whole speculative wave at once and
+returns positional responses — one fleet round-trip per wave."""
+
 
 def sample_from_run(label: str, run: ClientRun) -> TraceSample:
     """Package one execution's trace snapshot as server-side evidence."""
@@ -50,6 +54,184 @@ class ServerStats:
     breakpoint_fallbacks: int = 0
 
 
+class _CollectionState:
+    """The serial collection policy, factored out of the transport loop.
+
+    Every collection mode — serial, thread-parallel, batched — shares
+    this one object: :meth:`speculate` derives request parameters from
+    the attempt index and current breakpoint set alone, and
+    :meth:`consume` applies responses in attempt order.  When consuming
+    changes the policy state (breakpoint widening fired, or enough
+    samples arrived) it returns True and the caller discards the rest of
+    its speculated wave *without* counting those attempts — the next
+    wave re-speculates the same attempt indices against the new state.
+    That is the whole evidence-equivalence argument: any transport that
+    consumes in attempt order and discards on state change gathers
+    byte-identical samples.
+    """
+
+    def __init__(
+        self,
+        server: "SnorlaxServer",
+        failing_uid: int,
+        start_seed: int,
+        stop_rule=None,
+    ):
+        self.server = server
+        self.failing_uid = failing_uid
+        self.start_seed = start_seed
+        self.samples: list[TraceSample] = []
+        self.breakpoints = [failing_uid]
+        self.attempts = 0
+        self.misses_at_pc = 0
+        self.widened_to = 0
+        self.stop_rule = stop_rule
+        self.on_sample: Callable[[TraceSample], None] | None = None
+        self.deadline = server._collection_deadline()
+
+    def speculate(self, i: int) -> TraceRequest:
+        """The request for attempt index (attempts + i) — a pure function
+        of policy state, so whole waves can be issued concurrently."""
+        attempt = self.attempts + i
+        # Vary how many executions of the failure PC pass before the
+        # trace is captured: production traces come from executions of
+        # arbitrary maturity, which is what lets benign occurrences of
+        # near-miss interleavings show up.
+        return TraceRequest(
+            label=(
+                f"success-{len(self.samples)}"
+                if i == 0
+                else f"speculative-{attempt}"
+            ),
+            seed=self.start_seed + attempt,
+            breakpoint_uids=tuple(self.breakpoints),
+            breakpoint_skip=attempt % 7,
+        )
+
+    @property
+    def satisfied(self) -> bool:
+        if self.stop_rule is not None and self.stop_rule.satisfied:
+            return True
+        return len(self.samples) >= self.server.success_traces_wanted
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.satisfied
+            or self.attempts >= self.server.max_collection_attempts
+            or self.server._deadline_hit(self.deadline, self.samples)
+        )
+
+    def consume(self, request: TraceRequest, resp: TraceResponse) -> bool:
+        """Apply one response; True when the rest of the wave is stale."""
+        server = self.server
+        self.attempts += 1
+        if resp.sample is not None and resp.sample.failing:
+            return False  # only successful executions feed step 8
+        if resp.sample is None:
+            # Only zero-skip misses hint that the PC is unreachable in
+            # successful runs (e.g. failure in error-handling code); a
+            # miss with skip > 0 just means the location executes fewer
+            # times than we asked to wait.
+            if request.breakpoint_skip == 0:
+                self.misses_at_pc += 1
+            if self.misses_at_pc >= 25 and len(self.breakpoints) == 1:
+                self.breakpoints = server._widen_breakpoints(self.failing_uid)
+                self.widened_to = len(self.breakpoints)
+                # start counting misses against the widened set afresh,
+                # so persistent unreachability can keep surfacing (the
+                # old counter saturated after the first widening)
+                self.misses_at_pc = 0
+                server.stats.breakpoint_fallbacks += 1
+                return True  # rest of the wave used stale breakpoints
+            return False
+        resp.sample.label = f"success-{len(self.samples)}"
+        self.samples.append(resp.sample)
+        server.stats.success_traces += 1
+        if self.on_sample is not None:
+            self.on_sample(resp.sample)
+        if self.stop_rule is not None:
+            self.stop_rule.observe(self.samples)
+        return self.satisfied
+
+
+class _StreamingDecoder:
+    """Starts decoding each sample the moment it is consumed.
+
+    Decoding goes through the shared content-keyed ``trace_cache``, so
+    this is pure cache warming: by the time the pipeline's
+    trace-processing stage asks for the same (buffer, tid, period) it is
+    a hit, and decode wall-clock overlapped collection round-trips
+    instead of following them.  Evidence is untouched — a decode error
+    here is swallowed so the pipeline surfaces it with full context.
+    """
+
+    def __init__(self, server: "SnorlaxServer", registry):
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._server = server
+        self._registry = registry
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, server.collection_parallelism),
+            thread_name_prefix="decode",
+        )
+
+    def submit(self, sample: TraceSample) -> None:
+        self._pool.submit(self._decode, sample)
+
+    def _decode(self, sample: TraceSample) -> None:
+        from time import perf_counter
+
+        server = self._server
+        started = perf_counter()
+        try:
+            for tid, data in sample.buffers.items():
+                server.trace_cache.get_or_decode(
+                    server.module, data, tid, server.config.mtc_period_ns
+                )
+        except Exception:
+            return
+        self._registry.observe("stage_decode", perf_counter() - started)
+
+    def close(self) -> None:
+        # collection ends when its decodes do — that is the overlap
+        self._pool.shutdown(wait=True)
+
+
+class _TopPatternEvaluator:
+    """The stop rule's oracle: the current top-ranked pattern signature
+    for the evidence gathered so far.
+
+    Runs the full pipeline *quietly* (``obs=None`` — no spans, no
+    counters; the fleet's registry sees only the one final diagnosis)
+    against the server's shared caches, so each evaluation re-decodes
+    nothing and — with incremental Andersen seeding — re-solves almost
+    nothing.  A pure function of the sample prefix: same samples, same
+    answer, on any transport.
+    """
+
+    def __init__(self, server: "SnorlaxServer", failing_sample: TraceSample):
+        self._server = server
+        self._failing = failing_sample
+
+    def __call__(self, successes: list[TraceSample]):
+        server = self._server
+        pipeline = LazyDiagnosis(
+            server.module,
+            server.config,
+            analysis_cache=server.analysis_cache,
+            trace_cache=server.trace_cache,
+            obs=None,
+        )
+        try:
+            report = pipeline.diagnose([self._failing], successes)
+        except DiagnosisError:
+            return None
+        if report.root_cause is None:
+            return None
+        return str(report.root_cause.signature)
+
+
 @dataclass
 class SnorlaxServer:
     module: Module
@@ -65,6 +247,13 @@ class SnorlaxServer:
     # >1 speculates trace requests concurrently (the evidence gathered is
     # byte-identical to serial collection — see _collect_parallel)
     collection_parallelism: int = 1
+    # "fixed" collects success_traces_wanted samples; "stable-top" stops
+    # early once the top-ranked pattern is unchanged across
+    # stability_window consecutive samples (success_traces_wanted stays
+    # as the cap, adaptive_min_traces as the floor)
+    stopping: str = "fixed"
+    stability_window: int = 3
+    adaptive_min_traces: int = 4
     # shared caches: repeat diagnoses skip decoding / points-to
     analysis_cache: AnalysisCache | None = None
     trace_cache: DecodedTraceCache | None = None
@@ -72,6 +261,10 @@ class SnorlaxServer:
     # observability context every diagnosis this server runs records into
     obs: Observability | None = None
     last_pipeline: LazyDiagnosis | None = field(default=None, repr=False)
+    # the most recent collection's policy state: callers (the fleet)
+    # distinguish "stopped because the evidence sufficed" from "ran out
+    # of attempts/deadline" via last_collection.satisfied
+    last_collection: _CollectionState | None = field(default=None, repr=False)
 
     def diagnose(
         self, failing_run: ClientRun, client: SnorlaxClient, start_seed: int = 10_000
@@ -88,7 +281,10 @@ class SnorlaxServer:
             failing_sample = self.sample_from_run("failure", failing_run)
             self.stats.failing_traces += 1
             successes = self.collect_successful_traces(
-                client, failing_run.failure.failing_uid, start_seed
+                client,
+                failing_run.failure.failing_uid,
+                start_seed,
+                failing_sample=failing_sample,
             )
             result = self.diagnose_samples([failing_sample], successes)
         if obs.enabled:
@@ -141,17 +337,27 @@ class SnorlaxServer:
         return pipeline
 
     def collect_successful_traces(
-        self, client: SnorlaxClient, failing_uid: int, start_seed: int
+        self,
+        client: SnorlaxClient,
+        failing_uid: int,
+        start_seed: int,
+        failing_sample: TraceSample | None = None,
     ) -> list[TraceSample]:
         """Step 8 against an in-process client (see collect_traces_via)."""
         return self.collect_traces_via(
             lambda req: self.handle_trace_request(client, req),
             failing_uid,
             start_seed,
+            failing_sample=failing_sample,
         )
 
     def collect_traces_via(
-        self, send: TraceTransport, failing_uid: int, start_seed: int
+        self,
+        send: TraceTransport,
+        failing_uid: int,
+        start_seed: int,
+        send_batch: BatchTraceTransport | None = None,
+        failing_sample: TraceSample | None = None,
     ) -> list[TraceSample]:
         """Step 8: successful-execution traces at the failure location.
 
@@ -165,23 +371,66 @@ class SnorlaxServer:
         transport — and which endpoint serves each request — never
         changes the evidence gathered.
 
-        ``collection_parallelism > 1`` overlaps request round-trips by
-        speculating batches; the consumed evidence is byte-identical to
-        what this serial loop gathers (see :meth:`_collect_parallel`).
+        Three pipelined layers, all evidence-invisible:
+
+        * ``send_batch`` delivers a whole speculative wave in one call
+          (the fleet fans it across every live agent) and takes priority
+          over per-request parallelism; ``collection_parallelism > 1``
+          overlaps individual round-trips on a thread pool instead.
+          Both consume responses in attempt order through the one
+          :class:`_CollectionState` policy, so the samples gathered are
+          byte-identical to the serial loop's.
+        * when ``trace_cache`` is set, every sample starts decoding the
+          moment its response is consumed (a small pool), so decode
+          finishes with collection instead of after it.
+        * ``stopping="stable-top"`` ends collection once the top-ranked
+          pattern is stable (``failing_sample`` anchors the evaluation);
+          the stop decision is a pure function of the consumed sample
+          prefix, hence transport-independent.
         """
         obs = resolve_obs(self.obs)
+        stop_rule = self._make_stop_rule(failing_sample)
+        mode = (
+            "batched"
+            if send_batch is not None
+            else ("parallel" if self.collection_parallelism > 1 else "serial")
+        )
         with obs.tracer.span(
             "collect_traces",
             failing_uid=failing_uid,
             wanted=self.success_traces_wanted,
             parallelism=self.collection_parallelism,
+            mode=mode,
+            stopping=self.stopping,
         ) as cspan:
             send = self._traced_transport(send, obs.tracer, cspan)
-            if self.collection_parallelism > 1:
-                samples = self._collect_parallel(send, failing_uid, start_seed)
-            else:
-                samples = self._collect_serial(send, failing_uid, start_seed)
-            cspan.set(collected=len(samples))
+            state = _CollectionState(self, failing_uid, start_seed, stop_rule)
+            self.last_collection = state
+            decoder = None
+            if self.trace_cache is not None:
+                decoder = _StreamingDecoder(self, obs.registry)
+                state.on_sample = decoder.submit
+                if failing_sample is not None:
+                    decoder.submit(failing_sample)
+            from time import perf_counter
+
+            started = perf_counter()
+            try:
+                if send_batch is not None:
+                    samples = self._collect_batched(send_batch, state)
+                elif self.collection_parallelism > 1:
+                    samples = self._collect_parallel(send, state)
+                else:
+                    samples = self._collect_serial(send, state)
+            finally:
+                if decoder is not None:
+                    decoder.close()
+            obs.registry.observe("stage_collect", perf_counter() - started)
+            cspan.set(
+                collected=len(samples),
+                attempts=state.attempts,
+                widened_to=state.widened_to,
+            )
         return samples
 
     def _traced_transport(
@@ -213,114 +462,84 @@ class SnorlaxServer:
 
         return traced
 
-    def _collect_serial(
-        self, send: TraceTransport, failing_uid: int, start_seed: int
-    ) -> list[TraceSample]:
-        samples: list[TraceSample] = []
-        breakpoints = [failing_uid]
-        seed = start_seed
-        attempts = 0
-        misses_at_pc = 0
-        deadline = self._collection_deadline()
-        while (
-            len(samples) < self.success_traces_wanted
-            and attempts < self.max_collection_attempts
-            and not self._deadline_hit(deadline, samples)
-        ):
-            # Vary how many executions of the failure PC pass before the
-            # trace is captured: production traces come from executions
-            # of arbitrary maturity, which is what lets benign
-            # occurrences of near-miss interleavings show up.
-            skip = attempts % 7
-            resp = send(
-                TraceRequest(
-                    label=f"success-{len(samples)}",
-                    seed=seed,
-                    breakpoint_uids=tuple(breakpoints),
-                    breakpoint_skip=skip,
-                )
+    def _make_stop_rule(self, failing_sample: TraceSample | None):
+        if self.stopping == "fixed":
+            return None
+        if self.stopping != "stable-top":
+            raise DiagnosisError(
+                f"unknown stopping mode {self.stopping!r} "
+                "(expected 'fixed' or 'stable-top')"
             )
-            seed += 1
-            attempts += 1
-            if resp.sample is not None and resp.sample.failing:
-                continue  # only successful executions feed step 8
-            if resp.sample is None:
-                # Only zero-skip misses hint that the PC is unreachable
-                # in successful runs (e.g. failure in error-handling
-                # code); a miss with skip > 0 just means the location
-                # executes fewer times than we asked to wait.
-                if skip == 0:
-                    misses_at_pc += 1
-                if misses_at_pc >= 25 and len(breakpoints) == 1:
-                    breakpoints = self._widen_breakpoints(failing_uid)
-                    self.stats.breakpoint_fallbacks += 1
-                continue
-            samples.append(resp.sample)
-            self.stats.success_traces += 1
-        return samples
+        if failing_sample is None:
+            # the rule evaluates candidate diagnoses, which need the
+            # failing evidence — without it, fall back to fixed counting
+            return None
+        from repro.core.statistics import StabilityStopRule
+
+        return StabilityStopRule(
+            evaluate=_TopPatternEvaluator(self, failing_sample),
+            window=self.stability_window,
+            min_samples=self.adaptive_min_traces,
+        )
+
+    def _collect_serial(
+        self, send: TraceTransport, state: _CollectionState
+    ) -> list[TraceSample]:
+        while not state.done:
+            request = state.speculate(0)
+            state.consume(request, send(request))
+        return state.samples
 
     def _collect_parallel(
-        self, send: TraceTransport, failing_uid: int, start_seed: int
+        self, send: TraceTransport, state: _CollectionState
     ) -> list[TraceSample]:
-        """Speculative batched collection, serial-equivalent by design.
-
-        The serial loop's request parameters depend only on the attempt
-        index (seed = start_seed + attempt, skip = attempt % 7) and the
-        current breakpoint set — the per-request *label* is the one thing
-        derived from consumed results, and it is rewritten at consume
-        time.  So a whole batch can be speculated and sent concurrently,
-        then consumed in attempt order with the serial policy applied.
-        When consuming a response changes the policy state — breakpoint
-        widening fires, or enough samples arrived — the rest of the
-        batch is discarded *without* counting those attempts, and the
-        next batch re-speculates the same attempt indices against the
-        new state.  The evidence gathered is therefore byte-identical to
-        serial collection; only wall-clock changes.
-        """
+        """Speculative thread-pool collection, serial-equivalent by
+        design: whole waves are issued concurrently, then consumed in
+        attempt order through the shared :class:`_CollectionState`
+        policy (see its docstring for the equivalence argument)."""
         from concurrent.futures import ThreadPoolExecutor
 
-        samples: list[TraceSample] = []
-        breakpoints = [failing_uid]
-        attempts = 0
-        misses_at_pc = 0
-        deadline = self._collection_deadline()
         width = self.collection_parallelism
         with ThreadPoolExecutor(
             max_workers=width, thread_name_prefix="collect"
         ) as pool:
-            while (
-                len(samples) < self.success_traces_wanted
-                and attempts < self.max_collection_attempts
-                and not self._deadline_hit(deadline, samples)
-            ):
-                batch = min(width, self.max_collection_attempts - attempts)
-                requests = [
-                    TraceRequest(
-                        label=f"speculative-{attempts + i}",
-                        seed=start_seed + attempts + i,
-                        breakpoint_uids=tuple(breakpoints),
-                        breakpoint_skip=(attempts + i) % 7,
-                    )
-                    for i in range(batch)
-                ]
+            while not state.done:
+                wave = min(width, self.max_collection_attempts - state.attempts)
+                requests = [state.speculate(i) for i in range(wave)]
                 for request, resp in zip(requests, pool.map(send, requests)):
-                    attempts += 1
-                    if resp.sample is not None and resp.sample.failing:
-                        continue  # only successful executions feed step 8
-                    if resp.sample is None:
-                        if request.breakpoint_skip == 0:
-                            misses_at_pc += 1
-                        if misses_at_pc >= 25 and len(breakpoints) == 1:
-                            breakpoints = self._widen_breakpoints(failing_uid)
-                            self.stats.breakpoint_fallbacks += 1
-                            break  # rest of batch used stale breakpoints
-                        continue
-                    resp.sample.label = f"success-{len(samples)}"
-                    samples.append(resp.sample)
-                    self.stats.success_traces += 1
-                    if len(samples) >= self.success_traces_wanted:
-                        break
-        return samples
+                    if state.consume(request, resp):
+                        break  # rest of the wave is stale
+        return state.samples
+
+    def _collect_batched(
+        self, send_batch: BatchTraceTransport, state: _CollectionState
+    ) -> list[TraceSample]:
+        """Wave-at-a-time collection over a batch transport: one call
+        ships the whole speculative wave (the fleet fans it across every
+        live agent in one round-trip) and the positional responses are
+        consumed in attempt order — the same policy, so the same
+        evidence."""
+        while not state.done:
+            wave = self._batch_window(state)
+            requests = [state.speculate(i) for i in range(wave)]
+            responses = send_batch(requests)
+            for request, resp in zip(requests, responses):
+                if state.consume(request, resp):
+                    break  # rest of the wave is stale
+        return state.samples
+
+    def _batch_window(self, state: _CollectionState) -> int:
+        """How far ahead to speculate in one batched wave: what fixed
+        counting still needs (or the stop rule's useful lookahead) plus
+        margin for seeds that miss the armed breakpoint, clamped to the
+        attempt cap.  The window only sizes the wave; responses are
+        still consumed in attempt order, so the evidence is
+        window-invariant."""
+        need = max(1, self.success_traces_wanted - len(state.samples))
+        if state.stop_rule is not None:
+            need = min(need, state.stop_rule.lookahead())
+        window = need + max(2, need // 2)
+        return min(window, self.max_collection_attempts - state.attempts)
 
     def _collection_deadline(self) -> float | None:
         if self.collection_deadline_s is None:

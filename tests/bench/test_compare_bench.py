@@ -1,0 +1,83 @@
+"""The benchmark summary distiller and its CI regression gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+FLEET_TABLE = """\
+fleet throughput: 50 agents, 3 bugs x 3 reporters; cold vs warm caches
+======================================================================
+metric                       | cold    | warm
+-----------------------------+---------+--------
+median diagnosis latency     | 344 ms  | 3 ms
+  median analysis            | 2.43 ms | 2.75 ms
+cache hits (analysis)        | 3       | 3
+cache hits (trace)           | 30      | 30
+cache hit rate               | 100%    | 100%
+"""
+
+
+def test_parse_fleet_extracts_latency_and_cache_health():
+    parsed = compare_bench.parse_fleet(FLEET_TABLE)
+    assert parsed["fleet_median_latency_ms"] == {"cold": 344.0, "warm": 3.0}
+    assert parsed["fleet_cache_hit_rate"] == 1.0
+    assert parsed["fleet_warm_cache_hits"] == {"analysis": 3, "trace": 30}
+
+
+def test_gate_fails_on_real_warm_regression():
+    base = {"fleet_median_latency_ms": {"cold": 400.0, "warm": 100.0}}
+    new = {"fleet_median_latency_ms": {"cold": 400.0, "warm": 200.0}}
+    problems = compare_bench.check_regression(new, base)
+    assert problems and "warm fleet latency regressed" in problems[0]
+
+
+def test_gate_ignores_small_absolute_deltas():
+    # 3 -> 10 ms is +233% but only +7 ms: scheduler noise, not a regression
+    base = {"fleet_median_latency_ms": {"warm": 3.0}}
+    new = {"fleet_median_latency_ms": {"warm": 10.0}}
+    assert compare_bench.check_regression(new, base) == []
+
+
+def test_gate_allows_within_tolerance_and_missing_metrics():
+    base = {"fleet_median_latency_ms": {"warm": 100.0}}
+    assert (
+        compare_bench.check_regression(
+            {"fleet_median_latency_ms": {"warm": 115.0}}, base
+        )
+        == []
+    )
+    assert compare_bench.check_regression({}, base) == []
+    assert (
+        compare_bench.check_regression(
+            {"fleet_median_latency_ms": {"warm": 5.0}}, {}
+        )
+        == []
+    )
+
+
+def test_cli_check_mode_round_trip(tmp_path, monkeypatch, capsys):
+    out = tmp_path / "out"
+    out.mkdir()
+    (out / "fleet.txt").write_text(FLEET_TABLE)
+    monkeypatch.setattr(compare_bench, "OUT_DIR", out)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps({"fleet_median_latency_ms": {"cold": 350.0, "warm": 5.0}})
+    )
+    assert compare_bench.cli(["--check-against", str(baseline)]) == 0
+    # the summary side effect still lands next to the parsed tables
+    summary = json.loads((out / "BENCH_diagnosis.json").read_text())
+    assert summary["fleet_median_latency_ms"]["warm"] == 3.0
+    # a genuinely slower run against a fast committed baseline fails
+    baseline.write_text(
+        json.dumps({"fleet_median_latency_ms": {"cold": 350.0, "warm": 100.0}})
+    )
+    (out / "fleet.txt").write_text(FLEET_TABLE.replace("| 3 ms", "| 300 ms"))
+    assert compare_bench.cli(["--check-against", str(baseline)]) == 1

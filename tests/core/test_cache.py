@@ -183,3 +183,39 @@ def test_as_counters_covers_the_store_vocabulary():
     cache.put("k", 1)
     assert cache.stats.writes == 0
     assert cache.stats.as_counters()["writes"] == 0
+
+
+# -- collected-evidence memoization -----------------------------------------
+
+
+def test_evidence_cache_keys_on_failure_and_policy():
+    from repro.core.cache import CollectedEvidence, CollectedEvidenceCache
+
+    module = parse_module(SRC)
+    policy = (10, "stable-top", 3, 4, 1, None)
+    key = CollectedEvidenceCache.key_for(module, "pbzip2-n/a", 7, 89, 10_000, policy)
+    cache = CollectedEvidenceCache()
+    cache.put(key, CollectedEvidence(samples=("s1", "s2"), attempts=5))
+    hit = cache.get(key)
+    assert hit is not None and hit.samples == ("s1", "s2") and hit.attempts == 5
+    # any component changing — failing seed, uid, policy — is a different key
+    other_seed = CollectedEvidenceCache.key_for(
+        module, "pbzip2-n/a", 8, 89, 10_000, policy
+    )
+    other_policy = CollectedEvidenceCache.key_for(
+        module, "pbzip2-n/a", 7, 89, 10_000, (10, "fixed", 3, 4, 1, None)
+    )
+    assert cache.get(other_seed) is None
+    assert cache.get(other_policy) is None
+    # a different program never aliases: the key leads with the fingerprint
+    mutated = parse_module(SRC_MUTATED)
+    assert cache.get(
+        CollectedEvidenceCache.key_for(mutated, "pbzip2-n/a", 7, 89, 10_000, policy)
+    ) is None
+
+
+def test_diagnosis_caches_carry_an_evidence_tier():
+    from repro.core.cache import CollectedEvidenceCache, DiagnosisCaches
+
+    caches = DiagnosisCaches()
+    assert isinstance(caches.evidence, CollectedEvidenceCache)

@@ -1,0 +1,159 @@
+"""Incremental Andersen seeding: replaying a cached sub-scope fixpoint
+into a wider solve must change nothing but the amount of work done."""
+
+import random
+
+from repro.core import PointsToAnalysis, generate_constraints
+from repro.core.andersen import solve
+from repro.core.cache import AnalysisCache, CachedAnalysis
+from repro.ir import parse_module
+
+SRC = """
+module seeded
+global g: ptr<i64> = null
+global q: ptr<ptr<i64>> = null
+
+func helper(p: ptr<i64>) -> ptr<i64> {
+entry:
+  store %p, @g
+  %r = load @g
+  ret %r
+}
+
+func main() -> void {
+entry:
+  %a = malloc i64
+  %b = malloc i64
+  %cell = malloc ptr<i64>
+  store %cell, @q
+  store %a, %cell
+  %c = load %cell
+  %r = call @helper(%c)
+  store %b, @g
+  %d = load @g
+  ret
+}
+"""
+
+
+def all_uids(module):
+    return [i.uid for i in module.instructions()]
+
+
+def assert_same_fixpoint(a, b):
+    pa, pb = a.as_sets(), b.as_sets()
+    for node in set(pa) | set(pb):
+        assert pa.get(node, frozenset()) == pb.get(node, frozenset()), (
+            f"fixpoint diverges at {node!r}"
+        )
+
+
+def test_seeded_solve_matches_cold_solve():
+    module = parse_module(SRC)
+    uids = all_uids(module)
+    rng = random.Random(7)
+    sub = set(rng.sample(uids, len(uids) // 2))
+    sub_result = solve(generate_constraints(module, sub))
+    full_system = generate_constraints(module, set(uids))
+    cold = solve(full_system)
+    seeded = solve(generate_constraints(module, set(uids)), seed=sub_result)
+    assert_same_fixpoint(cold, seeded)
+    assert seeded.stats.seeded_objects > 0
+    assert cold.stats.seeded_objects == 0
+
+
+def test_seeding_counts_in_solver_vocabulary():
+    module = parse_module(SRC)
+    uids = all_uids(module)
+    sub_result = solve(generate_constraints(module, set(uids[: len(uids) // 2])))
+    seeded = solve(generate_constraints(module, set(uids)), seed=sub_result)
+    counters = seeded.stats.as_counters()
+    assert counters["solver_seeded_objects"] == seeded.stats.seeded_objects
+
+
+def test_seed_candidate_prefers_largest_strict_subset():
+    module = parse_module(SRC)
+    uids = all_uids(module)
+    target = set(uids)
+    small = set(uids[:3])
+    large = set(uids[: len(uids) - 2])
+    cache = AnalysisCache()
+    for scope in (small, large):
+        system = generate_constraints(module, scope)
+        cache.put(
+            AnalysisCache.key_for(module, scope, "andersen"),
+            CachedAnalysis(system, solve(system)),
+        )
+    candidate = cache.seed_candidate(module, target)
+    assert candidate is not None
+    assert candidate.system.instructions_analyzed == len(large)
+
+
+def test_seed_candidate_rejects_non_subsets():
+    module = parse_module(SRC)
+    uids = all_uids(module)
+    half = set(uids[: len(uids) // 2])
+    cache = AnalysisCache()
+    system = generate_constraints(module, half)
+    cache.put(
+        AnalysisCache.key_for(module, half, "andersen"),
+        CachedAnalysis(system, solve(system)),
+    )
+    # the exact same scope is not a *strict* subset (that would be a hit,
+    # not a seed), a disjoint/overlapping scope is not a subset at all,
+    # and a whole-program target never seeds
+    assert cache.seed_candidate(module, half) is None
+    other = set(uids[len(uids) // 2 :])
+    assert cache.seed_candidate(module, other) is None
+    assert cache.seed_candidate(module, None) is None
+    # wrong algorithm never seeds either
+    assert cache.seed_candidate(module, set(uids), "steensgaard") is None
+
+
+def test_seed_probe_does_not_touch_cache_stats():
+    module = parse_module(SRC)
+    uids = all_uids(module)
+    half = set(uids[: len(uids) // 2])
+    cache = AnalysisCache()
+    system = generate_constraints(module, half)
+    cache.put(
+        AnalysisCache.key_for(module, half, "andersen"),
+        CachedAnalysis(system, solve(system)),
+    )
+    before = (cache.stats.hits, cache.stats.misses)
+    cache.seed_candidate(module, set(uids))
+    assert (cache.stats.hits, cache.stats.misses) == before
+
+
+def test_points_to_analysis_seeds_from_cache():
+    module = parse_module(SRC)
+    uids = all_uids(module)
+    sub = set(uids[: len(uids) // 2])
+    cache = AnalysisCache()
+    PointsToAnalysis(module, executed_uids=sub, cache=cache).run()
+    cold = PointsToAnalysis(module, executed_uids=set(uids)).run()
+    warm = PointsToAnalysis(module, executed_uids=set(uids), cache=cache).run()
+    assert warm.stats.extra.get("seeded") is True
+    assert warm.stats.extra["cache"] == "miss"  # a seed is not a hit
+    assert warm.result.stats.seeded_objects > 0
+    assert_same_fixpoint(cold.result, warm.result)
+    # the seeded result was cached under the full scope: a repeat is a
+    # plain hit, no re-seeding
+    again = PointsToAnalysis(module, executed_uids=set(uids), cache=cache).run()
+    assert again.stats.extra["cache"] == "hit"
+    assert "seeded" not in again.stats.extra
+
+
+def test_randomized_seeded_equivalence():
+    # random sub-scopes of random scopes across seeds: the seeded solve
+    # must always land on the cold fixpoint
+    module = parse_module(SRC)
+    uids = all_uids(module)
+    for seed in range(10):
+        rng = random.Random(seed)
+        scope = set(rng.sample(uids, max(2, len(uids) * 3 // 4)))
+        sub = set(rng.sample(sorted(scope), max(1, len(scope) // 2)))
+        sub_result = solve(generate_constraints(module, sub))
+        cold = solve(generate_constraints(module, scope))
+        seeded = solve(generate_constraints(module, scope), seed=sub_result)
+        assert_same_fixpoint(cold, seeded)

@@ -1,0 +1,103 @@
+"""Adaptive stopping: the StabilityStopRule contract.
+
+The rule is a pure function of the sample prefix — it never looks at
+wall-clock, transport, or attempt counts — which is what makes adaptive
+collection produce identical evidence over any transport.
+"""
+
+from repro.core.statistics import StabilityStopRule
+
+
+def make_rule(answers, window=3, min_samples=4):
+    """A rule whose evaluator replays a scripted top-pattern sequence."""
+    calls = []
+
+    def evaluate(samples):
+        calls.append(len(samples))
+        return answers[len(calls) - 1]
+
+    rule = StabilityStopRule(
+        evaluate=evaluate, window=window, min_samples=min_samples
+    )
+    return rule, calls
+
+
+def feed(rule, n):
+    samples = []
+    for i in range(n):
+        samples.append(f"s{i}")
+        rule.observe(list(samples))
+        if rule.satisfied:
+            break
+    return len(samples)
+
+
+def test_stops_once_top_is_stable_across_window():
+    rule, _ = make_rule(["A"] * 10, window=3, min_samples=4)
+    used = feed(rule, 10)
+    assert rule.satisfied
+    # evaluation starts at max(1, min_samples - window + 1) = 2 samples;
+    # three consecutive identical answers land at sample 4
+    assert used == 4
+
+
+def test_churning_top_never_satisfies():
+    rule, _ = make_rule(list("ABCDEFGH"), window=3, min_samples=4)
+    feed(rule, 8)
+    assert not rule.satisfied
+
+
+def test_streak_resets_on_change():
+    rule, _ = make_rule(["A", "A", "B", "B", "B", "B"], window=3, min_samples=2)
+    used = feed(rule, 8)
+    assert rule.satisfied
+    # A,A then the streak restarts at B: B,B,B completes at eval 5
+    assert used == 5
+
+
+def test_min_samples_floor_holds():
+    # a trivially stable top still cannot stop below min_samples
+    rule, _ = make_rule(["A"] * 10, window=2, min_samples=6)
+    used = feed(rule, 10)
+    assert rule.satisfied
+    assert used >= 6
+
+
+def test_no_evaluation_before_first_useful_prefix():
+    rule, calls = make_rule(["A"] * 10, window=3, min_samples=6)
+    for prefix in (["s0"], ["s0", "s1"], ["s0", "s1", "s2"]):
+        rule.observe(list(prefix))
+    # first useful prefix is max(1, 6 - 3 + 1) = 4 samples
+    assert calls == []
+    assert rule.evaluations == 0
+
+
+def test_none_evaluations_do_not_build_a_streak():
+    rule, _ = make_rule([None, None, "A", "A", "A"], window=3, min_samples=1)
+    used = feed(rule, 8)
+    assert rule.satisfied
+    assert used == 5
+
+
+def test_lookahead_counts_remaining_streak():
+    rule, _ = make_rule(["A", "A"], window=4, min_samples=1)
+    assert rule.lookahead() == 4  # nothing evaluated yet: need the window
+    rule.observe(["s0"])
+    assert rule.lookahead() == 3
+    rule.observe(["s0", "s1"])
+    assert rule.lookahead() == 2
+
+
+def test_lookahead_zero_once_satisfied():
+    rule, _ = make_rule(["A"] * 5, window=2, min_samples=1)
+    feed(rule, 5)
+    assert rule.satisfied
+    assert rule.lookahead() == 0
+
+
+def test_observe_is_a_noop_after_satisfaction():
+    rule, calls = make_rule(["A"] * 10, window=2, min_samples=1)
+    feed(rule, 5)
+    evaluated = len(calls)
+    rule.observe(["s0", "s1", "s2", "s3", "s4", "s5"])
+    assert len(calls) == evaluated  # no further evaluator work

@@ -162,6 +162,60 @@ def test_chaos_digests_equal_fault_free_in_process(chaos_run, in_process_digests
         assert digest["f1"] == 1.0
 
 
+def test_chaos_fleet_used_batched_collection(chaos_run):
+    # the chaos fixture runs with the batched default, so the digest
+    # equality above is evidence equivalence *through batch frames*
+    # under corruption, drops, and crashes — not just the unit path
+    counters = chaos_run.metrics["counters"]
+    assert counters.get("trace_batches_sent", 0) > 0
+    assert counters.get("trace_requests_sent", 0) >= counters["trace_batches_sent"]
+
+
+def test_batched_collection_survives_drop_and_delay(in_process_digests):
+    # drop/delay aimed at batch frames: a swallowed TraceBatchResponse
+    # re-stripes the whole chunk, and the evidence must still come out
+    # byte-identical to the fault-free in-process diagnosis
+    plan = FaultPlan(
+        seed=11,
+        drop_rate=0.08,
+        delay_rate=0.15,
+        max_delay_s=0.02,
+    )
+    config = FleetConfig(
+        agents=10,
+        bug_ids=("pbzip2-n/a",),
+        reporters_per_bug=1,
+        workers=2,
+        chaos=plan,
+        trace_reply_timeout=2.0,
+        frame_timeout=5.0,
+    )
+    result = run_fleet(config, metrics=FleetMetrics())
+    assert not [o for o in result.outcomes if o.error]
+    counters = result.metrics["counters"]
+    assert counters.get("trace_batches_sent", 0) > 0
+    for signature, digest in result.digests.items():
+        assert not digest["degraded"], signature
+        assert digest == in_process_digests[signature], signature
+
+
+def test_unbatched_fleet_matches_in_process_digests(in_process_digests):
+    # regression for the per-request transport: disabling batching must
+    # not change a byte of any digest
+    config = FleetConfig(
+        agents=8,
+        bug_ids=("aget-2",),
+        reporters_per_bug=1,
+        workers=2,
+        collection_batching=False,
+    )
+    result = run_fleet(config, metrics=FleetMetrics())
+    assert not [o for o in result.outcomes if o.error]
+    assert result.metrics["counters"].get("trace_batches_sent", 0) == 0
+    for signature, digest in result.digests.items():
+        assert digest == in_process_digests[signature], signature
+
+
 # -- graceful degradation ---------------------------------------------------
 
 

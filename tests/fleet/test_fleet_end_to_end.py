@@ -67,12 +67,19 @@ def test_single_agent_fleet_matches_in_process(custom_module):
 
 
 @pytest.fixture(scope="module")
-def fleet_run():
+def fleet_caches():
+    from repro.core.cache import DiagnosisCaches
+
+    return DiagnosisCaches()
+
+
+@pytest.fixture(scope="module")
+def fleet_run(fleet_caches):
     metrics = FleetMetrics()
     config = FleetConfig(
         agents=50, bug_ids=BUGS, reporters_per_bug=3, workers=3, max_pending=8
     )
-    result = run_fleet(config, metrics=metrics)
+    result = run_fleet(config, metrics=metrics, caches=fleet_caches)
     return result
 
 
@@ -146,3 +153,18 @@ def test_metrics_observed(fleet_run):
     assert 0 < fleet_run.median_diagnosis_latency_s < 60
     assert fleet_run.metrics["gauges"]["queue_depth"] == 0
     assert fleet_run.failures_per_sec > 0
+
+
+def test_recurring_failures_reuse_collected_evidence(fleet_run, fleet_caches):
+    # the production steady state: the same bugs fail again tomorrow.
+    # With warm caches the fleet replays the memoized evidence — zero
+    # remote executions — and still produces byte-identical digests.
+    config = FleetConfig(
+        agents=12, bug_ids=BUGS, reporters_per_bug=1, workers=3
+    )
+    again = run_fleet(config, metrics=FleetMetrics(), caches=fleet_caches)
+    assert again.digests == fleet_run.digests
+    counters = again.metrics["counters"]
+    assert counters.get("evidence_cache_hits", 0) == len(BUGS)
+    assert counters.get("trace_requests_sent", 0) == 0
+    assert counters.get("trace_batches_sent", 0) == 0

@@ -12,6 +12,8 @@ from repro.fleet.wire import (
     Goodbye,
     Hello,
     Reject,
+    TraceBatchRequest,
+    TraceBatchResponse,
     WireFault,
     decode_frame,
     decode_value,
@@ -117,6 +119,53 @@ def test_trace_response_roundtrip_with_sample():
 def test_trace_response_roundtrip_without_sample():
     resp = TraceResponse(label="s", outcome="step-limit", sample=None)
     assert roundtrip(resp) == resp
+
+
+def test_trace_batch_request_roundtrip():
+    batch = TraceBatchRequest(
+        requests=(
+            TraceRequest(label="success-0", seed=1, breakpoint_uids=(12,)),
+            TraceRequest(
+                label="speculative-3",
+                seed=4,
+                breakpoint_uids=(12, 7),
+                breakpoint_skip=3,
+            ),
+        )
+    )
+    back = roundtrip(batch, request_id=42)
+    assert back == batch
+    assert isinstance(back.requests, tuple)
+
+
+def test_trace_batch_response_roundtrip_positional():
+    # the batch contract is positional: responses[i] answers requests[i],
+    # so order must survive the codec exactly
+    batch = TraceBatchResponse(
+        responses=(
+            TraceResponse(label="success-0", outcome="success", sample=make_sample()),
+            TraceResponse(label="speculative-1", outcome="crash", sample=None),
+            TraceResponse(label="speculative-2", outcome="unreachable", sample=None),
+        )
+    )
+    back = roundtrip(batch, request_id=9)
+    assert [r.label for r in back.responses] == [
+        "success-0", "speculative-1", "speculative-2",
+    ]
+    assert [r.outcome for r in back.responses] == [
+        "success", "crash", "unreachable",
+    ]
+    assert back.responses[0].sample == batch.responses[0].sample
+    assert back.responses[1].sample is None
+
+
+def test_trace_batch_empty_roundtrip():
+    assert roundtrip(TraceBatchRequest(requests=())) == TraceBatchRequest(
+        requests=()
+    )
+    assert roundtrip(TraceBatchResponse(responses=())) == TraceBatchResponse(
+        responses=()
+    )
 
 
 def test_failure_notification_roundtrip():
