@@ -102,6 +102,10 @@ def diagnose(
     config: PipelineConfig | None = None,
     caches=None,
     obs: Observability | None = None,
+    validate: bool = False,
+    workload=None,
+    entry: str = "main",
+    failing_seed: int | None = None,
 ) -> DiagnosisResult:
     """Run Lazy Diagnosis over ``traces`` and return the bundled result.
 
@@ -112,6 +116,12 @@ def diagnose(
     ``caches`` is a :class:`~repro.core.cache.DiagnosisCaches` (or an
     ``(analysis, traces)`` pair); ``obs`` an
     :class:`~repro.obs.Observability` bundle, ``None`` for off.
+
+    ``validate=True`` closes the loop: the diagnosed order is compiled
+    into a directed reproducer schedule and replayed — forced and
+    inverse — on ``workload(failing_seed)``, stamping
+    ``result.report.validation`` (see :mod:`repro.validate`).  Both
+    ``workload`` and ``failing_seed`` are required for validation.
     """
     samples = tuple(traces)
     failing = [t for t in samples if t.failing]
@@ -132,6 +142,17 @@ def diagnose(
         obs=obs,
     )
     report = pipeline.diagnose(failing, successes)
+    if validate:
+        if workload is None or failing_seed is None:
+            raise DiagnosisError(
+                "diagnose(validate=True) needs the workload and the "
+                "failing seed to replay the reproducer schedule"
+            )
+        from repro.validate import validate_report
+
+        validate_report(
+            module, workload, report, entry=entry, failing_seed=failing_seed
+        )
     request = DiagnosisRequest(
         module=module,
         traces=samples,

@@ -26,6 +26,10 @@ collect  step-8 transport differential: serial ≡ thread-parallel ≡
 e2e      a full client/server diagnosis of a generated bug under the
          checkpoint observer, plus cache-on ≡ cache-off ≡ cache-warm and
          fleet-wire ≡ in-process digest equality, against ground truth
+validate the reproduction loop: the ground-truth order of a generated
+         bug must validate (forced order fails, inverse passes), and a
+         diagnosis of the true pattern must never be refuted by its own
+         directed replay
 ======== ==================================================================
 """
 
@@ -540,6 +544,88 @@ def run_e2e(case: CheckCase) -> None:
                 )
 
 
+# -- validate: the reproduction loop -----------------------------------------
+
+
+def run_validate(case: CheckCase) -> None:
+    """Close-the-loop oracle on a generated bug.
+
+    Two invariants: (1) the injected ground-truth order must validate —
+    the failure fires under the forced order and not under the inverse;
+    (2) when the pipeline's own top-F1 diagnosis names the true
+    pattern, its directed replay must never refute it.  (A refuted
+    *mis*diagnosis is the validator working as designed, not a
+    violation.)
+    """
+    from repro import api
+    from repro.runtime.client import SnorlaxClient
+    from repro.runtime.server import SnorlaxServer
+    from repro.validate.engine import validate_order, validate_report
+    from repro.validate.synthesizer import TargetOrder
+
+    rng = _rng(case)
+    p = case.params
+    module, truth, workload, kind = generator.gen_bug(rng, p)
+    client = SnorlaxClient(module, workload)
+    base = rng.randrange(1_000_000)
+    failing_run = failing_seed = None
+    for offset in range(max(1, p.get("seed_scan", 25))):
+        run = client.run_once(base + offset)
+        if run.failed:
+            failing_run, failing_seed = run, base + offset
+            break
+    if failing_run is None:
+        raise CaseSkipped(f"no failing run in {p.get('seed_scan', 25)} seeds")
+    uid = failing_run.failure.failing_uid
+
+    order = TargetOrder.from_truth(module, truth)
+    outcome = validate_order(
+        module, workload, order, failing_seed=failing_seed, expected_uid=uid
+    )
+    if outcome.status != "validated":
+        detail = "; ".join(outcome.render().splitlines())
+        raise InvariantViolation(
+            "ground-truth-validates",
+            f"injected {kind} bug (uids {order.uids}) did not validate: "
+            f"{detail}",
+        )
+
+    if not p.get("report_check", 1):
+        return
+    # Diagnose through the production pipeline, then turn the validator
+    # on the pipeline's own report.  A top-F1 report that names the
+    # true pattern yet gets refuted by its directed replay means the
+    # loop is broken on one side or the other.
+    server = SnorlaxServer(
+        module,
+        success_traces_wanted=max(1, p.get("successes", 6)),
+        max_collection_attempts=300,
+    )
+    failing_sample = server.sample_from_run("failure", failing_run)
+    successes = server.collect_successful_traces(
+        client, uid, start_seed=base + 10_000
+    )
+    report = api.diagnose(
+        module, traces=[failing_sample, *successes]
+    ).report
+    verdict = validate_report(
+        module, workload, report, failing_seed=failing_seed
+    )
+    if verdict is None:
+        return  # nothing diagnosed (e.g. deadlock report) — vacuous
+    if (
+        verdict.status == "refuted"
+        and report.ordered_target_uids() == truth.resolve(module)
+    ):
+        detail = "; ".join(verdict.render().splitlines())
+        raise InvariantViolation(
+            "no-refuted-top-f1",
+            f"the top-F1 report names the injected {kind} pattern "
+            f"{report.ordered_target_uids()} but its directed replay "
+            f"refuted it: {detail}",
+        )
+
+
 # -- registry ----------------------------------------------------------------
 
 
@@ -616,6 +702,17 @@ STAGES: dict[str, StageSpec] = {
             minimums={"successes": 10, "seed_scan": 1, "quantum": 350,
                       "iters": 4, "kloc": 1},
             weight=15,
+        ),
+        StageSpec(
+            name="validate",
+            run=run_validate,
+            defaults={
+                "successes": 6, "seed_scan": 25, "quantum": 500, "iters": 6,
+                "kloc": 2, "cold": 0, "report_check": 1,
+            },
+            minimums={"successes": 1, "seed_scan": 1, "quantum": 350,
+                      "iters": 4, "kloc": 1},
+            weight=10,
         ),
     )
 }

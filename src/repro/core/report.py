@@ -75,6 +75,15 @@ class DiagnosisReport:
     # the diagnosis ran with tracing enabled.  Timing-dependent, so it
     # must stay out of report digests (fleet vs. in-process comparison).
     flight_recorder: str | None = None
+    # repro.validate outcome (ValidationOutcome.as_dict()): the forced
+    # replay of the diagnosed order plus its inverse, stamping the
+    # report "validated"/"refuted"/"inconclusive".  None until the
+    # validation loop has run.
+    validation: dict | None = None
+
+    @property
+    def validated(self) -> bool:
+        return bool(self.validation) and self.validation.get("status") == "validated"
 
     @property
     def diagnosed(self) -> bool:
@@ -154,6 +163,15 @@ class DiagnosisReport:
         lines.append(f"analysis time: {st.analysis_seconds * 1000:.1f} ms")
         if self.degraded:
             lines.append("evidence:      DEGRADED (collection deadline hit)")
+        if self.validation:
+            status = self.validation.get("status", "?")
+            lines.append(f"validation:    {status.upper()}")
+            for witness in self.validation.get("witnesses", []):
+                lines.append(
+                    f"  {witness.get('mode', '?'):7s} "
+                    f"[{witness.get('directive', '?')}] -> "
+                    f"{witness.get('outcome', '?')}"
+                )
         for note in self.notes:
             lines.append(f"note: {note}")
         if self.flight_recorder:

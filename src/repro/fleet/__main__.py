@@ -47,7 +47,17 @@ def _verify_digests(result, metrics, config) -> list[str]:
             stability_window=config.stability_window,
             adaptive_min_traces=config.adaptive_min_traces,
         )
-        expected = report_digest(server.diagnose(failing, client).report)
+        report = server.diagnose(failing, client).report
+        if config.validate:
+            # the fleet stamped its reports post-diagnosis; mirror that
+            # or every digest would "diverge" on the validation key
+            from repro.validate import validate_report
+
+            validate_report(
+                spec.module(), spec.workload, report,
+                entry=spec.entry, failing_seed=failing.seed,
+            )
+        expected = report_digest(report)
         if digest != expected:
             metrics.inc("digest_mismatches")
             mismatches.append(signature)
@@ -123,6 +133,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="K",
         help="consecutive stable top-pattern evaluations required by "
         "--adaptive-traces",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="after each diagnosis, replay the diagnosed order forced "
+        "and inverse (repro.validate) and stamp the report "
+        "validated/refuted",
     )
     parser.add_argument(
         "--shards",
@@ -252,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         collection_batch_window=args.batch_window,
         stopping="stable-top" if args.adaptive_traces else "fixed",
         stability_window=args.stability_window,
+        validate=args.validate,
         shards=args.shards,
         store_path=args.store,
         chaos=plan if plan.active else None,

@@ -112,6 +112,10 @@ def report_digest(report: DiagnosisReport) -> dict:
         digest["f1"] = report.root_cause.f1
         digest["precision"] = report.root_cause.precision
         digest["recall"] = report.root_cause.recall
+    # only validated fleets carry the key at all, so digests from
+    # non-validating servers stay byte-compatible with older peers
+    if report.validation is not None:
+        digest["validation"] = report.validation
     return digest
 
 
@@ -132,6 +136,8 @@ def render_digest(digest: dict) -> str:
         )
         for uid, role, slot, location, function in digest["target_events"]:
             lines.append(f"  [{role}] T{slot} {function} at {location} (uid={uid})")
+    if "validation" in digest:
+        lines.append(f"validation: {digest['validation']['status'].upper()}")
     return "\n".join(lines)
 
 
@@ -139,6 +145,15 @@ def _corpus_resolver(bug_id: str) -> Module:
     from repro.corpus import bug
 
     return bug(bug_id).module()
+
+
+def _corpus_workload_resolver(bug_id: str):
+    """Default workload lookup for validation: the corpus spec's
+    workload and entry point.  Returns (workload, entry)."""
+    from repro.corpus import bug
+
+    spec = bug(bug_id)
+    return spec.workload, spec.entry
 
 
 @dataclass
@@ -191,6 +206,9 @@ class FleetServer:
         obs: Observability | None = None,
         metrics_port: int | None = None,
         store=None,
+        collection_mean_quantum: int = 24,
+        validate: bool = False,
+        workload_resolver=None,
     ):
         self.host = host
         self.port = port
@@ -223,6 +241,13 @@ class FleetServer:
         self.stopping = stopping
         self.stability_window = stability_window
         self.adaptive_min_traces = adaptive_min_traces
+        # the scheduler policy endpoints collect under; part of the
+        # collection policy, so the evidence cache must key on it
+        self.collection_mean_quantum = collection_mean_quantum
+        # post-report validation: replay the diagnosed order (forced +
+        # inverse) and stamp the report validated/refuted
+        self.validate = validate
+        self._workload_resolver = workload_resolver or _corpus_workload_resolver
         # the server-lifetime caches every diagnosis shares; passing a
         # caches object in lets a fleet keep them warm across restarts.
         # With a persistent store (and no explicit caches) they become
@@ -585,6 +610,7 @@ class FleetServer:
             bug_id,
             report_digest(report),
             flight_recorder=report.flight_recorder,
+            validation=report.validation,
         )
         self.store.absorb_into(self.metrics)
 
@@ -595,6 +621,64 @@ class FleetServer:
                 module = self._resolver(bug_id)
                 self._modules[bug_id] = module
             return module
+
+    def _evidence_key(self, module: Module, env: FailureEnvelope) -> str:
+        """Evidence memoization key: everything the collected samples are
+        deterministic in — including the endpoints' scheduler config
+        (policy class + preemption granularity), since a different
+        quantum interleaves the very same seeds differently."""
+        return CollectedEvidenceCache.key_for(
+            module,
+            env.bug_id,
+            env.seed,
+            env.notification.failing_uid,
+            self.start_seed,
+            (
+                self.success_traces_wanted,
+                self.stopping,
+                self.stability_window,
+                self.adaptive_min_traces,
+                self.min_success_traces,
+                self.collection_deadline_s,
+                ("random", self.collection_mean_quantum),
+            ),
+        )
+
+    def _validate_report(
+        self, env: FailureEnvelope, module: Module, report: DiagnosisReport
+    ) -> None:
+        """Post-report validation: replay the diagnosed order forced and
+        inverse on the reporting endpoint's failing seed, stamping
+        ``report.validation``.  A bug id the workload resolver cannot
+        answer for is skipped with a note, never an error."""
+        from repro.errors import ReproError
+        from repro.validate import validate_report
+
+        try:
+            workload, entry = self._workload_resolver(env.bug_id)
+        except ReproError as exc:
+            report.notes.append(f"validation skipped: {exc}")
+            self.metrics.inc("validations_skipped")
+            return
+        with self.obs.tracer.span(
+            "fleet_validate", bug_id=env.bug_id, seed=env.seed
+        ):
+            with self.metrics.timer("validation_latency"):
+                outcome = validate_report(
+                    module,
+                    workload,
+                    report,
+                    entry=entry,
+                    failing_seed=env.seed,
+                )
+        if outcome is None:
+            self.metrics.inc("validations_skipped")
+            return
+        self.metrics.inc("validations_completed")
+        if outcome.status == "refuted":
+            self.metrics.inc("validations_refuted")
+        elif outcome.status != "validated":
+            self.metrics.inc("validations_inconclusive")
 
     def _diagnose(self, env: FailureEnvelope) -> DiagnosisReport:
         """Replicates SnorlaxServer.diagnose_failure with the network as
@@ -644,21 +728,7 @@ class FleetServer:
         evidence_key = None
         cached_evidence = None
         if self.caches is not None:
-            evidence_key = CollectedEvidenceCache.key_for(
-                module,
-                env.bug_id,
-                env.seed,
-                env.notification.failing_uid,
-                self.start_seed,
-                (
-                    self.success_traces_wanted,
-                    self.stopping,
-                    self.stability_window,
-                    self.adaptive_min_traces,
-                    self.min_success_traces,
-                    self.collection_deadline_s,
-                ),
-            )
+            evidence_key = self._evidence_key(module, env)
             cached_evidence = self.caches.evidence.get(evidence_key)
 
         with obs.tracer.span(
@@ -716,6 +786,8 @@ class FleetServer:
                     f"degraded collection: diagnosed from {len(successes)}/"
                     f"{self.success_traces_wanted} successful traces"
                 )
+            if self.validate:
+                self._validate_report(env, module, report)
             root.set(collected=len(successes), degraded=degraded)
         if obs.enabled:
             # the whole fleet-side job: collection round-trips included

@@ -59,6 +59,12 @@ class FleetConfig:
     # SQLite DiagnosisStore path; None: no persistence.  ":memory:" is
     # valid for tests.  Shards always share the one store.
     store_path: str | None = None
+    # -- validation --------------------------------------------------------
+    # post-report validation: replay each diagnosed order (forced +
+    # inverse) via repro.validate and stamp reports validated/refuted
+    validate: bool = False
+    # preemption granularity endpoints collect under (cache-key input)
+    collection_mean_quantum: int = 24
     # -- resilience knobs --------------------------------------------------
     # seed-driven fault injection (None: a polite network)
     chaos: FaultPlan | None = None
@@ -311,6 +317,8 @@ def run_fleet(
         obs=obs,
         metrics_port=cfg.metrics_port,
         store=store,
+        collection_mean_quantum=cfg.collection_mean_quantum,
+        validate=cfg.validate,
     )
     host, port = server.start()
     metrics_url = (
@@ -497,6 +505,8 @@ def _run_sharded(
         collection_deadline_s=cfg.collection_deadline_s,
         min_success_traces=cfg.min_success_traces,
         frame_timeout=cfg.frame_timeout,
+        collection_mean_quantum=cfg.collection_mean_quantum,
+        validate=cfg.validate,
     )
     addresses = fleet.start()
     metrics_server = None

@@ -100,6 +100,20 @@ class Module:
         self.finalized = True
         return self
 
+    def refinalize(self, verify: bool = True) -> "Module":
+        """Re-verify and re-assign uids after a structural edit.
+
+        For :mod:`repro.validate`'s IR-level candidate fixes: a patched
+        module gets a fresh, gap-free uid numbering (old uids are
+        remapped by the fixer).  Only ever call this on a module that no
+        uid-keyed consumer (caches, traces, breakpoints) has seen —
+        fixes operate on fresh builder output for exactly that reason.
+        """
+        self.finalized = False
+        self._instr_by_uid.clear()
+        self._block_by_uid.clear()
+        return self.finalize(verify)
+
     def _require_finalized(self) -> None:
         if not self.finalized:
             raise IRError(f"module {self.name} is not finalized")

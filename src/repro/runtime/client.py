@@ -20,7 +20,7 @@ from repro.runtime.errortracker import FailureCode, classify
 from repro.sim.clock import CostModel
 from repro.sim.failures import ExecutionResult
 from repro.sim.machine import Machine
-from repro.sim.scheduler import RandomScheduler
+from repro.sim.scheduler import RandomScheduler, Scheduler
 
 Workload = Callable[[int], tuple]
 """seed -> arguments for the program's entry function."""
@@ -48,6 +48,10 @@ class SnorlaxClient:
     cost_model: CostModel = field(default_factory=CostModel)
     tracing: bool = True
     max_steps: int = 20_000_000
+    # preemption granularity of the client's scheduler; part of the
+    # collection policy, so caches must key on it (see
+    # CollectedEvidenceCache)
+    mean_quantum: int = 24
 
     def run_once(
         self,
@@ -55,6 +59,7 @@ class SnorlaxClient:
         breakpoint_uids: Sequence[int] = (),
         watch_uids: set[int] | None = None,
         breakpoint_skip: int = 0,
+        scheduler: Scheduler | None = None,
     ) -> ClientRun:
         """One production execution.
 
@@ -67,7 +72,7 @@ class SnorlaxClient:
         driver = PTDriver(self.trace_config, enabled=self.tracing)
         machine = Machine(
             self.module,
-            scheduler=RandomScheduler(seed),
+            scheduler=scheduler or RandomScheduler(seed, self.mean_quantum),
             cost_model=self.cost_model,
             trace_driver=driver if self.tracing else None,
             watch_uids=watch_uids,
@@ -86,11 +91,14 @@ class SnorlaxClient:
             )
         return ClientRun(seed, result, failure, snapshot, driver)
 
-    def run_untraced(self, seed: int) -> ExecutionResult:
-        """Baseline run without any tracing (for overhead measurements)."""
+    def run_untraced(
+        self, seed: int, scheduler: Scheduler | None = None
+    ) -> ExecutionResult:
+        """Baseline run without any tracing (for overhead measurements,
+        and for repro.validate's directed replays)."""
         machine = Machine(
             self.module,
-            scheduler=RandomScheduler(seed),
+            scheduler=scheduler or RandomScheduler(seed, self.mean_quantum),
             cost_model=self.cost_model,
             max_steps=self.max_steps,
         )

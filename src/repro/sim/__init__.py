@@ -12,7 +12,16 @@ from repro.sim.failures import (
 )
 from repro.sim.machine import Machine
 from repro.sim.memory import GuestFault, Memory, MemoryObject
-from repro.sim.scheduler import FixedOrderScheduler, RandomScheduler, Scheduler
+from repro.sim.scheduler import (
+    DirectedScheduler,
+    Directive,
+    FixedOrderScheduler,
+    ForceOrder,
+    RandomScheduler,
+    Scheduler,
+    SerializeAfter,
+    SerializeFunction,
+)
 from repro.sim.sync import LockTable, WaitEdge
 
 __all__ = [
@@ -32,9 +41,14 @@ __all__ = [
     "GuestFault",
     "Memory",
     "MemoryObject",
+    "DirectedScheduler",
+    "Directive",
     "FixedOrderScheduler",
+    "ForceOrder",
     "RandomScheduler",
     "Scheduler",
+    "SerializeAfter",
+    "SerializeFunction",
     "LockTable",
     "WaitEdge",
 ]

@@ -139,6 +139,7 @@ CRASHED = "crashed"
 @dataclass
 class SimThread:
     tid: int
+    root: str = ""  # entry function name; survives frame pops at exit
     frames: list[Frame] = field(default_factory=list)
     state: str = RUNNABLE
     wake_time: int = 0
@@ -211,6 +212,15 @@ class Machine:
     def global_address(self, name: str) -> int:
         return self._global_addr[name]
 
+    def thread_position(self, thread: SimThread) -> int:
+        """The thread's current/next instruction uid (0 once exited)."""
+        if not thread.frames:
+            return 0
+        frame = thread.frame
+        if frame.index < len(frame.block.instructions):
+            return frame.block.instructions[frame.index].uid
+        return 0
+
     def thread_positions(self) -> dict[int, int]:
         """Each thread's current/next instruction uid (0 for exited threads).
 
@@ -218,17 +228,9 @@ class Machine:
         thread blocked on a lock it is the blocked acquisition.  The PT
         driver stores these as the FUP stop markers of a trace snapshot.
         """
-        positions: dict[int, int] = {}
-        for t in self.threads.values():
-            if not t.frames:
-                positions[t.tid] = 0
-                continue
-            frame = t.frame
-            if frame.index < len(frame.block.instructions):
-                positions[t.tid] = frame.block.instructions[frame.index].uid
-            else:
-                positions[t.tid] = 0
-        return positions
+        return {
+            t.tid: self.thread_position(t) for t in self.threads.values()
+        }
 
     # -- public API ----------------------------------------------------------
 
@@ -268,6 +270,10 @@ class Machine:
     # -- main loop --------------------------------------------------------------
 
     def _loop(self) -> None:
+        # a directing scheduler (repro.validate) may veto runnable
+        # threads each round; plain schedulers have no such hook and
+        # take the exact legacy path
+        gate = getattr(self.scheduler, "filter_runnable", None)
         while self._outcome is None:
             alive = [t for t in self.threads.values() if t.alive]
             if not alive:
@@ -282,10 +288,42 @@ class Machine:
                 self._report_stall(alive)
                 return
             self._wake_sleepers()
+            if gate is not None:
+                allowed = gate(self, runnable)
+                if not allowed:
+                    sleepers = [t for t in alive if t.state == SLEEPING]
+                    if sleepers:
+                        # every runnable thread is held at a gate; let
+                        # time pass so the thread the gate waits for
+                        # can wake and make progress
+                        self.clock.advance_to(
+                            min(t.wake_time for t in sleepers)
+                        )
+                        self._wake_sleepers()
+                        continue
+                    # held threads, no sleepers: the directive cannot be
+                    # satisfied — execute one instruction of the
+                    # scheduler's choice instead of stalling forever
+                    tid = self.scheduler.force_release(self, runnable)
+                    self._step(self.threads[tid])
+                    continue
+                runnable = allowed
             tid, quantum = self.scheduler.pick(runnable)
             thread = self.threads[tid]
-            for _ in range(quantum):
+            # a directing scheduler also truncates quanta at gated uids:
+            # the round-level veto alone would let a long quantum blow
+            # straight through a gate reached mid-quantum
+            barriers = (
+                self.scheduler.barrier_uids(self) if gate is not None else None
+            )
+            for ran in range(quantum):
                 if self._outcome is not None or thread.state != RUNNABLE:
+                    break
+                if (
+                    ran
+                    and barriers
+                    and self.thread_position(thread) in barriers
+                ):
                     break
                 self._step(thread)
 
@@ -324,7 +362,7 @@ class Machine:
     def _spawn_thread(self, fn: Function, args: list[Any]) -> SimThread:
         tid = self._next_tid
         self._next_tid += 1
-        thread = SimThread(tid)
+        thread = SimThread(tid, root=fn.name)
         self.threads[tid] = thread
         self.stats[tid] = ThreadStats(tid)
         self._push_frame(thread, fn, args, call_site=None)

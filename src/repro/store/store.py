@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from repro.core.cache import CacheStats
 from repro.errors import FleetError
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _DDL_V1 = (
     """CREATE TABLE IF NOT EXISTS meta (
@@ -79,6 +79,9 @@ _MIGRATIONS: dict[int, tuple[str, ...]] = {
     # v2: reports carry the flight recorder of the diagnosing job, so a
     # stored root cause keeps its collection/analysis provenance
     1: ("ALTER TABLE reports ADD COLUMN flight_recorder TEXT",),
+    # v3: reports carry their repro.validate outcome (status + witness
+    # schedules as JSON) so validated/refuted is queryable per row
+    2: ("ALTER TABLE reports ADD COLUMN validation TEXT",),
 }
 
 
@@ -92,6 +95,7 @@ class StoredReport:
     degraded: bool
     flight_recorder: str | None
     created_at: float
+    validation: dict | None = None
 
 
 class DiagnosisStore:
@@ -170,7 +174,7 @@ class DiagnosisStore:
             with self._lock:
                 row = self._conn.execute(
                     "SELECT bug_id, digest, degraded, flight_recorder, "
-                    "created_at FROM reports WHERE signature=?",
+                    "created_at, validation FROM reports WHERE signature=?",
                     (signature,),
                 ).fetchone()
             if row is None:
@@ -186,6 +190,7 @@ class DiagnosisStore:
                 degraded=bool(row[2]),
                 flight_recorder=row[3],
                 created_at=row[4],
+                validation=json.loads(row[5]) if row[5] else None,
             )
 
     def put_report(
@@ -195,6 +200,7 @@ class DiagnosisStore:
         digest: dict,
         degraded: bool = False,
         flight_recorder: str | None = None,
+        validation: dict | None = None,
     ) -> bool:
         """Store a finished diagnosis; returns True if the row is new.
 
@@ -207,8 +213,8 @@ class DiagnosisStore:
             with self._lock, self._conn:
                 cursor = self._conn.execute(
                     "INSERT OR IGNORE INTO reports (signature, bug_id, "
-                    "digest, degraded, flight_recorder, created_at) "
-                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    "digest, degraded, flight_recorder, created_at, "
+                    "validation) VALUES (?, ?, ?, ?, ?, ?, ?)",
                     (
                         signature,
                         bug_id,
@@ -216,6 +222,11 @@ class DiagnosisStore:
                         int(degraded),
                         flight_recorder,
                         time.time(),
+                        (
+                            json.dumps(validation, sort_keys=True)
+                            if validation is not None
+                            else None
+                        ),
                     ),
                 )
             inserted = cursor.rowcount > 0

@@ -1,0 +1,44 @@
+"""Close the loop: diagnosis -> deterministic reproduction -> fix validation.
+
+A :class:`~repro.core.report.DiagnosisReport` names a root-cause event
+order but nothing proves it.  This package compiles the diagnosed order
+into a :class:`~repro.sim.scheduler.DirectedScheduler` directive (the
+*schedule synthesizer*), replays the failing execution under the forced
+order and under its inverse (the *reproduction engine*), and stamps the
+report ``validated`` — the failure fires exactly when the diagnosed
+order holds — or ``refuted``.  On top of a validated reproduction, the
+*fix layer* derives candidate IR patches from the bug class and
+accepts only those that survive both the reproducer schedule and a
+success-corpus sweep.
+"""
+
+from repro.validate.engine import (
+    ValidationOutcome,
+    WitnessSchedule,
+    directed_run,
+    validate_ground_truth,
+    validate_order,
+    validate_report,
+)
+from repro.validate.fixes import CandidateFix, FixOutcome, propose_fixes, validate_fix
+from repro.validate.synthesizer import (
+    OrderedEvent,
+    TargetOrder,
+    synthesize_directives,
+)
+
+__all__ = [
+    "CandidateFix",
+    "FixOutcome",
+    "OrderedEvent",
+    "TargetOrder",
+    "ValidationOutcome",
+    "WitnessSchedule",
+    "directed_run",
+    "propose_fixes",
+    "synthesize_directives",
+    "validate_fix",
+    "validate_ground_truth",
+    "validate_order",
+    "validate_report",
+]

@@ -1,0 +1,136 @@
+"""CLI: validate diagnosed orders (and candidate fixes) for the corpus.
+
+Usage::
+
+    python -m repro.validate                      # validate every bug
+    python -m repro.validate --bugs aget-2,dbcp-44
+    python -m repro.validate --fixes              # also propose fixes
+    python -m repro.validate --out artifacts/     # witness JSON per bug
+
+Exit status: 0 when every selected ground-truth bug validates, 1 when
+any is refuted/inconclusive or no failing seed was found, 2 on bad
+usage.  CI runs this as the validation smoke step and publishes the
+witness schedules as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.corpus.registry import all_bugs, bug
+from repro.errors import ReproError
+from repro.validate.engine import find_failing_seed, validate_order
+from repro.validate.fixes import propose_and_validate
+from repro.validate.synthesizer import TargetOrder
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description="validate diagnosed orders against directed replays",
+    )
+    parser.add_argument(
+        "--bugs",
+        help="comma-separated bug ids (default: the whole corpus)",
+    )
+    parser.add_argument(
+        "--fixes",
+        action="store_true",
+        help="also propose and validate candidate fixes per bug",
+    )
+    parser.add_argument(
+        "--out",
+        help="directory for per-bug witness/fix JSON artifacts",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3000,
+        help="seed-scan budget per bug (default 3000)",
+    )
+    parser.add_argument(
+        "--sweep-seeds",
+        type=int,
+        default=30,
+        help="success-sweep size for fix validation (default 30)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    try:
+        if args.bugs:
+            specs = [bug(b.strip()) for b in args.bugs.split(",") if b.strip()]
+        else:
+            specs = all_bugs()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    started = time.monotonic()
+    for spec in specs:
+        module = spec.module()
+        found = find_failing_seed(
+            module, spec.workload, spec.entry, max_attempts=args.max_attempts
+        )
+        record: dict = {"bug_id": spec.bug_id, "kind": spec.kind}
+        if found is None:
+            failures += 1
+            record["status"] = "no-failing-seed"
+            print(f"{spec.bug_id:16s} {spec.kind:20s} NO FAILING SEED")
+        else:
+            failing_seed, failing_uid = found
+            order = TargetOrder.from_truth(module, spec.ground_truth)
+            outcome = validate_order(
+                module,
+                spec.workload,
+                order,
+                entry=spec.entry,
+                failing_seed=failing_seed,
+                expected_uid=failing_uid,
+            )
+            record.update(outcome.as_dict())
+            record["failing_seed"] = failing_seed
+            record["failing_uid"] = failing_uid
+            status = outcome.status
+            print(f"{spec.bug_id:16s} {spec.kind:20s} {status.upper()}")
+            if not outcome.validated:
+                failures += 1
+                for line in outcome.render().splitlines():
+                    print(f"    {line}")
+            elif args.fixes:
+                fix_outcomes = propose_and_validate(
+                    spec.kind,
+                    spec.fresh_module,
+                    spec.workload,
+                    order,
+                    entry=spec.entry,
+                    failing_seed=failing_seed,
+                    sweep_seeds=args.sweep_seeds,
+                )
+                record["fixes"] = [o.as_dict() for o in fix_outcomes]
+                for o in fix_outcomes:
+                    tag = "ACCEPT" if o.accepted else "reject"
+                    print(f"    {tag} {o.fix}: {o.reason}")
+        if out_dir is not None:
+            path = out_dir / f"{spec.bug_id.replace('/', '_')}.json"
+            path.write_text(json.dumps(record, indent=2, sort_keys=True))
+
+    elapsed = time.monotonic() - started
+    verdict = "ok" if failures == 0 else f"{failures} not validated"
+    print(f"validated {len(specs) - failures}/{len(specs)} bugs "
+          f"in {elapsed:.1f}s ({verdict})")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

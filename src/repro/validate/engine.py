@@ -1,0 +1,304 @@
+"""The reproduction engine: forced/inverse replays and their verdict.
+
+Validation replays the *failing seed* (same module, same workload
+arguments, same virtual-time behaviour) twice:
+
+* under the **forced** directive the diagnosed order is imposed; a
+  correct diagnosis makes the failure fire, at the same failing
+  instruction the production run reported;
+* under the **inverse** directive the diagnosed order is made
+  impossible; a correct diagnosis makes the run succeed.
+
+Both replays together upgrade the report's statistical (F1) root cause
+into a demonstrated one:
+
+* ``validated`` — forced fails at the diagnosed instruction AND the
+  inverse passes;
+* ``refuted`` — the forced order did not reproduce the failure (the
+  diagnosed order is not sufficient for it);
+* ``inconclusive`` — the forced run failed somewhere else, or the
+  inverse still failed (the order is not *necessary*).
+
+Each replay is summarized as a :class:`WitnessSchedule` — enough to
+re-run it bit-identically (seed + directive + quantum are the full
+scheduler state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.module import Module
+from repro.sim.failures import ExecutionResult
+from repro.sim.machine import Machine
+from repro.sim.scheduler import DirectedScheduler, Directive
+from repro.validate.synthesizer import (
+    TargetOrder,
+    synthesize_directives,
+    synthesize_inverse_fallback,
+)
+
+DEFAULT_MEAN_QUANTUM = 24
+
+
+@dataclass
+class WitnessSchedule:
+    """One directed replay, reproducible from (seed, directive, quantum)."""
+
+    mode: str  # "forced" | "inverse"
+    seed: int
+    mean_quantum: int
+    directive: str  # Directive.describe()
+    outcome: str  # machine outcome: success/crash/assert/deadlock/hang/...
+    failing_uid: int | None
+    order_satisfied: bool  # a ForceOrder gated every position
+    releases: int  # force_release count (gate pressure / unsatisfiability)
+    duration_ns: int
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "mean_quantum": self.mean_quantum,
+            "directive": self.directive,
+            "outcome": self.outcome,
+            "failing_uid": self.failing_uid,
+            "order_satisfied": self.order_satisfied,
+            "releases": self.releases,
+            "duration_ns": self.duration_ns,
+        }
+
+
+@dataclass
+class ValidationOutcome:
+    """The verdict plus its two witness schedules."""
+
+    status: str  # "validated" | "refuted" | "inconclusive"
+    witnesses: list[WitnessSchedule] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def validated(self) -> bool:
+        return self.status == "validated"
+
+    def as_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "witnesses": [w.as_dict() for w in self.witnesses],
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        lines = [f"validation: {self.status.upper()}"]
+        for w in self.witnesses:
+            failing = f" at uid={w.failing_uid}" if w.failing_uid else ""
+            lines.append(
+                f"  {w.mode:7s} seed={w.seed} [{w.directive}] -> "
+                f"{w.outcome}{failing}"
+            )
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+def directed_run(
+    module: Module,
+    workload,
+    entry: str,
+    seed: int,
+    directive: Directive,
+    mean_quantum: int = DEFAULT_MEAN_QUANTUM,
+    max_steps: int = 20_000_000,
+) -> tuple[ExecutionResult, DirectedScheduler]:
+    """One replay of ``(module, workload(seed))`` under a directive."""
+    scheduler = DirectedScheduler(seed, directive, mean_quantum)
+    machine = Machine(module, scheduler=scheduler, max_steps=max_steps)
+    result = machine.run(entry, workload(seed))
+    return result, scheduler
+
+
+def _witness(
+    mode: str,
+    seed: int,
+    mean_quantum: int,
+    directive: Directive,
+    result: ExecutionResult,
+    scheduler: DirectedScheduler,
+) -> WitnessSchedule:
+    return WitnessSchedule(
+        mode=mode,
+        seed=seed,
+        mean_quantum=mean_quantum,
+        directive=directive.describe(),
+        outcome=result.outcome,
+        failing_uid=result.failure.failing_uid if result.failure else None,
+        order_satisfied=scheduler.satisfied,
+        releases=scheduler.releases,
+        duration_ns=result.duration,
+    )
+
+
+def validate_order(
+    module: Module,
+    workload,
+    order: TargetOrder,
+    *,
+    entry: str = "main",
+    failing_seed: int,
+    expected_uid: int,
+    mean_quantum: int = DEFAULT_MEAN_QUANTUM,
+    max_steps: int = 20_000_000,
+) -> ValidationOutcome:
+    """Force the order, then force its inverse, and pass the verdict."""
+    forced_directive, inverse_directive = synthesize_directives(
+        module, order, entry
+    )
+    forced_result, forced_sched = directed_run(
+        module, workload, entry, failing_seed, forced_directive,
+        mean_quantum, max_steps,
+    )
+    inverse_result, inverse_sched = directed_run(
+        module, workload, entry, failing_seed, inverse_directive,
+        mean_quantum, max_steps,
+    )
+    witnesses = [
+        _witness("forced", failing_seed, mean_quantum, forced_directive,
+                 forced_result, forced_sched),
+        _witness("inverse", failing_seed, mean_quantum, inverse_directive,
+                 inverse_result, inverse_sched),
+    ]
+    notes: list[str] = []
+    forced_failure = forced_result.failure
+    if forced_failure is None:
+        notes.append(
+            "forced order did not reproduce the failure: the diagnosed "
+            "order is not sufficient for it"
+        )
+        return ValidationOutcome("refuted", witnesses, notes)
+    # A deadlock cycle can be "completed" by either participant, so any
+    # target-event uid is an acceptable deadlock site; all other kinds
+    # must fail at exactly the production failing instruction.
+    uid_matches = forced_failure.failing_uid == expected_uid or (
+        order.bug_kind == "deadlock"
+        and forced_failure.kind == "deadlock"
+        and forced_failure.failing_uid in order.uids
+    )
+    if not uid_matches:
+        notes.append(
+            f"forced order failed at uid={forced_failure.failing_uid}, "
+            f"expected uid={expected_uid}"
+        )
+        return ValidationOutcome("inconclusive", witnesses, notes)
+    if inverse_result.failure is not None:
+        # An atomicity window has a second non-interleaved placement
+        # (rival entirely after the window); some bugs only succeed
+        # under that one.  Try it before giving up.
+        fallback = synthesize_inverse_fallback(module, order, entry)
+        if (
+            fallback is not None
+            and fallback.describe() != inverse_directive.describe()
+        ):
+            fb_result, fb_sched = directed_run(
+                module, workload, entry, failing_seed, fallback,
+                mean_quantum, max_steps,
+            )
+            witnesses.append(
+                _witness("inverse", failing_seed, mean_quantum, fallback,
+                         fb_result, fb_sched)
+            )
+            if fb_result.failure is None:
+                notes.append(
+                    "primary inverse still failed; the opposite "
+                    "serialization avoids the failure"
+                )
+                return ValidationOutcome("validated", witnesses, notes)
+        notes.append(
+            "inverse order still failed: the diagnosed order is not "
+            "necessary for the failure"
+        )
+        return ValidationOutcome("inconclusive", witnesses, notes)
+    return ValidationOutcome("validated", witnesses, notes)
+
+
+def validate_report(
+    module: Module,
+    workload,
+    report,
+    *,
+    entry: str = "main",
+    failing_seed: int,
+    mean_quantum: int = DEFAULT_MEAN_QUANTUM,
+    max_steps: int = 20_000_000,
+) -> ValidationOutcome | None:
+    """Validate a DiagnosisReport in place (sets ``report.validation``).
+
+    Returns None (and leaves the report untouched) when the report has
+    no diagnosed order to validate.
+    """
+    if not report.diagnosed or not report.target_events:
+        return None
+    order = TargetOrder.from_report(report)
+    outcome = validate_order(
+        module,
+        workload,
+        order,
+        entry=entry,
+        failing_seed=failing_seed,
+        expected_uid=report.failing_uid,
+        mean_quantum=mean_quantum,
+        max_steps=max_steps,
+    )
+    report.validation = outcome.as_dict()
+    return outcome
+
+
+def find_failing_seed(
+    module: Module,
+    workload,
+    entry: str = "main",
+    start_seed: int = 0,
+    max_attempts: int = 3000,
+) -> tuple[int, int] | None:
+    """Scan seeds for a failing run; returns (seed, failing_uid)."""
+    from repro.runtime.client import SnorlaxClient
+
+    client = SnorlaxClient(module, workload, entry, tracing=False)
+    runs = client.find_runs(
+        want_failing=True, count=1, start_seed=start_seed,
+        max_attempts=max_attempts,
+    )
+    if not runs:
+        return None
+    run = runs[0]
+    return run.seed, run.result.failure.failing_uid
+
+
+def validate_ground_truth(
+    spec,
+    *,
+    start_seed: int = 0,
+    max_attempts: int = 3000,
+    mean_quantum: int = DEFAULT_MEAN_QUANTUM,
+) -> tuple[ValidationOutcome, int] | None:
+    """Validate one corpus bug against its ground truth.
+
+    Returns (outcome, failing_seed), or None when no failing seed was
+    found in the scan budget.
+    """
+    module = spec.module()
+    found = find_failing_seed(
+        module, spec.workload, spec.entry, start_seed, max_attempts
+    )
+    if found is None:
+        return None
+    failing_seed, failing_uid = found
+    order = TargetOrder.from_truth(module, spec.ground_truth)
+    outcome = validate_order(
+        module,
+        spec.workload,
+        order,
+        entry=spec.entry,
+        failing_seed=failing_seed,
+        expected_uid=failing_uid,
+        mean_quantum=mean_quantum,
+    )
+    return outcome, failing_seed

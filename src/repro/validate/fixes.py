@@ -1,0 +1,503 @@
+"""Candidate-fix synthesis and validation (the loop's last mile).
+
+A validated reproduction is a *test*: a schedule that makes the bug
+fire on demand, and a counterfactual schedule that makes it pass.  That
+is exactly the substrate automatic fix checking needs, so this module
+derives candidate patches from the bug class, applies them at the IR
+level, and accepts only the candidates that survive
+
+1. the **reproducer schedule** — the forced order replayed on the
+   patched module must no longer fail (the gate degrades to a free run
+   wherever the patch made the order unreachable), and
+2. the **success sweep** — the failing seed plus a corpus of fresh
+   seeds run under the normal scheduler must all succeed (the patch
+   must not break the program or introduce a new deadlock).
+
+Fix templates by class:
+
+* order violation — move the premature teardown after the join
+  (``WR``), move the spawn after the publication (``RW``), or
+  serialize the racing function when both slots run the same code
+  (``WW``); the deliberately naive "wrap each event in a lock" is
+  proposed too, and rejected by the reproducer schedule (locks do not
+  order events).
+* atomicity violation — an **atomic window**: one new global lock held
+  from the first victim event through the last (released at the
+  structured merge when the window spans a branch), with the rival's
+  intruding event wrapped in the same lock; plus coarse whole-function
+  serialization; the naive victim-only window (rival left unlocked) is
+  proposed and rejected.
+* deadlock — lock-ordering normalization: the second slot's two
+  acquisitions swap lock operands so both slots acquire in the same
+  order; the naive unlock-reordering is proposed and rejected.
+
+All edits run on a *fresh* builder output (never a module any uid-keyed
+cache or trace has seen), then :meth:`Module.refinalize` renumbers uids
+and re-verifies; the old->new uid map keeps the reproducer directive
+valid on the patched module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import (
+    Free,
+    Instruction,
+    Join,
+    Lock,
+    LockInit,
+    Ret,
+    Spawn,
+    Store,
+    Unlock,
+)
+from repro.ir.module import Module
+from repro.ir.types import LOCK
+from repro.ir.values import FunctionRef
+from repro.sim.machine import Machine
+from repro.sim.scheduler import ForceOrder, RandomScheduler
+from repro.validate.engine import DEFAULT_MEAN_QUANTUM, WitnessSchedule, _witness
+from repro.validate.synthesizer import TargetOrder
+
+FIX_LOCK_NAME = "__snorlax_fix_lock"
+
+
+class FixNotApplicable(Exception):
+    """The candidate's structural preconditions do not hold."""
+
+
+@dataclass
+class CandidateFix:
+    """One derivable patch: a name plus an IR-level edit."""
+
+    name: str
+    description: str
+    _apply: Callable[[Module, TargetOrder, list[Instruction], str], None]
+
+    def apply(self, module: Module, order: TargetOrder, entry: str) -> dict[int, int]:
+        """Apply in place on a fresh finalized module; returns the
+        old->new uid map after renumbering."""
+        instrs = [module.instruction(uid) for uid in order.uids]
+        old_uids = {instr: instr.uid for instr in module.instructions()}
+        self._apply(module, order, instrs, entry)
+        module.refinalize()
+        return {old: instr.uid for instr, old in old_uids.items()}
+
+
+@dataclass
+class FixOutcome:
+    """Verdict for one candidate on one validated bug."""
+
+    fix: str
+    description: str
+    accepted: bool
+    reason: str
+    forced: WitnessSchedule | None = None
+    sweep_runs: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "fix": self.fix,
+            "description": self.description,
+            "accepted": self.accepted,
+            "reason": self.reason,
+            "forced": self.forced.as_dict() if self.forced else None,
+            "sweep_runs": self.sweep_runs,
+            "notes": list(self.notes),
+        }
+
+
+# -- IR editing helpers ------------------------------------------------------
+
+
+def _insert(block: BasicBlock, index: int, instr: Instruction) -> None:
+    # direct list surgery: BasicBlock.append refuses instructions after
+    # the terminator, which is exactly where fixes need to place code
+    block.instructions.insert(index, instr)
+    instr.parent = block
+
+
+def _insert_before(anchor: Instruction, instr: Instruction) -> None:
+    block = anchor.parent
+    _insert(block, block.instructions.index(anchor), instr)
+
+
+def _insert_after(anchor: Instruction, instr: Instruction) -> None:
+    block = anchor.parent
+    _insert(block, block.instructions.index(anchor) + 1, instr)
+
+
+def _fix_lock(module: Module, entry: str):
+    """A fresh global mutex, initialized first thing in the entry."""
+    if FIX_LOCK_NAME in module.globals:
+        return module.globals[FIX_LOCK_NAME]
+    g = module.add_global(FIX_LOCK_NAME, LOCK)
+    _insert(module.function(entry).entry, 0, LockInit(g))
+    return g
+
+
+def _terminator(block: BasicBlock):
+    if block.instructions and block.instructions[-1].is_terminator:
+        return block.instructions[-1]
+    return None
+
+
+def _reaches(start: BasicBlock, target: BasicBlock, barrier: BasicBlock) -> bool:
+    """CFG reachability from ``start`` to ``target`` without re-entering
+    ``barrier`` (so loop backedges through the window head don't count)."""
+    if start is target:
+        return True
+    seen = {start, barrier}
+    frontier = [start]
+    while frontier:
+        block = frontier.pop()
+        term = _terminator(block)
+        if term is None:
+            continue
+        for succ in term.successors():
+            if succ is target:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return False
+
+
+def _place_window_unlock(v1: Instruction, v2: Instruction, lock_var) -> None:
+    """Release the window lock after the last victim event.
+
+    Three shapes: same block -> right after v2; v2 on every path from
+    v1 -> right after v2; v2 only on one branch of v1's terminator ->
+    at the head of the skipping successor, which structured control
+    flow guarantees is the merge both paths reach exactly once.
+    """
+    if v2.parent is v1.parent:
+        _insert_after(v2, Unlock(lock_var))
+        return
+    term = _terminator(v1.parent)
+    succs = term.successors() if term is not None else []
+    reach = [s for s in succs if _reaches(s, v2.parent, barrier=v1.parent)]
+    if not succs or len(reach) == len(succs):
+        _insert_after(v2, Unlock(lock_var))
+        return
+    skip = next(s for s in succs if s not in reach)
+    _insert(skip, 0, Unlock(lock_var))
+
+
+# -- order-violation candidates ----------------------------------------------
+
+
+def _apply_move_free_after_join(
+    module: Module, order: TargetOrder, instrs: list[Instruction], entry: str
+) -> None:
+    teardown = instrs[0]
+    if not isinstance(teardown, Free):
+        raise FixNotApplicable("first event is not a free")
+    fn = teardown.parent.function
+    joins = [i for i in fn.instructions() if isinstance(i, Join)]
+    if not joins:
+        raise FixNotApplicable("freeing function joins no threads")
+    teardown.parent.instructions.remove(teardown)
+    _insert_after(joins[-1], teardown)
+
+
+def _apply_spawn_after_publish(
+    module: Module, order: TargetOrder, instrs: list[Instruction], entry: str
+) -> None:
+    publish = instrs[-1]
+    if not isinstance(publish, Store):
+        raise FixNotApplicable("last event is not a store")
+    reader_fn = instrs[0].parent.function.name
+    fn = publish.parent.function
+    spawns = [
+        i
+        for i in fn.instructions()
+        if isinstance(i, Spawn)
+        and isinstance(i.callee, FunctionRef)
+        and i.callee.function.name == reader_fn
+    ]
+    if not spawns:
+        raise FixNotApplicable("publishing function spawns no racing thread")
+    spawn = spawns[0]
+    spawn.parent.instructions.remove(spawn)
+    _insert_after(publish, spawn)
+
+
+def _apply_serialize_function(
+    module: Module, order: TargetOrder, instrs: list[Instruction], entry: str
+) -> None:
+    functions = {i.parent.function for i in instrs}
+    if len(functions) != 1:
+        raise FixNotApplicable("events span multiple functions")
+    victim = functions.pop()
+    if victim.name == entry:
+        raise FixNotApplicable("cannot serialize the entry function")
+    lock_var = _fix_lock(module, entry)
+    _insert(victim.entry, 0, Lock(lock_var))
+    for instr in list(victim.instructions()):
+        if isinstance(instr, Ret):
+            _insert_before(instr, Unlock(lock_var))
+
+
+def _apply_guard_events(
+    module: Module, order: TargetOrder, instrs: list[Instruction], entry: str
+) -> None:
+    lock_var = _fix_lock(module, entry)
+    for instr in dict.fromkeys(instrs):  # dedupe shared-uid events
+        _insert_before(instr, Lock(lock_var))
+        _insert_after(instr, Unlock(lock_var))
+
+
+# -- atomicity-violation candidates ------------------------------------------
+
+
+def _apply_atomic_window(
+    module: Module,
+    order: TargetOrder,
+    instrs: list[Instruction],
+    entry: str,
+    wrap_rival: bool = True,
+) -> None:
+    if len(instrs) != 3:
+        raise FixNotApplicable("atomicity window needs three events")
+    v1, rival, v2 = instrs
+    if v1.parent.function is not v2.parent.function:
+        raise FixNotApplicable("victim events span functions")
+    lock_var = _fix_lock(module, entry)
+    _insert_before(v1, Lock(lock_var))
+    _place_window_unlock(v1, v2, lock_var)
+    if wrap_rival:
+        # the whole rival block leading up to the intrusion joins the
+        # critical section (its companion accesses are part of the
+        # hazard, e.g. the free preceding a pointer swap)
+        _insert(rival.parent, 0, Lock(lock_var))
+        _insert_after(rival, Unlock(lock_var))
+
+
+def _apply_victim_window_only(
+    module: Module, order: TargetOrder, instrs: list[Instruction], entry: str
+) -> None:
+    _apply_atomic_window(module, order, instrs, entry, wrap_rival=False)
+
+
+def _apply_coarse_serialize(
+    module: Module, order: TargetOrder, instrs: list[Instruction], entry: str
+) -> None:
+    if len(instrs) != 3:
+        raise FixNotApplicable("atomicity serialization needs three events")
+    victim_fn = instrs[0].parent.function
+    rival_fn = instrs[1].parent.function
+    if entry in (victim_fn.name, rival_fn.name):
+        raise FixNotApplicable("cannot serialize the entry function")
+    lock_var = _fix_lock(module, entry)
+    for fn in {victim_fn, rival_fn}:
+        _insert(fn.entry, 0, Lock(lock_var))
+        for instr in list(fn.instructions()):
+            if isinstance(instr, Ret):
+                _insert_before(instr, Unlock(lock_var))
+
+
+# -- deadlock candidates -----------------------------------------------------
+
+
+def _slot_lock_pair(
+    order: TargetOrder, instrs: list[Instruction], slot: int
+) -> list[Instruction]:
+    pair = [
+        instr
+        for instr, event in zip(instrs, order.events)
+        if event.slot == slot and isinstance(instr, Lock)
+    ]
+    if len(pair) != 2:
+        raise FixNotApplicable("deadlock slot does not hold exactly two locks")
+    return pair
+
+
+def _apply_normalize_lock_order(
+    module: Module, order: TargetOrder, instrs: list[Instruction], entry: str
+) -> None:
+    if len(instrs) != 4 or not all(isinstance(i, Lock) for i in instrs):
+        raise FixNotApplicable("needs the four ABBA lock acquisitions")
+    second_slot = order.events[1].slot
+    first, second = _slot_lock_pair(order, instrs, second_slot)
+    # swap which mutex each acquisition takes: B,A becomes A,B, making
+    # both slots acquire in the same global order (no cycle possible)
+    first.operands[0], second.operands[0] = second.operands[0], first.operands[0]
+
+
+def _apply_reorder_unlocks(
+    module: Module, order: TargetOrder, instrs: list[Instruction], entry: str
+) -> None:
+    if len(instrs) != 4 or not all(isinstance(i, Lock) for i in instrs):
+        raise FixNotApplicable("needs the four ABBA lock acquisitions")
+    rival_fn = instrs[1].parent.function
+    unlocks = [i for i in rival_fn.instructions() if isinstance(i, Unlock)]
+    if len(unlocks) < 2:
+        raise FixNotApplicable("rival releases fewer than two locks")
+    unlocks[0].operands[0], unlocks[1].operands[0] = (
+        unlocks[1].operands[0],
+        unlocks[0].operands[0],
+    )
+
+
+# -- registry ----------------------------------------------------------------
+
+_CANDIDATES: dict[str, list[CandidateFix]] = {
+    "order-violation": [
+        CandidateFix(
+            "move-teardown-after-join",
+            "delay the premature free until after the joins",
+            _apply_move_free_after_join,
+        ),
+        CandidateFix(
+            "publish-before-spawn",
+            "move the spawn after the publication store",
+            _apply_spawn_after_publish,
+        ),
+        CandidateFix(
+            "serialize-racing-function",
+            "one racing thread runs the shared function at a time",
+            _apply_serialize_function,
+        ),
+        CandidateFix(
+            "guard-events-with-lock",
+            "wrap each target event in a new lock (naive: locks do not order)",
+            _apply_guard_events,
+        ),
+    ],
+    "atomicity-violation": [
+        CandidateFix(
+            "atomic-window",
+            "hold a new lock across the victim window; rival takes the same lock",
+            _apply_atomic_window,
+        ),
+        CandidateFix(
+            "coarse-serialize",
+            "serialize the victim and rival functions with one lock",
+            _apply_coarse_serialize,
+        ),
+        CandidateFix(
+            "victim-window-only",
+            "lock the victim window but not the rival (naive: rival still intrudes)",
+            _apply_victim_window_only,
+        ),
+    ],
+    "deadlock": [
+        CandidateFix(
+            "normalize-lock-order",
+            "second slot acquires the two locks in the first slot's order",
+            _apply_normalize_lock_order,
+        ),
+        CandidateFix(
+            "reorder-unlocks",
+            "swap the rival's release order (naive: acquisition order unchanged)",
+            _apply_reorder_unlocks,
+        ),
+    ],
+}
+
+
+def propose_fixes(bug_kind: str) -> list[CandidateFix]:
+    """The candidate patches derivable for a bug class (may be empty)."""
+    return list(_CANDIDATES.get(bug_kind, ()))
+
+
+# -- validation --------------------------------------------------------------
+
+
+def validate_fix(
+    fix: CandidateFix,
+    module_factory: Callable[[], Module],
+    workload,
+    order: TargetOrder,
+    *,
+    entry: str = "main",
+    failing_seed: int,
+    sweep_seeds: int = 30,
+    sweep_start: int = 0,
+    mean_quantum: int = DEFAULT_MEAN_QUANTUM,
+    max_steps: int = 20_000_000,
+) -> FixOutcome:
+    """Patch a fresh module and re-run the loop's two checks."""
+    module = module_factory()
+    try:
+        uid_map = fix.apply(module, order, entry)
+    except FixNotApplicable as exc:
+        return FixOutcome(fix.name, fix.description, False, f"not applicable: {exc}")
+    # 1. the reproducer schedule must no longer fail
+    from repro.validate.engine import directed_run
+
+    forced = ForceOrder(tuple(uid_map[uid] for uid in order.uids))
+    result, scheduler = directed_run(
+        module, workload, entry, failing_seed, forced, mean_quantum, max_steps
+    )
+    witness = _witness(
+        "forced", failing_seed, mean_quantum, forced, result, scheduler
+    )
+    if result.failure is not None:
+        return FixOutcome(
+            fix.name,
+            fix.description,
+            False,
+            f"reproducer schedule still fails: {result.outcome} at "
+            f"uid={result.failure.failing_uid}",
+            forced=witness,
+        )
+    # 2. the success sweep: the failing seed plus fresh seeds, normal
+    # scheduler — the patch must not regress healthy executions
+    seeds = [failing_seed, *range(sweep_start, sweep_start + sweep_seeds)]
+    for seed in seeds:
+        sweep = Machine(
+            module,
+            scheduler=RandomScheduler(seed, mean_quantum),
+            max_steps=max_steps,
+        ).run(entry, workload(seed))
+        if sweep.failure is not None:
+            return FixOutcome(
+                fix.name,
+                fix.description,
+                False,
+                f"success sweep failed: seed {seed} -> {sweep.outcome} at "
+                f"uid={sweep.failure.failing_uid}",
+                forced=witness,
+                sweep_runs=seeds.index(seed),
+            )
+    return FixOutcome(
+        fix.name,
+        fix.description,
+        True,
+        "reproducer schedule passes and the success sweep is clean",
+        forced=witness,
+        sweep_runs=len(seeds),
+    )
+
+
+def propose_and_validate(
+    bug_kind: str,
+    module_factory: Callable[[], Module],
+    workload,
+    order: TargetOrder,
+    *,
+    entry: str = "main",
+    failing_seed: int,
+    sweep_seeds: int = 30,
+    mean_quantum: int = DEFAULT_MEAN_QUANTUM,
+) -> list[FixOutcome]:
+    """Run every candidate for the class through validation."""
+    return [
+        validate_fix(
+            fix,
+            module_factory,
+            workload,
+            order,
+            entry=entry,
+            failing_seed=failing_seed,
+            sweep_seeds=sweep_seeds,
+            mean_quantum=mean_quantum,
+        )
+        for fix in propose_fixes(bug_kind)
+    ]

@@ -1,0 +1,162 @@
+"""Schedule synthesis: diagnosed event order -> scheduler directives.
+
+The synthesizer turns the report's ordered target events into two
+:class:`~repro.sim.scheduler.DirectedScheduler` directives:
+
+* the **forced** directive (:class:`~repro.sim.scheduler.ForceOrder`)
+  gates execution at the target uids so the diagnosed cross-thread
+  order is the one that happens — the reproducer schedule;
+* the **inverse** directive serializes the racing slots so the
+  diagnosed-first event can only happen once the other slot is out of
+  the race — the counterfactual schedule under which a correctly
+  diagnosed failure must *not* fire.
+
+Picking the inverse's shape needs a little static analysis: the other
+slot's events run in threads we can only name by their *root* function
+(``frames[0]``), so the synthesizer walks the direct call graph from
+every thread root (the entry function plus each ``spawn`` target) and
+keeps the roots that can reach an other-slot event's function.  When
+both slots execute the *same* function (symmetric races like a double
+free), root reachability cannot tell the threads apart and the inverse
+degenerates to whole-function entry serialization instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import Call, Spawn
+from repro.ir.module import Module
+from repro.ir.values import FunctionRef
+from repro.sim.scheduler import Directive, ForceOrder, SerializeAfter, SerializeFunction
+
+
+@dataclass(frozen=True)
+class OrderedEvent:
+    """One target event of a diagnosed order."""
+
+    uid: int
+    role: str  # "R" | "W" | "L"
+    slot: int  # thread slot within the pattern (0 = the victim slot)
+    function: str  # function containing the instruction
+
+
+@dataclass(frozen=True)
+class TargetOrder:
+    """A bug's ordered target events, ready for directive synthesis."""
+
+    bug_kind: str
+    events: tuple[OrderedEvent, ...]
+
+    @property
+    def uids(self) -> tuple[int, ...]:
+        return tuple(e.uid for e in self.events)
+
+    @classmethod
+    def from_report(cls, report) -> "TargetOrder":
+        """From a DiagnosisReport's diagnosed (ordered) target events."""
+        events = tuple(
+            OrderedEvent(e.uid, e.role, e.thread_slot, e.function)
+            for e in report.target_events
+        )
+        return cls(report.bug_kind, events)
+
+    @classmethod
+    def from_truth(cls, module: Module, truth) -> "TargetOrder":
+        """From corpus ground truth (events alternate thread slots:
+        2 -> [0,1], 3 -> [0,1,0], 4 -> [0,1,0,1] — the pattern-shape
+        convention the whole corpus follows)."""
+        uids = truth.resolve(module)
+        events = []
+        for i, (uid, locator) in enumerate(zip(uids, truth.events)):
+            instr = module.instruction(uid)
+            fn = instr.parent.function.name if instr.parent else "?"
+            events.append(OrderedEvent(uid, locator.role, i % 2, fn))
+        return cls(truth.kind, tuple(events))
+
+
+def thread_roots(module: Module, entry: str) -> set[str]:
+    """Function names a thread can be rooted at: the entry plus every
+    static ``spawn`` target."""
+    roots = {entry}
+    for instr in module.instructions():
+        if isinstance(instr, Spawn) and isinstance(instr.callee, FunctionRef):
+            roots.add(instr.callee.function.name)
+    return roots
+
+
+def _call_closure(module: Module, root: str) -> set[str]:
+    """Functions reachable from ``root`` through direct calls (spawns
+    start *other* threads, so they do not extend this thread's root)."""
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        name = frontier.pop()
+        fn = module.functions.get(name)
+        if fn is None:
+            continue
+        for instr in fn.instructions():
+            if isinstance(instr, Call) and isinstance(instr.callee, FunctionRef):
+                callee = instr.callee.function.name
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+    return seen
+
+
+def qualifying_roots(
+    module: Module, entry: str, other_functions: set[str]
+) -> set[str]:
+    """Thread roots whose call closure can execute an other-slot event."""
+    return {
+        root
+        for root in thread_roots(module, entry)
+        if _call_closure(module, root) & other_functions
+    }
+
+
+def synthesize_directives(
+    module: Module, order: TargetOrder, entry: str = "main"
+) -> tuple[ForceOrder, Directive]:
+    """Compile a target order into (forced directive, inverse directive)."""
+    if not order.events:
+        raise ValueError("cannot synthesize directives for an empty order")
+    forced = ForceOrder(order.uids)
+    first = order.events[0]
+    other_functions = {e.function for e in order.events if e.slot != first.slot}
+    inverse: Directive
+    if first.function in other_functions:
+        # symmetric race: both slots run the same code — serialize entry
+        inverse = SerializeFunction(first.function)
+    else:
+        roots = qualifying_roots(module, entry, other_functions)
+        inverse = SerializeAfter(first.uid, frozenset(roots))
+    return forced, inverse
+
+
+def synthesize_inverse_fallback(
+    module: Module, order: TargetOrder, entry: str = "main"
+) -> Directive | None:
+    """The opposite non-interleaved placement: delay the *other* slot's
+    first event until the diagnosed-first slot's threads are done.
+
+    An atomicity window has two schedules that avoid the diagnosed
+    interleaving — rival entirely before the window (the primary
+    inverse) or entirely after it (this one).  Some bugs only succeed
+    under one of them (e.g. the stale value the rival overwrites is
+    what the victim must read).  Returns None when the race is
+    symmetric (entry serialization already covers both directions) or
+    the first slot's threads cannot be named by root reachability.
+    """
+    first = order.events[0]
+    rivals = [e for e in order.events if e.slot != first.slot]
+    if not rivals:
+        return None
+    rival = rivals[0]
+    first_functions = {e.function for e in order.events if e.slot == first.slot}
+    if rival.function in first_functions:
+        return None  # symmetric race: roots cannot tell the slots apart
+    roots = qualifying_roots(module, entry, first_functions)
+    if not roots:
+        return None
+    return SerializeAfter(rival.uid, frozenset(roots))

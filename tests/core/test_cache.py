@@ -214,6 +214,25 @@ def test_evidence_cache_keys_on_failure_and_policy():
     ) is None
 
 
+def test_evidence_cache_keys_on_scheduler_config():
+    # regression: the collection scheduler's config (policy class +
+    # preemption granularity) is part of the policy tuple — flipping
+    # mean_quantum interleaves the same seeds differently, so serving
+    # the old evidence would be silently stale
+    from repro.core.cache import CollectedEvidenceCache
+
+    module = parse_module(SRC)
+
+    def key(policy_tail):
+        policy = (10, "fixed", 3, 4, 1, None, policy_tail)
+        return CollectedEvidenceCache.key_for(
+            module, "pbzip2-n/a", 7, 89, 10_000, policy
+        )
+
+    assert key(("random", 24)) != key(("random", 8))
+    assert key(("random", 24)) == key(("random", 24))
+
+
 def test_diagnosis_caches_carry_an_evidence_tier():
     from repro.core.cache import CollectedEvidenceCache, DiagnosisCaches
 

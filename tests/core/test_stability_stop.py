@@ -5,6 +5,8 @@ wall-clock, transport, or attempt counts — which is what makes adaptive
 collection produce identical evidence over any transport.
 """
 
+import random
+
 from repro.core.statistics import StabilityStopRule
 
 
@@ -93,6 +95,57 @@ def test_lookahead_zero_once_satisfied():
     feed(rule, 5)
     assert rule.satisfied
     assert rule.lookahead() == 0
+
+
+def _reference_satisfied(tops, window, min_samples, n):
+    """Brute-force model: satisfied after ``n`` samples iff some prefix
+    length ``m <= n`` has ``m >= min_samples`` and the ``window`` tops
+    for prefixes ``m-window+1..m`` are one identical non-None value."""
+    for m in range(max(window, min_samples), n + 1):
+        run = tops[m - window:m]
+        if run and run[0] is not None and all(t == run[0] for t in run):
+            return True
+    return False
+
+
+def test_min_samples_window_boundary_property():
+    # randomized differential against the brute-force model, stepwise:
+    # satisfied must flip exactly when the model says — in particular a
+    # streak completing exactly at min_samples stops there, and
+    # satisfied never flips before min_samples
+    rng = random.Random(0xC0FFEE)
+    for _case in range(400):
+        window = rng.randrange(1, 5)
+        min_samples = rng.randrange(1, 8)
+        n = rng.randrange(1, 14)
+        tops = [rng.choice(["A", "B", None]) for _ in range(n)]
+        rule = StabilityStopRule(
+            evaluate=lambda samples, tops=tops: tops[len(samples) - 1],
+            window=window,
+            min_samples=min_samples,
+        )
+        samples = []
+        for i in range(n):
+            samples.append(f"s{i}")
+            rule.observe(list(samples))
+            want = _reference_satisfied(tops, window, min_samples, i + 1)
+            assert rule.satisfied == want, (
+                f"window={window} min_samples={min_samples} "
+                f"tops={tops[: i + 1]}: got {rule.satisfied}, want {want}"
+            )
+            if rule.satisfied:
+                assert i + 1 >= min_samples  # the floor always holds
+                break
+
+
+def test_streak_completing_exactly_at_min_samples_stops():
+    # the boundary case by construction: window=3, min_samples=5 —
+    # evaluation starts at prefix 3 and the streak completes at
+    # exactly prefix 5, which is also the floor
+    rule, _ = make_rule(["A"] * 8, window=3, min_samples=5)
+    used = feed(rule, 8)
+    assert rule.satisfied
+    assert used == 5
 
 
 def test_observe_is_a_noop_after_satisfaction():

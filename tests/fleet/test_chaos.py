@@ -216,6 +216,63 @@ def test_unbatched_fleet_matches_in_process_digests(in_process_digests):
         assert digest == in_process_digests[signature], signature
 
 
+# -- validation under chaos -------------------------------------------------
+
+
+def test_sharded_chaos_fleet_validation_matches_in_process():
+    # the close-the-loop acceptance bar: a 2-shard fleet validating
+    # through the standard chaos plan must stamp every report
+    # `validated` with witness schedules byte-identical to a fault-free
+    # in-process validation — the directed replays are deterministic in
+    # (module, seed, directive, quantum), transport included
+    from repro.validate import validate_report
+
+    plan = FaultPlan(
+        seed=7,
+        corrupt_rate=0.05,
+        drop_rate=0.05,
+        truncate_rate=0.02,
+        crash_rate=0.9,
+        max_crashes_per_agent=1,
+    )
+    config = FleetConfig(
+        agents=12,
+        bug_ids=BUGS,
+        reporters_per_bug=2,
+        workers=2,
+        shards=2,
+        validate=True,
+        chaos=plan,
+        trace_reply_timeout=2.0,
+        frame_timeout=5.0,
+    )
+    metrics = FleetMetrics()
+    result = run_fleet(config, metrics=metrics)
+    assert not [o for o in result.outcomes if o.error]
+    assert len(result.digests) == len(BUGS)
+
+    expected = {}
+    for bug_id in BUGS:
+        spec = bug(bug_id)
+        module = spec.module()
+        client = SnorlaxClient(module, spec.workload, entry=spec.entry)
+        failing = client.find_runs(True, 1)[0]
+        report = SnorlaxServer(module).diagnose(failing, client).report
+        validate_report(
+            module, spec.workload, report,
+            entry=spec.entry, failing_seed=failing.seed,
+        )
+        signature = (
+            f"{bug_id}|{failing.failure.kind}|{failing.failure.failing_uid}"
+        )
+        expected[signature] = report_digest(report)
+
+    assert set(result.digests) == set(expected)
+    for signature, digest in result.digests.items():
+        assert digest["validation"]["status"] == "validated", signature
+        assert digest == expected[signature], signature
+
+
 # -- graceful degradation ---------------------------------------------------
 
 

@@ -1,0 +1,53 @@
+"""The fleet server's evidence memoization key.
+
+Regression for the cache-key audit: two servers that differ only in the
+collection scheduler config must never share collected evidence — a
+different preemption granularity interleaves the very same seeds
+differently.
+"""
+
+from repro.fleet.server import FleetServer
+from repro.fleet.wire import FailureEnvelope
+from repro.ir import parse_module
+from repro.runtime.protocol import FailureNotification
+
+from tests.runtime.test_client_server import SRC
+
+ENV = FailureEnvelope(
+    bug_id="custom-readbeforeinit",
+    seed=7,
+    notification=FailureNotification(
+        bug_hint="custom-readbeforeinit", failing_uid=89, failing_tid=2, time=0
+    ),
+    sample=None,
+)
+
+
+def _server(**kw):
+    return FleetServer(module_resolver=lambda bug_id: None, workers=1, **kw)
+
+
+def test_evidence_key_includes_collection_mean_quantum():
+    module = parse_module(SRC)
+    a = _server(collection_mean_quantum=24)
+    b = _server(collection_mean_quantum=8)
+    c = _server(collection_mean_quantum=24)
+    try:
+        assert a._evidence_key(module, ENV) != b._evidence_key(module, ENV)
+        assert a._evidence_key(module, ENV) == c._evidence_key(module, ENV)
+    finally:
+        for s in (a, b, c):
+            s.jobs.shutdown(wait=True)
+
+
+def test_evidence_key_still_varies_by_stopping_policy():
+    module = parse_module(SRC)
+    fixed = _server(stopping="fixed")
+    adaptive = _server(stopping="stable-top")
+    try:
+        assert fixed._evidence_key(module, ENV) != adaptive._evidence_key(
+            module, ENV
+        )
+    finally:
+        for s in (fixed, adaptive):
+            s.jobs.shutdown(wait=True)

@@ -44,6 +44,48 @@ def test_v1_file_migrates_forward(tmp_path):
         assert db.get_report("b|crash|2").flight_recorder == "fr"
 
 
+def test_v2_file_migrates_to_v3_with_validation_column(tmp_path):
+    from repro.store.store import _MIGRATIONS
+
+    path = str(tmp_path / "v2.db")
+    conn = sqlite3.connect(path)
+    with conn:
+        for ddl in _DDL_V1:
+            conn.execute(ddl)
+        for statement in _MIGRATIONS[1]:  # bring the file to v2 exactly
+            conn.execute(statement)
+        conn.execute(
+            "INSERT INTO meta (key, value) VALUES ('schema_version', '2')"
+        )
+        # a v2 row (no validation column yet)
+        conn.execute(
+            "INSERT INTO reports (signature, bug_id, digest, degraded, "
+            "created_at) VALUES ('b|crash|1', 'b', '{}', 0, 0.0)"
+        )
+    conn.close()
+    with DiagnosisStore(path) as db:
+        assert db.schema_version == SCHEMA_VERSION
+        old = db.get_report("b|crash|1")
+        assert old is not None
+        assert old.validation is None  # old rows read back as NULL
+        validation = {"status": "validated", "witnesses": [], "notes": []}
+        assert db.put_report("b|crash|2", "b", DIGEST, validation=validation)
+        assert db.get_report("b|crash|2").validation == validation
+
+
+def test_validation_roundtrips_and_defaults_to_none():
+    with DiagnosisStore() as db:
+        validation = {
+            "status": "refuted",
+            "witnesses": [{"mode": "forced", "seed": 7}],
+            "notes": ["forced order did not reproduce the failure"],
+        }
+        assert db.put_report("sig", "bug", DIGEST, validation=validation)
+        assert db.get_report("sig").validation == validation
+        assert db.put_report("bare", "bug", DIGEST)
+        assert db.get_report("bare").validation is None
+
+
 def test_future_schema_is_refused(tmp_path):
     path = str(tmp_path / "future.db")
     with DiagnosisStore(path):

@@ -1,0 +1,157 @@
+"""The reproduction engine: forced/inverse replays and verdicts.
+
+One corpus bug per pattern template must validate against its ground
+truth; a deliberately wrong order must be refuted; and validating a
+pipeline report must stamp it (and its fleet digest) in place.
+"""
+
+import pytest
+
+from repro.corpus import bug
+from repro.fleet.server import report_digest
+from repro.runtime import SnorlaxClient, SnorlaxServer
+from repro.sim.scheduler import ForceOrder, SerializeAfter, SerializeFunction
+from repro.validate.engine import (
+    find_failing_seed,
+    validate_ground_truth,
+    validate_order,
+    validate_report,
+)
+from repro.validate.synthesizer import (
+    OrderedEvent,
+    TargetOrder,
+    synthesize_directives,
+    synthesize_inverse_fallback,
+)
+
+# one representative per corpus template (WR, RW, WW, RWR, WWR, RWW,
+# WRW, deadlock)
+TEMPLATE_BUGS = [
+    "groovy-7590",   # WR  order-violation
+    "aget-2",        # RW  order-violation
+    "httpd-21287",   # WW  order-violation (double free)
+    "aget-3",        # RWR atomicity-violation
+    "dbcp-398",      # WWR atomicity-violation
+    "httpd-25520",   # RWW atomicity-violation
+    "aget-n/a",      # WRW atomicity-violation
+    "dbcp-44",       # ABBA deadlock
+]
+
+
+@pytest.mark.parametrize("bug_id", TEMPLATE_BUGS)
+def test_ground_truth_validates(bug_id):
+    spec = bug(bug_id)
+    found = validate_ground_truth(spec)
+    assert found is not None, f"{bug_id}: no failing seed"
+    outcome, _seed = found
+    assert outcome.validated, f"{bug_id}:\n{outcome.render()}"
+    forced, inverse = outcome.witnesses[0], outcome.witnesses[-1]
+    assert forced.mode == "forced" and forced.outcome != "success"
+    assert forced.order_satisfied
+    assert inverse.mode == "inverse" and inverse.outcome == "success"
+
+
+def test_wrong_order_is_refuted():
+    # the *safe* order (inverse of the diagnosed one) forced onto the
+    # failing seed must not reproduce -> refuted
+    spec = bug("aget-2")
+    module = spec.module()
+    found = find_failing_seed(module, spec.workload, spec.entry)
+    assert found is not None
+    failing_seed, failing_uid = found
+    truth = TargetOrder.from_truth(module, spec.ground_truth)
+    reversed_order = TargetOrder(truth.bug_kind, tuple(reversed(truth.events)))
+    outcome = validate_order(
+        module,
+        spec.workload,
+        reversed_order,
+        entry=spec.entry,
+        failing_seed=failing_seed,
+        expected_uid=failing_uid,
+    )
+    assert outcome.status == "refuted", outcome.render()
+    assert outcome.witnesses[0].outcome == "success"  # forced run passed
+
+
+def test_validate_report_stamps_report_and_digest():
+    spec = bug("aget-2")
+    module = spec.module()
+    client = SnorlaxClient(module, spec.workload, entry=spec.entry)
+    failing = client.find_runs(True, 1)[0]
+    report = SnorlaxServer(module).diagnose(failing, client).report
+    assert report.validation is None
+    assert "validation" not in report_digest(report)  # back-compat
+    outcome = validate_report(
+        module, spec.workload, report,
+        entry=spec.entry, failing_seed=failing.seed,
+    )
+    assert outcome is not None and outcome.validated
+    assert report.validation == outcome.as_dict()
+    digest = report_digest(report)
+    assert digest["validation"]["status"] == "validated"
+    witnesses = digest["validation"]["witnesses"]
+    assert witnesses[0]["mode"] == "forced"
+    assert witnesses[0]["seed"] == failing.seed
+
+
+def test_witnesses_are_deterministic():
+    # the whole chaos-equality story rests on this: same (module, seed,
+    # order) -> byte-identical witness schedules, virtual clock included
+    spec = bug("aget-2")
+    module = spec.module()
+    found = find_failing_seed(module, spec.workload, spec.entry)
+    failing_seed, failing_uid = found
+    order = TargetOrder.from_truth(module, spec.ground_truth)
+
+    def run():
+        return validate_order(
+            module, spec.workload, order,
+            entry=spec.entry, failing_seed=failing_seed,
+            expected_uid=failing_uid,
+        ).as_dict()
+
+    assert run() == run()
+
+
+# -- synthesizer -------------------------------------------------------------
+
+
+def test_from_truth_alternates_slots():
+    spec = bug("aget-3")  # RWR: victim, rival, victim
+    module = spec.module()
+    order = TargetOrder.from_truth(module, spec.ground_truth)
+    assert [e.slot for e in order.events] == [0, 1, 0]
+    assert order.uids == tuple(spec.ground_truth.resolve(module))
+
+
+def test_directives_shape():
+    spec = bug("aget-2")
+    module = spec.module()
+    order = TargetOrder.from_truth(module, spec.ground_truth)
+    forced, inverse = synthesize_directives(module, order, spec.entry)
+    assert isinstance(forced, ForceOrder)
+    assert forced.uids == order.uids
+    assert isinstance(inverse, (SerializeAfter, SerializeFunction))
+
+
+def test_symmetric_race_serializes_the_function():
+    spec = bug("aget-2")  # any module works: the branch is order-driven
+    module = spec.module()
+    order = TargetOrder(
+        "atomicity-violation",
+        (OrderedEvent(1, "W", 0, "f"), OrderedEvent(2, "W", 1, "f")),
+    )
+    _forced, inverse = synthesize_directives(module, order, spec.entry)
+    assert inverse == SerializeFunction("f")
+    # ...and the fallback has no second direction to offer
+    assert synthesize_inverse_fallback(module, order, spec.entry) is None
+
+
+def test_inverse_fallback_gates_the_rival():
+    spec = bug("aget-3")
+    module = spec.module()
+    order = TargetOrder.from_truth(module, spec.ground_truth)
+    fallback = synthesize_inverse_fallback(module, order, spec.entry)
+    assert isinstance(fallback, SerializeAfter)
+    rival = next(e for e in order.events if e.slot == 1)
+    assert fallback.gate_uid == rival.uid

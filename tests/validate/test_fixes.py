@@ -1,0 +1,104 @@
+"""Fix proposal/validation: every bug class accepts a real fix and
+rejects a naive one, and IR patching remaps the order uids correctly."""
+
+import pytest
+
+from repro.corpus import bug
+from repro.validate.engine import find_failing_seed
+from repro.validate.fixes import (
+    FixNotApplicable,
+    propose_and_validate,
+    propose_fixes,
+)
+from repro.validate.synthesizer import TargetOrder
+
+CLASS_BUGS = [
+    ("aget-2", "order-violation"),
+    ("groovy-7590", "order-violation"),
+    ("httpd-21287", "order-violation"),
+    ("aget-3", "atomicity-violation"),
+    ("dbcp-398", "atomicity-violation"),
+    ("dbcp-44", "deadlock"),
+]
+
+
+def _order_and_seed(spec):
+    module = spec.module()
+    found = find_failing_seed(module, spec.workload, spec.entry)
+    assert found is not None, f"{spec.bug_id}: no failing seed"
+    failing_seed, _uid = found
+    return TargetOrder.from_truth(module, spec.ground_truth), failing_seed
+
+
+@pytest.mark.parametrize("bug_id,kind", CLASS_BUGS)
+def test_class_accepts_a_fix_and_rejects_a_naive_one(bug_id, kind):
+    spec = bug(bug_id)
+    assert spec.kind == kind
+    order, failing_seed = _order_and_seed(spec)
+    outcomes = propose_and_validate(
+        kind,
+        spec.fresh_module,
+        spec.workload,
+        order,
+        entry=spec.entry,
+        failing_seed=failing_seed,
+        sweep_seeds=20,
+    )
+    accepted = [o for o in outcomes if o.accepted]
+    rejected = [o for o in outcomes if not o.accepted]
+    assert accepted, f"{bug_id}: no candidate fix accepted:\n" + "\n".join(
+        f"{o.fix}: {o.reason}" for o in outcomes
+    )
+    assert rejected, f"{bug_id}: every candidate accepted (no discrimination)"
+    for o in accepted:
+        # an accepted fix survived the reproducer schedule...
+        assert o.forced is not None and o.forced.outcome == "success"
+        # ...and the whole success sweep (failing seed + 20 more)
+        assert o.sweep_runs == 21
+
+
+def test_propose_fixes_covers_every_class():
+    for kind in ("order-violation", "atomicity-violation", "deadlock"):
+        fixes = propose_fixes(kind)
+        assert fixes, kind
+    assert propose_fixes("unknown-kind") == []
+
+
+def test_apply_remaps_order_uids_onto_the_patched_module():
+    spec = bug("aget-3")
+    module = spec.module()
+    order = TargetOrder.from_truth(module, spec.ground_truth)
+    applied = 0
+    for fix in propose_fixes("atomicity-violation"):
+        fresh = spec.fresh_module()
+        try:
+            mapping = fix.apply(fresh, order, spec.entry)
+        except FixNotApplicable:
+            continue
+        applied += 1
+        # every diagnosed uid survives the patch under a (possibly new)
+        # uid, and the mapped uid resolves in the patched module
+        for uid in order.uids:
+            assert uid in mapping, f"{fix.name}: uid {uid} unmapped"
+            assert fresh.instruction(mapping[uid]) is not None
+    assert applied > 0
+
+
+def test_inapplicable_template_is_a_rejection_not_an_error():
+    # the WR template's move-free-after-join cannot apply to a module
+    # with no free in the victim function: it must surface as a
+    # rejected outcome, never an exception
+    spec = bug("aget-2")  # RW: publish/spawn shape, no racing free
+    order, failing_seed = _order_and_seed(spec)
+    outcomes = propose_and_validate(
+        "order-violation",
+        spec.fresh_module,
+        spec.workload,
+        order,
+        entry=spec.entry,
+        failing_seed=failing_seed,
+        sweep_seeds=5,
+    )
+    inapplicable = [o for o in outcomes if "not applicable" in o.reason]
+    assert inapplicable
+    assert all(not o.accepted for o in inapplicable)
