@@ -16,9 +16,9 @@ runs the pipeline, and returns an immutable :class:`DiagnosisResult`
 that bundles the report with the run's observability: per-stage wall
 time, cache events, and (when tracing is on) the finished span tree.
 
-Legacy call shapes (``SnorlaxServer.diagnose_failure``,
-``LazyDiagnosis.diagnose`` called directly) keep working; the server
-shim emits a :class:`DeprecationWarning` pointing here.
+The lower layers stay callable (``SnorlaxServer.diagnose``,
+``LazyDiagnosis.diagnose`` driven directly) and funnel through this
+module; the old report-only ``diagnose_failure`` shim is gone.
 """
 
 from __future__ import annotations
@@ -32,6 +32,113 @@ from repro.errors import DiagnosisError
 from repro.ir.module import Module
 from repro.obs import Observability, Span, resolve_obs
 from repro.sim.failures import FailureReport
+from repro.sim.scheduler import (
+    HierarchicalScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """A frozen description of how executions are scheduled.
+
+    One object replaces the ``scheduler``/``mean_quantum`` kwargs that
+    used to be threaded separately through the client, the fleet config
+    and the evidence cache: build concrete schedulers with
+    :meth:`build` (one per seed — schedulers are stateful) and key
+    caches with :meth:`cache_key`.
+
+    Kinds:
+
+    * ``"random"`` — uniform random preemption, geometric quanta with
+      mean ``mean_quantum`` (the production default).
+    * ``"hierarchical"`` — schedsi-style two-level scheduling: threads
+      pinned to ``vcpus`` virtual CPUs, round-robin within a vcpu,
+      timeslices of ``slice_picks`` picks with slice inheritance.
+    * ``"rr"`` — deterministic round-robin, quantum 1.
+
+    ``cache_key()`` for the default policy is ``("random", 24)`` —
+    byte-compatible with the tuple the evidence cache keyed on before
+    this type existed, so a fleet upgraded in place keeps its cache.
+    """
+
+    kind: str = "random"
+    mean_quantum: int = 24
+    vcpus: int = 2  # hierarchical only
+    slice_picks: int = 4  # hierarchical only
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("random", "hierarchical", "rr"):
+            raise ValueError(
+                f"unknown scheduler kind {self.kind!r}; expected "
+                "'random', 'hierarchical' or 'rr'"
+            )
+        if self.mean_quantum < 1:
+            raise ValueError("mean_quantum must be >= 1")
+        if self.vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        if self.slice_picks < 1:
+            raise ValueError("slice_picks must be >= 1")
+
+    def build(self, seed: int) -> Scheduler:
+        """A fresh scheduler for one execution."""
+        if self.kind == "random":
+            return RandomScheduler(seed, self.mean_quantum)
+        if self.kind == "hierarchical":
+            return HierarchicalScheduler(
+                seed, self.vcpus, self.mean_quantum, self.slice_picks
+            )
+        return Scheduler(seed)
+
+    def cache_key(self) -> tuple:
+        """The policy's contribution to evidence-cache keys: everything
+        that changes how the same seeds interleave."""
+        if self.kind == "random":
+            return ("random", self.mean_quantum)
+        if self.kind == "hierarchical":
+            return (
+                "hierarchical", self.mean_quantum, self.vcpus,
+                self.slice_picks,
+            )
+        return ("rr",)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A frozen runnable scenario: a program builder, its seed-indexed
+    workload, and the scheduling policy it runs under.
+
+    This is the shape the programmatic generators in
+    :mod:`repro.corpus.scenarios` produce — everything a client or a
+    check stage needs to execute and diagnose a concurrency scenario,
+    in one hashable object (``builder`` and ``workload`` compare by
+    identity, like any callable)."""
+
+    name: str
+    builder: object  # Callable[[], Module]
+    workload: object  # Callable[[int], tuple]
+    entry: str = "main"
+    policy: SchedulerPolicy = field(default_factory=SchedulerPolicy)
+
+    def module(self) -> Module:
+        module = self.builder()
+        if not module.finalized:
+            module.finalize()
+        return module
+
+    def client(self, **kwargs):
+        """A :class:`~repro.runtime.client.SnorlaxClient` wired to this
+        scenario's module, workload, entry and policy."""
+        from repro.runtime.client import SnorlaxClient
+
+        return SnorlaxClient(
+            self.module(),
+            self.workload,
+            entry=self.entry,
+            policy=self.policy,
+            **kwargs,
+        )
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,7 @@ from repro.bench.harness import (
     client_for,
     diagnosis_span_tree,
     extract_gaps,
+    flat_schedule_digest,
     measure_cih,
     measure_tracing_overhead,
     run_accuracy,
@@ -26,6 +27,7 @@ __all__ = [
     "client_for",
     "diagnosis_span_tree",
     "extract_gaps",
+    "flat_schedule_digest",
     "measure_cih",
     "measure_tracing_overhead",
     "run_accuracy",

@@ -209,6 +209,36 @@ def run_accuracy(spec: BugSpec, start_seed: int = 0, obs=None) -> AccuracyOutcom
     )
 
 
+def flat_schedule_digest(spec: BugSpec, seeds: int = 3) -> str:
+    """A behavioral fingerprint of ``spec`` under the flat (default
+    random) scheduler: per-seed outcome, virtual duration, instruction
+    count, and failing uid, hashed together.
+
+    Any change to the default scheduling path — quantum drawing, RNG
+    consumption, blocking/wake order — shifts at least one seed's
+    interleaving and flips the digest, so a golden file of these pins
+    the production scheduler byte-for-byte across refactors.
+    """
+    import hashlib
+    import json
+
+    client = client_for(spec, tracing=False)
+    h = hashlib.sha256()
+    for seed in range(seeds):
+        run = client.run_once(seed)
+        r = run.result
+        fail_uid = (
+            run.failure.failing_uid if run.failed and run.failure else 0
+        )
+        h.update(
+            json.dumps(
+                [seed, r.outcome, r.duration, r.instructions_executed,
+                 fail_uid]
+            ).encode()
+        )
+    return h.hexdigest()
+
+
 def diagnosis_span_tree(spec: BugSpec, start_seed: int = 0) -> str:
     """One bug's full diagnosis run with tracing on, rendered as the
     indented span tree — what the benches append to their reports so a

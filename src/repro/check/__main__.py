@@ -4,6 +4,8 @@ Examples::
 
     python -m repro.check --cases 300 --seed 5
     python -m repro.check --stages trace,stats --cases 50
+    python -m repro.check --stages sim,validate \\
+        --primitives condvar,rwlock,sema,barrier
     python -m repro.check --replay benchmarks/out/check-failures/trace-seed123.json
     python -m repro.check --cases 100 --metrics-out check-metrics.txt
 
@@ -41,6 +43,12 @@ def main(argv: list[str] | None = None) -> int:
         "--stages",
         help=f"comma-separated stage filter; available: "
              f"{','.join(stage_names())}",
+    )
+    parser.add_argument(
+        "--primitives",
+        help="comma-separated primitive filter (condvar,rwlock,sema,"
+             "barrier,mutex): restricts the sim stage's fuzzed tables "
+             "and the bug-generating stages' template classes",
     )
     parser.add_argument(
         "--out", default=DEFAULT_OUT_DIR,
@@ -100,6 +108,15 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 f"unknown stage(s) {unknown}; available: {stage_names()}"
             )
+    overrides = None
+    if args.primitives:
+        from repro.check.generator import primitives_mask
+
+        names = [s.strip() for s in args.primitives.split(",") if s.strip()]
+        try:
+            overrides = {"primitives": primitives_mask(names)}
+        except ValueError as exc:
+            parser.error(str(exc))
 
     from repro.obs import Observability
 
@@ -118,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
         max_failures=args.max_failures,
         obs=obs,
         progress=progress,
+        overrides=overrides,
     )
     print(stats.render())
     if args.metrics_out:

@@ -26,6 +26,7 @@ from repro.core.patterns import PatternInstance, PatternSignature
 from repro.core.statistics import ExecutionObservation
 from repro.corpus.appkit import AppProfile
 from repro.corpus.templates import TEMPLATES, BugShape
+from repro.corpus.templates_sync import PRIMITIVE_TEMPLATES
 from repro.pt.decoder import DynamicInstruction, ThreadTrace
 
 _STRUCTS = ["Conn", "Txn", "Pool", "Buf", "Node", "Job", "Chan", "Slot"]
@@ -37,6 +38,60 @@ _GLOBALS = ["g_conn", "g_pool", "g_ring", "g_tab", "g_cfg", "g_log"]
 _FUNCS = ["worker", "flusher", "reaper", "reader", "committer", "scanner"]
 _APPS = ["relay", "vault", "mesh", "forge", "lathe", "prism", "drift", "ember"]
 _KINDS = tuple(TEMPLATES)  # WR RW WW RWR WWR RWW WRW deadlock
+_ALL_TEMPLATES = {**TEMPLATES, **PRIMITIVE_TEMPLATES}
+
+# A primitive-family filter rides in ``CheckCase.params`` as a bitmask
+# (every knob is an int so the shrinker can descend on it); 0 means
+# "no filter".
+PRIMITIVE_BITS = {
+    "condvar": 1, "rwlock": 2, "sema": 4, "barrier": 8, "mutex": 16,
+}
+_KINDS_BY_PRIMITIVE = {
+    "condvar": ("lost-wakeup",),
+    "rwlock": ("rw-race",),
+    "sema": ("sema-underflow",),
+    "barrier": ("barrier-phase",),
+    # the classic two-lock deadlock and the three-lock chain both
+    # exercise plain mutexes
+    "mutex": ("deadlock", "lock-chain"),
+}
+
+
+def primitives_mask(names) -> int:
+    """Encode primitive names (``condvar``, ``rwlock``, ``sema``,
+    ``barrier``, ``mutex``) as the params bitmask."""
+    mask = 0
+    for name in names:
+        try:
+            mask |= PRIMITIVE_BITS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown primitive {name!r}; available: "
+                f"{', '.join(PRIMITIVE_BITS)}"
+            ) from None
+    return mask
+
+
+def primitive_names(mask: int) -> tuple[str, ...]:
+    """Decode the bitmask; 0 selects every primitive family."""
+    if not mask:
+        return tuple(PRIMITIVE_BITS)
+    return tuple(n for n, bit in PRIMITIVE_BITS.items() if mask & bit)
+
+
+def kinds_for_primitives(mask: int) -> tuple[str, ...]:
+    """Template kinds for the bug-generating stages: the classic corpus
+    patterns when no filter is set, else the table-4 classes of the
+    selected primitive families."""
+    if not mask:
+        return _KINDS
+    kinds: list[str] = []
+    for name, bit in PRIMITIVE_BITS.items():
+        if mask & bit:
+            kinds.extend(
+                k for k in _KINDS_BY_PRIMITIVE[name] if k not in kinds
+            )
+    return tuple(kinds)
 
 
 def gen_shape(rng: random.Random, params: dict[str, int]) -> BugShape:
@@ -80,7 +135,7 @@ def gen_bug(
     """Build one randomized bug: ``(module, ground_truth, workload, kind)``."""
     kind = kinds[rng.randrange(len(kinds))]
     shape = gen_shape(rng, params)
-    module, truth, workload = TEMPLATES[kind](shape)
+    module, truth, workload = _ALL_TEMPLATES[kind](shape)
     return module, truth, workload, kind
 
 

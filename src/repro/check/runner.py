@@ -97,12 +97,16 @@ def run_check(
     max_failures: int = 5,
     obs: Observability | None = None,
     progress=None,
+    overrides: dict[str, int] | None = None,
 ) -> CheckStats:
     """Run ``cases`` randomized cases across the selected stages.
 
     Stops collecting new failures after ``max_failures`` (each one is
     shrunk, which re-runs the stage many times).  ``progress`` is an
-    optional ``callable(i, case)`` for CLI feedback.
+    optional ``callable(i, case)`` for CLI feedback.  ``overrides``
+    pins generation knobs (e.g. the ``primitives`` bitmask from
+    ``--primitives``); a stage only picks up the knobs it declares in
+    its defaults.
     """
     specs = resolve_stages(stages)
     master = random.Random(seed)
@@ -112,10 +116,15 @@ def run_check(
     weights = [s.weight for s in specs]
     for i in range(cases):
         spec = master.choices(specs, weights=weights)[0]
+        params = dict(spec.defaults)
+        if overrides:
+            params.update(
+                {k: v for k, v in overrides.items() if k in spec.defaults}
+            )
         case = CheckCase(
             stage=spec.name,
             seed=master.randrange(1 << 30),
-            params=dict(spec.defaults),
+            params=params,
         )
         if progress is not None:
             progress(i, case)

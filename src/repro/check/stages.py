@@ -18,6 +18,12 @@ stats    ``score_patterns`` on randomized evidence: F1 recomputation,
          true-minimum ranks, failing-first example selection, the 10x cap
 pointsto Andersen optimized ≡ naive ≡ (⊆ Steensgaard) on random
          constraint systems and on generated program modules
+sim      the machine's sync-primitive tables (mutex, condvar, rwlock,
+         semaphore, barrier) driven with random op sequences against
+         independent reference models: FIFO wait queues, non-negative
+         semaphore counts, monotone barrier generations, writer
+         exclusion, FIFO grant with reader batching, wait-for cycle
+         detection
 jobs     ``DiagnosisJobQueue``: dedup, backpressure, result caching, and
          bounded bookkeeping after completion
 collect  step-8 transport differential: serial ≡ thread-parallel ≡
@@ -31,6 +37,13 @@ validate the reproduction loop: the ground-truth order of a generated
          diagnosis of the true pattern must never be refuted by its own
          directed replay
 ======== ==================================================================
+
+The ``sim`` stage and every bug-generating stage (``pointsto``,
+``collect``, ``e2e``, ``validate``) take a ``primitives`` bitmask knob
+(CLI ``--primitives condvar,rwlock,...``; see
+:func:`repro.check.generator.primitives_mask`) that restricts which
+primitive families are fuzzed and which template classes
+:func:`~repro.check.generator.gen_bug` may draw.
 """
 
 from __future__ import annotations
@@ -141,7 +154,10 @@ def run_pointsto(case: CheckCase) -> None:
     p = case.params
     module = executed = None
     if rng.randrange(100) < p.get("module_pct", 30):
-        module, _truth, _workload, _kind = generator.gen_bug(rng, p)
+        kinds = generator.kinds_for_primitives(p.get("primitives", 0))
+        module, _truth, _workload, _kind = generator.gen_bug(
+            rng, p, kinds=kinds
+        )
         uids = [i.uid for fn in module.functions.values()
                 for i in fn.instructions()]
         if rng.randrange(100) < 50:
@@ -174,6 +190,385 @@ def run_pointsto(case: CheckCase) -> None:
                     f"seeded="
                     f"{sorted(o.name for o in seeded_pts.get(node, ()))}",
                 )
+
+
+# -- sim: the sync-primitive tables ------------------------------------------
+
+
+def run_sim(case: CheckCase) -> None:
+    """Differential fuzz of :mod:`repro.sim.sync` against independent
+    reference models, restating the invariants the extension corpus
+    leans on:
+
+    * every wait queue is FIFO — a condvar notify wakes the longest
+      waiter, a mutex release hands off in arrival order,
+    * a semaphore count is never negative and is zero whenever a
+      thread blocks on it,
+    * a barrier's generation is monotone, advancing exactly once per
+      full batch of arrivals (and never releasing a partial batch),
+    * a reader-writer lock never holds a writer alongside readers and
+      grants strictly FIFO with reader batching,
+    * the wait-for graph reports a cycle exactly when the model's
+      owner/waiter relation contains one.
+    """
+    rng = _rng(case)
+    p = case.params
+    ops = max(1, p.get("ops", 60))
+    threads = max(2, p.get("threads", 4))
+    addrs = [0x1000 + 8 * i for i in range(max(1, p.get("addrs", 3)))]
+    fuzzers = {
+        "condvar": _fuzz_cond,
+        "rwlock": _fuzz_rwlock,
+        "sema": _fuzz_sema,
+        "barrier": _fuzz_barrier,
+        "mutex": _fuzz_mutex,
+    }
+    for name in generator.primitive_names(p.get("primitives", 0)):
+        fuzzers[name](rng, ops, threads, addrs, p)
+
+
+def _fuzz_cond(rng, ops, threads, addrs, params) -> None:
+    from repro.sim.sync import CondTable
+
+    table = CondTable()
+    model = {a: [] for a in addrs}
+    blocked: set[int] = set()
+    tids = list(range(1, threads + 1))
+    for _ in range(ops):
+        addr = rng.choice(addrs)
+        runnable = [t for t in tids if t not in blocked]
+        if runnable and rng.randrange(100) < 55:
+            tid = rng.choice(runnable)
+            table.wait(addr, tid)
+            model[addr].append(tid)
+            blocked.add(tid)
+        else:
+            woken = table.notify(addr)
+            want = model[addr].pop(0) if model[addr] else None
+            if woken != want:
+                raise InvariantViolation(
+                    "condvar-fifo",
+                    f"notify({addr:#x}) woke {woken}, FIFO head was {want}",
+                )
+            if woken is not None:
+                blocked.discard(woken)
+        for a in addrs:
+            if table.waiters(a) != model[a]:
+                raise InvariantViolation(
+                    "condvar-queue",
+                    f"waiters({a:#x})={table.waiters(a)}, model={model[a]}",
+                )
+
+
+def _fuzz_sema(rng, ops, threads, addrs, params) -> None:
+    from repro.sim.sync import SemTable
+
+    table = SemTable()
+    counts = {a: rng.randrange(3) for a in addrs}
+    queues = {a: [] for a in addrs}
+    for a in addrs:
+        table.init(a, counts[a])
+    blocked: set[int] = set()
+    tids = list(range(1, threads + 1))
+    for _ in range(ops):
+        addr = rng.choice(addrs)
+        runnable = [t for t in tids if t not in blocked]
+        if runnable and rng.randrange(100) < 55:
+            tid = rng.choice(runnable)
+            got = table.try_wait(addr)
+            if got != (counts[addr] > 0):
+                raise InvariantViolation(
+                    "sema-wait",
+                    f"try_wait({addr:#x}) -> {got} at count {counts[addr]}",
+                )
+            if got:
+                counts[addr] -= 1
+            else:
+                table.add_waiter(addr, tid)
+                queues[addr].append(tid)
+                blocked.add(tid)
+        else:
+            woken = table.post(addr)
+            want = queues[addr].pop(0) if queues[addr] else None
+            if woken != want:
+                raise InvariantViolation(
+                    "sema-fifo",
+                    f"post({addr:#x}) woke {woken}, FIFO head was {want}",
+                )
+            if woken is None:
+                counts[addr] += 1
+            else:
+                blocked.discard(woken)
+        for a in addrs:
+            st = table.state(a)
+            if st.count < 0:
+                raise InvariantViolation(
+                    "sema-nonnegative", f"count {st.count} at {a:#x}"
+                )
+            if st.count > 0 and st.waiters:
+                raise InvariantViolation(
+                    "sema-zero-while-blocked",
+                    f"count {st.count} with waiters {st.waiters} at {a:#x}",
+                )
+            if st.count != counts[a] or st.waiters != queues[a]:
+                raise InvariantViolation(
+                    "sema-model",
+                    f"state({a:#x}) count={st.count} waiters={st.waiters}; "
+                    f"model count={counts[a]} queue={queues[a]}",
+                )
+
+
+def _fuzz_barrier(rng, ops, threads, addrs, params) -> None:
+    from repro.sim.sync import BarrierTable
+
+    table = BarrierTable()
+    parties = max(1, min(params.get("parties", 2), threads))
+    arrived = {a: [] for a in addrs}
+    generation = {a: 0 for a in addrs}
+    for a in addrs:
+        table.init(a, parties)
+    blocked: set[int] = set()
+    tids = list(range(1, threads + 1))
+    for _ in range(ops):
+        runnable = [t for t in tids if t not in blocked]
+        if not runnable:
+            break  # everyone parked across the barriers
+        addr = rng.choice(addrs)
+        tid = rng.choice(runnable)
+        woken = table.arrive(addr, tid)
+        if len(arrived[addr]) + 1 >= parties:
+            if woken != arrived[addr]:
+                raise InvariantViolation(
+                    "barrier-batch",
+                    f"trip at {addr:#x} woke {woken}, "
+                    f"blocked batch was {arrived[addr]}",
+                )
+            for t in arrived[addr]:
+                blocked.discard(t)
+            arrived[addr] = []
+            generation[addr] += 1
+        else:
+            if woken is not None:
+                raise InvariantViolation(
+                    "barrier-early-release",
+                    f"{len(arrived[addr]) + 1}/{parties} arrivals at "
+                    f"{addr:#x} released {woken}",
+                )
+            arrived[addr].append(tid)
+            blocked.add(tid)
+        for a in addrs:
+            st = table.state(a)
+            if st.generation != generation[a]:
+                raise InvariantViolation(
+                    "barrier-generation",
+                    f"generation at {a:#x} is {st.generation}, model says "
+                    f"{generation[a]} (must advance exactly once per batch)",
+                )
+            if table.waiting(a) != arrived[a] or len(st.arrived) >= parties:
+                raise InvariantViolation(
+                    "barrier-waiting",
+                    f"waiting({a:#x})={table.waiting(a)}, model={arrived[a]}",
+                )
+
+
+def _fuzz_rwlock(rng, ops, threads, addrs, params) -> None:
+    from repro.sim.sync import RwLockTable
+
+    table = RwLockTable()
+    writer = {a: None for a in addrs}
+    readers = {a: [] for a in addrs}
+    waiters = {a: [] for a in addrs}  # (tid, mode) in arrival order
+    holding: dict[int, int] = {}  # tid -> the one address it holds
+    blocked: set[int] = set()
+    tids = list(range(1, threads + 1))
+    for step in range(1, ops + 1):
+        free = [t for t in tids if t not in blocked and t not in holding]
+        if free and rng.randrange(100) < 60:
+            tid = rng.choice(free)
+            addr = rng.choice(addrs)
+            mode = rng.choice(["rd", "wr"])
+            if mode == "rd":
+                got = table.try_rdlock(addr, tid)
+                want = writer[addr] is None and not waiters[addr]
+            else:
+                got = table.try_wrlock(addr, tid)
+                want = (
+                    writer[addr] is None
+                    and not readers[addr]
+                    and not waiters[addr]
+                )
+            if got != want:
+                raise InvariantViolation(
+                    "rw-fifo-fairness",
+                    f"try_{mode}lock({addr:#x}) by t{tid} -> {got}; model "
+                    f"(writer={writer[addr]}, readers={readers[addr]}, "
+                    f"waiters={waiters[addr]}) says {want}",
+                )
+            if got:
+                holding[tid] = addr
+                if mode == "wr":
+                    writer[addr] = tid
+                else:
+                    readers[addr].append(tid)
+            elif writer[addr] is None and not readers[addr]:
+                raise InvariantViolation(
+                    "rw-unheld-refusal",
+                    f"{addr:#x} refused t{tid} while unheld — the "
+                    f"grant-on-release policy left stale waiters "
+                    f"{waiters[addr]}",
+                )
+            else:
+                table.add_waiter(addr, tid, mode, step, step)
+                waiters[addr].append((tid, mode))
+                blocked.add(tid)
+                edge = table.pending_edges().get(tid)
+                owner = (
+                    writer[addr]
+                    if writer[addr] is not None
+                    else readers[addr][0]
+                )
+                if edge is None or edge.owner != owner:
+                    raise InvariantViolation(
+                        "rw-wait-edge",
+                        f"t{tid} waiting on {addr:#x} has edge {edge}, "
+                        f"expected owner t{owner}",
+                    )
+        else:
+            held = sorted(holding.items())
+            if not held:
+                continue
+            tid, addr = held[rng.randrange(len(held))]
+            granted = table.release(addr, tid)
+            if writer[addr] == tid:
+                writer[addr] = None
+            else:
+                readers[addr].remove(tid)
+            del holding[tid]
+            want: list[int] = []
+            if writer[addr] is None and not readers[addr]:
+                # the documented grant policy: front waiter wins; a
+                # reader at the front pulls every consecutive reader
+                # behind it; a writer is granted alone
+                while waiters[addr]:
+                    wtid, mode = waiters[addr][0]
+                    if mode == "wr":
+                        if want:
+                            break
+                        waiters[addr].pop(0)
+                        writer[addr] = wtid
+                        want.append(wtid)
+                        break
+                    waiters[addr].pop(0)
+                    readers[addr].append(wtid)
+                    want.append(wtid)
+            if granted != want:
+                raise InvariantViolation(
+                    "rw-grant-fifo",
+                    f"release({addr:#x}) granted {granted}, FIFO with "
+                    f"reader batching says {want}",
+                )
+            for t in want:
+                blocked.discard(t)
+                holding[t] = addr
+        for a in addrs:
+            st = table.state(a)
+            if st.writer is not None and st.readers:
+                raise InvariantViolation(
+                    "rw-exclusive",
+                    f"writer t{st.writer} holds {a:#x} alongside readers "
+                    f"{st.readers}",
+                )
+            model_holders = (
+                [writer[a]] if writer[a] is not None else list(readers[a])
+            )
+            if table.holders(a) != model_holders:
+                raise InvariantViolation(
+                    "rw-holders",
+                    f"holders({a:#x})={table.holders(a)}, "
+                    f"model={model_holders}",
+                )
+
+
+def _fuzz_mutex(rng, ops, threads, addrs, params) -> None:
+    from repro.sim.sync import LockTable
+
+    table = LockTable()
+    owner = {a: None for a in addrs}
+    queues = {a: [] for a in addrs}
+    held = {t: [] for t in range(1, threads + 1)}
+    waiting: dict[int, int] = {}  # tid -> the address it blocks on
+    for step in range(1, ops + 1):
+        free = [t for t in held if t not in waiting]
+        acquirable = [
+            (t, a) for t in free for a in addrs if a not in held[t]
+        ]
+        if acquirable and rng.randrange(100) < 60:
+            tid, addr = acquirable[rng.randrange(len(acquirable))]
+            got = table.try_acquire(addr, tid)
+            if got != (owner[addr] is None):
+                raise InvariantViolation(
+                    "mutex-acquire",
+                    f"try_acquire({addr:#x}) by t{tid} -> {got} with "
+                    f"owner {owner[addr]}",
+                )
+            if got:
+                owner[addr] = tid
+                held[tid].append(addr)
+            else:
+                table.add_waiter(addr, tid, step, step)
+                queues[addr].append(tid)
+                waiting[tid] = addr
+                cycle = table.find_deadlock_cycle(tid)
+                if (cycle is not None) != _wait_model_has_cycle(
+                    owner, waiting, tid
+                ):
+                    raise InvariantViolation(
+                        "mutex-deadlock-detect",
+                        f"find_deadlock_cycle(t{tid}) -> {cycle}, but the "
+                        f"owner/waiter model disagrees "
+                        f"(owners={owner}, waiting={waiting})",
+                    )
+                if cycle is not None:
+                    return  # deadlocked exactly when the model says: done
+        else:
+            candidates = [t for t, a in held.items() if a and t not in waiting]
+            if not candidates:
+                continue
+            tid = rng.choice(candidates)
+            addr = rng.choice(held[tid])
+            inheritor = table.release(addr, tid)
+            held[tid].remove(addr)
+            want = queues[addr].pop(0) if queues[addr] else None
+            if inheritor != want:
+                raise InvariantViolation(
+                    "mutex-fifo",
+                    f"release({addr:#x}) handed to {inheritor}, FIFO head "
+                    f"was {want}",
+                )
+            owner[addr] = want
+            if want is not None:
+                del waiting[want]
+                held[want].append(addr)
+        for a in addrs:
+            if table.holder(a) != owner[a]:
+                raise InvariantViolation(
+                    "mutex-owner",
+                    f"holder({a:#x})={table.holder(a)}, model={owner[a]}",
+                )
+
+
+def _wait_model_has_cycle(owner, waiting, start: int) -> bool:
+    seen: set[int] = set()
+    tid = start
+    while tid in waiting:
+        if tid in seen:
+            return True
+        seen.add(tid)
+        next_tid = owner[waiting[tid]]
+        if next_tid is None:
+            return False
+        tid = next_tid
+    return False
 
 
 # -- jobs: the fleet queue ---------------------------------------------------
@@ -287,7 +682,8 @@ def run_collect(case: CheckCase) -> None:
 
     rng = _rng(case)
     p = case.params
-    module, _truth, workload, _kind = generator.gen_bug(rng, p)
+    kinds = generator.kinds_for_primitives(p.get("primitives", 0))
+    module, _truth, workload, _kind = generator.gen_bug(rng, p, kinds=kinds)
     client = SnorlaxClient(module, workload)
     base = rng.randrange(1_000_000)
     failing_run = None
@@ -420,7 +816,8 @@ def run_e2e(case: CheckCase) -> None:
 
     rng = _rng(case)
     p = case.params
-    module, truth, workload, kind = generator.gen_bug(rng, p)
+    kinds = generator.kinds_for_primitives(p.get("primitives", 0))
+    module, truth, workload, kind = generator.gen_bug(rng, p, kinds=kinds)
     client = SnorlaxClient(module, workload)
     base = rng.randrange(1_000_000)
     failing_run = None
@@ -465,11 +862,11 @@ def run_e2e(case: CheckCase) -> None:
     # evidence is scarce, nothing is asserted: random timing shapes,
     # unlike the tuned corpus, can leave the true pattern unwitnessed.
     full_evidence = len(successes) >= 10
-    if kind == "deadlock":
+    if kind in ("deadlock", "lock-chain"):
         if report.bug_kind != "deadlock":
             raise InvariantViolation(
                 "ground-truth-kind",
-                f"injected a deadlock, diagnosed {report.bug_kind!r}",
+                f"injected a {kind}, diagnosed {report.bug_kind!r}",
             )
     elif full_evidence and report.unambiguous:
         truth_uids = truth.resolve(module)
@@ -565,7 +962,8 @@ def run_validate(case: CheckCase) -> None:
 
     rng = _rng(case)
     p = case.params
-    module, truth, workload, kind = generator.gen_bug(rng, p)
+    kinds = generator.kinds_for_primitives(p.get("primitives", 0))
+    module, truth, workload, kind = generator.gen_bug(rng, p, kinds=kinds)
     client = SnorlaxClient(module, workload)
     base = rng.randrange(1_000_000)
     failing_run = failing_seed = None
@@ -667,11 +1065,21 @@ STAGES: dict[str, StageSpec] = {
             defaults={
                 "vars": 12, "objs": 6, "copies": 10, "loads": 6, "stores": 6,
                 "module_pct": 30, "kloc": 2, "quantum": 500, "iters": 6,
-                "cold": 0,
+                "cold": 0, "primitives": 0,
             },
             minimums={"vars": 2, "objs": 1, "kloc": 1, "quantum": 350,
                       "iters": 4},
             weight=20,
+        ),
+        StageSpec(
+            name="sim",
+            run=run_sim,
+            defaults={
+                "ops": 60, "threads": 4, "addrs": 3, "parties": 2,
+                "primitives": 0,
+            },
+            minimums={"ops": 1, "threads": 2, "addrs": 1, "parties": 1},
+            weight=15,
         ),
         StageSpec(
             name="jobs",
@@ -686,6 +1094,7 @@ STAGES: dict[str, StageSpec] = {
             defaults={
                 "successes": 6, "seed_scan": 25, "quantum": 500, "iters": 6,
                 "kloc": 2, "cold": 0, "adaptive_check": 1, "digest_check": 1,
+                "primitives": 0,
             },
             minimums={"successes": 1, "seed_scan": 1, "quantum": 350,
                       "iters": 4, "kloc": 1},
@@ -697,7 +1106,7 @@ STAGES: dict[str, StageSpec] = {
             defaults={
                 "successes": 10, "seed_scan": 25, "quantum": 500, "iters": 6,
                 "kloc": 2, "cold": 0, "solver_diff": 1, "cache_check": 1,
-                "wire_check": 1, "store_check": 1,
+                "wire_check": 1, "store_check": 1, "primitives": 0,
             },
             minimums={"successes": 10, "seed_scan": 1, "quantum": 350,
                       "iters": 4, "kloc": 1},
@@ -708,7 +1117,7 @@ STAGES: dict[str, StageSpec] = {
             run=run_validate,
             defaults={
                 "successes": 6, "seed_scan": 25, "quantum": 500, "iters": 6,
-                "kloc": 2, "cold": 0, "report_check": 1,
+                "kloc": 2, "cold": 0, "report_check": 1, "primitives": 0,
             },
             minimums={"successes": 1, "seed_scan": 1, "quantum": 350,
                       "iters": 4, "kloc": 1},

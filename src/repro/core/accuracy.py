@@ -37,11 +37,17 @@ def ordering_accuracy(diagnosed: Sequence[int], ground_truth: Sequence[int]) -> 
     missing or extra instructions also cost accuracy (matching the
     paper's "# of pairs in O_S  [union] O_M" denominator).
     """
-    universe = list(dict.fromkeys(list(diagnosed) + list(ground_truth)))
+    # An ordering may name the same instruction more than once (e.g. the
+    # three-lock chain, where every cycle participant runs the same
+    # routine): the pairwise order relation is between distinct
+    # instructions, so collapse repeats first, keeping first positions.
+    diagnosed = list(dict.fromkeys(diagnosed))
+    ground_truth = list(dict.fromkeys(ground_truth))
+    universe = list(dict.fromkeys(diagnosed + ground_truth))
     n = len(universe)
     if n < 2:
         # A single (or empty) target list: exact match or total miss.
-        return 100.0 if list(diagnosed) == list(ground_truth) else 0.0
+        return 100.0 if diagnosed == ground_truth else 0.0
     total_pairs = n * (n - 1) // 2
     # Pairs not comparable in both lists count as disagreements: a tool
     # that omits a target instruction should not get credit for it.

@@ -66,9 +66,16 @@ def _access_kind(instr: Instruction) -> str | None:
         # Freeing mutates the object's liveness: a write for the purposes
         # of order/atomicity patterns (use-after-free is a W->R violation).
         return "write"
-    if opcode == "lock":
+    if opcode in ("condwait", "semwait", "barrierwait"):
+        # Waits *consume* the primitive's state (a signal, a permit, an
+        # arrival quorum): reads for pattern purposes, so a lost wakeup
+        # is a W->R order violation on the condvar object.
+        return "read"
+    if opcode in ("condnotify", "sempost"):
+        return "write"
+    if opcode in ("lock", "rwrdlock", "rwwrlock"):
         return "lock"
-    if opcode == "unlock":
+    if opcode in ("unlock", "rwunlock"):
         return "unlock"
     return None
 

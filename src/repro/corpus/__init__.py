@@ -1,8 +1,17 @@
-"""The bug corpus: 54 concurrency bugs across 13 application models.
+"""The bug corpus: 67 concurrency bugs across 17 application models.
 
 Importing :mod:`repro.corpus` (or calling any registry accessor) loads
 every app module, which registers its bugs.  See ``registry.py`` for
-the spec format and ``templates.py`` for the failure mechanics.
+the spec format, ``templates.py`` for the shared-memory failure
+mechanics and ``templates_sync.py`` for the condvar/rwlock/semaphore/
+barrier classes.
+
+The registry query surface is public API:
+
+* :func:`bugs` — filter by kind, primitives, table or system;
+* :func:`register` / :func:`make_spec` — add bugs (out-of-tree corpora
+  register through the same path the in-tree apps use);
+* :func:`all_bugs`, :func:`bug`, :func:`snorlax_bugs` — stable lookups.
 """
 
 from __future__ import annotations
@@ -14,13 +23,27 @@ from repro.corpus.registry import (
     GroundTruth,
     all_bugs,
     bug,
+    bugs,
     bugs_by_system,
     register,
     snorlax_bugs,
     systems,
     table_bugs,
 )
+from repro.corpus.scenarios import (
+    SCENARIOS,
+    async_pipeline,
+    db_pool,
+    producer_consumer,
+)
 from repro.corpus.templates import TEMPLATES, BugShape
+from repro.corpus.templates_sync import PRIMITIVE_TEMPLATES, TEMPLATE_PRIMITIVES
+
+# Every template the spec factory can instantiate.  ``TEMPLATES`` keeps
+# only the original shared-memory/mutex patterns (the check generator's
+# kind vocabulary is frozen on it); the sync-primitive classes live in
+# their own namespace and are merged here.
+ALL_TEMPLATES = {**TEMPLATES, **PRIMITIVE_TEMPLATES}
 
 
 class _TemplatedBug:
@@ -33,13 +56,13 @@ class _TemplatedBug:
 
     def _ensure(self):
         if self._built is None:
-            self._built = TEMPLATES[self.pattern](self.shape)
+            self._built = ALL_TEMPLATES[self.pattern](self.shape)
         return self._built
 
     def build_module(self):
         # A fresh build every call (templates are deterministic); the
         # registry caches the shared instance itself.
-        return TEMPLATES[self.pattern](self.shape)[0]
+        return ALL_TEMPLATES[self.pattern](self.shape)[0]
 
     @property
     def ground_truth(self) -> GroundTruth:
@@ -68,6 +91,7 @@ def make_spec(
     base_line: int,
     snorlax_eval: bool = False,
     iters: int = 6,
+    primitives: tuple[str, ...] | None = None,
 ) -> BugSpec:
     """Register one templated bug with app-specific vocabulary."""
     shape = BugShape(
@@ -86,6 +110,10 @@ def make_spec(
         iters=iters,
     )
     templated = _TemplatedBug(shape, pattern)
+    if primitives is None:
+        primitives = TEMPLATE_PRIMITIVES.get(pattern, ())
+        if pattern == "deadlock":
+            primitives = ("mutex",)
     spec = BugSpec(
         bug_id=bug_id,
         system=system,
@@ -97,15 +125,16 @@ def make_spec(
         truth_source=lambda: templated.ground_truth,
         target_dt_us=_nominal_dt(pattern, quantum_us),
         snorlax_eval=snorlax_eval,
+        primitives=tuple(primitives),
     )
     return register(spec)
 
 
 def _nominal_dt(pattern: str, quantum_us: int) -> tuple[float, ...]:
     """The intended mean gap(s) between target events, in us."""
-    if pattern in ("WR", "WW", "deadlock"):
+    if pattern in ("WR", "WW", "deadlock", "lost-wakeup", "lock-chain"):
         return (float(quantum_us),)
-    if pattern == "RW":
+    if pattern in ("RW", "sema-underflow", "barrier-phase"):
         return (2.0 * quantum_us,)
     return (float(quantum_us), float(quantum_us))  # atomicity: dT1, dT2
 
@@ -118,12 +147,19 @@ __all__ = [
     "GroundTruth",
     "all_bugs",
     "bug",
+    "bugs",
     "bugs_by_system",
     "register",
     "snorlax_bugs",
     "systems",
     "table_bugs",
     "TEMPLATES",
+    "PRIMITIVE_TEMPLATES",
+    "ALL_TEMPLATES",
     "BugShape",
     "make_spec",
+    "SCENARIOS",
+    "producer_consumer",
+    "db_pool",
+    "async_pipeline",
 ]

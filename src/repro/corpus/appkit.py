@@ -54,6 +54,11 @@ PROFILES: dict[str, AppProfile] = {
     "dbcp": AppProfile("dbcp", "Java", "dbcp/PoolingDataSource.java", 12, 111),
     "log4j": AppProfile("log4j", "Java", "core/Logger.java", 30, 112),
     "lucene": AppProfile("lucene", "Java", "index/IndexWriter.java", 90, 113),
+    # Extension-corpus systems (table 4: condvar/rwlock/sema/barrier bugs).
+    "nginx": AppProfile("nginx", "C/C++", "src/event/ngx_event.c", 170, 114),
+    "redis": AppProfile("redis", "C/C++", "src/server.c", 130, 115),
+    "postgres": AppProfile("postgres", "C/C++", "src/backend/postmaster/postmaster.c", 300, 116),
+    "zookeeper": AppProfile("zookeeper", "Java", "server/quorum/QuorumPeer.java", 120, 117),
 }
 
 

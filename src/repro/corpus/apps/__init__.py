@@ -1,4 +1,4 @@
-"""App models: importing this package registers all 54 corpus bugs."""
+"""App models: importing this package registers all 67 corpus bugs."""
 
 from repro.corpus.apps import (  # noqa: F401
     aget,
@@ -11,7 +11,11 @@ from repro.corpus.apps import (  # noqa: F401
     lucene,
     memcached,
     mysql,
+    nginx,
     pbzip2,
+    postgres,
+    redis,
     sqlite,
     transmission,
+    zookeeper,
 )

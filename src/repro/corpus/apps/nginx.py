@@ -1,0 +1,33 @@
+"""nginx application model (170 KLOC profile): 3 extension-corpus bugs.
+
+The rwlock race in the shared-dict fast path (a lock-free read racing
+the wrlock-protected eviction), a connection-slot semaphore posted
+before the slot is published, and a three-way chain across the
+accept/posted/timer mutexes.
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "nginx", "nginx-1384", 4, "rw-race", 360,
+    "shared-dict fast path reads the node pointer without the rwlock while eviction clears it under wrlock",
+    file="src/core/ngx_slab.c", struct_name="ShmDict", target_field="node",
+    aux_field="hits", global_name="g_shm_dict", worker_name="shm_lookup_fast",
+    rival_name="shm_evict_expired", helper_name="ngx_hash_find_slot", base_line=470,
+)
+
+make_spec(
+    "nginx", "nginx-2162", 4, "sema-underflow", 420,
+    "listener posts the free-connection semaphore before storing the slot; a worker dereferences a null connection",
+    file="src/event/ngx_event_accept.c", struct_name="ConnSlot", target_field="conn",
+    aux_field="fd", global_name="g_conn_slot", worker_name="worker_process_cycle",
+    rival_name="event_accept", helper_name="ngx_update_time", base_line=128,
+)
+
+make_spec(
+    "nginx", "nginx-753", 4, "lock-chain", 320,
+    "accept, posted-events and timer mutexes acquired pairwise in rotated order by three event threads",
+    file="src/event/ngx_event.c", struct_name="EventLocks", target_field="cycles",
+    aux_field="gen", global_name="g_ev_locks", worker_name="event_process_posted",
+    rival_name="event_expire_timers", helper_name="ngx_queue_rotate", base_line=655,
+)

@@ -1,0 +1,41 @@
+"""postgres application model (300 KLOC profile): 4 extension-corpus bugs.
+
+One of each sync-primitive class: the walwriter's lost latch wakeup,
+the relcache fast path racing a wrlock-protected invalidation, a
+parallel-worker slot semaphore posted before the slot store, and the
+parallel-scan barrier whose result read was hoisted above the wait.
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "postgres", "postgres-9821", 4, "lost-wakeup", 480,
+    "walwriter latch is set before the writer re-blocks on wal_flush_cond; the signal has no memory",
+    file="src/backend/postmaster/walwriter.c", struct_name="WalFlushState", target_field="flushed_lsn",
+    aux_field="wal_flush_cond", global_name="g_wal_state", worker_name="walwriter_main_loop",
+    rival_name="xlog_flush_request", helper_name="pg_clock_sweep", base_line=244,
+)
+
+make_spec(
+    "postgres", "postgres-7514", 4, "rw-race", 400,
+    "relcache fast path reads the entry pointer lock-free while invalidation clears it under the wrlock",
+    file="src/backend/utils/cache/relcache.c", struct_name="RelCache", target_field="entry",
+    aux_field="generation", global_name="g_relcache", worker_name="relation_open_fast",
+    rival_name="relcache_invalidate", helper_name="pg_hash_search", base_line=1310,
+)
+
+make_spec(
+    "postgres", "postgres-6412", 4, "sema-underflow", 340,
+    "launcher posts the worker-slot semaphore before publishing the slot; the worker reads a null BgWorker",
+    file="src/backend/postmaster/bgworker.c", struct_name="WorkerSlot", target_field="worker",
+    aux_field="pid", global_name="g_bgw_slot", worker_name="bgworker_entry",
+    rival_name="register_background_worker", helper_name="pg_shmem_attach", base_line=520,
+)
+
+make_spec(
+    "postgres", "postgres-11929", 4, "barrier-phase", 360,
+    "parallel scan reads the phase result before its own barrier arrival; the load was hoisted above the wait",
+    file="src/backend/access/nbtree/nbtsort.c", struct_name="ScanPhase", target_field="result",
+    aux_field="nparticipants", global_name="g_scan_phase", worker_name="parallel_scan_worker",
+    rival_name="leader_fill_phase", helper_name="pg_tuplesort_step", base_line=780,
+)

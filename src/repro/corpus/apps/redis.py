@@ -1,0 +1,33 @@
+"""redis application model (130 KLOC profile): 3 extension-corpus bugs.
+
+All three live around the background-I/O (bio) machinery: the condvar
+lost wakeup that parks a bio worker forever, the hoisted semaphore post
+that lets a worker grab a job slot before the job is written, and the
+three-way lock chain across the db/expires/defrag mutexes.
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "redis", "redis-1011", 4, "lost-wakeup", 440,
+    "bio_notify fires before the bio worker re-blocks on newjob_cond; the naked wait then sleeps forever",
+    file="src/bio.c", struct_name="BioQueue", target_field="pending",
+    aux_field="newjob_cond", global_name="g_bio_jobs", worker_name="bio_process_background_jobs",
+    rival_name="bio_submit_job", helper_name="redis_serve_clients", base_line=210,
+)
+
+make_spec(
+    "redis", "redis-4011", 4, "sema-underflow", 380,
+    "lazyfree queue posts the jobs semaphore before storing the job slot; the woken worker reads a null job",
+    file="src/lazyfree.c", struct_name="LazyJob", target_field="obj",
+    aux_field="dbid", global_name="g_lazy_slot", worker_name="lazyfree_thread",
+    rival_name="lazyfree_enqueue", helper_name="redis_dict_rehash_step", base_line=96,
+)
+
+make_spec(
+    "redis", "redis-2988", 4, "lock-chain", 300,
+    "db, expires and defrag mutexes are taken pairwise in rotated order by three maintenance threads",
+    file="src/db.c", struct_name="DbLocks", target_field="touched",
+    aux_field="epoch", global_name="g_db_locks", worker_name="db_maintenance_cron",
+    rival_name="db_scan_guard", helper_name="redis_estimate_memory", base_line=1540,
+)

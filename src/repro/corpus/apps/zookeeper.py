@@ -1,0 +1,33 @@
+"""zookeeper application model (120 KLOC profile): 3 extension-corpus bugs.
+
+The commit-processor lost wakeup (notify lands before the queue drainer
+waits), the session-tracker read/write-lock race on a lock-free expiry
+check, and the quorum-election barrier whose vote read was hoisted
+above the round barrier.
+"""
+
+from repro.corpus import make_spec
+
+make_spec(
+    "zookeeper", "zookeeper-1270", 4, "lost-wakeup", 520,
+    "commit processor notifies committedRequests before the drainer blocks on the queue condvar",
+    file="server/quorum/CommitProcessor.java", struct_name="CommitQueue", target_field="committed",
+    aux_field="queue_cond", global_name="g_commit_queue", worker_name="commit_processor_run",
+    rival_name="commit_request", helper_name="zk_serialize_txn", base_line=164,
+)
+
+make_spec(
+    "zookeeper", "zookeeper-2029", 4, "rw-race", 300,
+    "session tracker's lock-free expiry check races the wrlock-protected session bucket swap",
+    file="server/SessionTrackerImpl.java", struct_name="SessionBucket", target_field="session",
+    aux_field="expiry", global_name="g_session_bucket", worker_name="touch_session_fast",
+    rival_name="expire_session_bucket", helper_name="zk_next_expiry_time", base_line=228,
+)
+
+make_spec(
+    "zookeeper", "zookeeper-3006", 4, "barrier-phase", 420,
+    "election round reads the tallied vote before its own barrier arrival, racing the leader's store",
+    file="server/quorum/FastLeaderElection.java", struct_name="VoteRound", target_field="vote",
+    aux_field="round", global_name="g_vote_round", worker_name="election_follower",
+    rival_name="election_leader_tally", helper_name="zk_validate_vote", base_line=612,
+)

@@ -1,0 +1,389 @@
+"""Programmatic scenario generators: correct programs, stressed schedules.
+
+Where :mod:`repro.corpus.templates` builds programs with one injected
+bug, this module builds programs that are *correct* under every legal
+interleaving — bounded buffers, connection pools, pipelined stages —
+and packages each one as a frozen :class:`repro.api.ScenarioSpec`.
+They exist to exercise the scheduler and the sync-primitive tables at
+realistic contention levels:
+
+* the ``sim``/``collect`` check stages and the benchmarks need
+  failure-free background load whose only interesting variable is the
+  interleaving;
+* scheduler policies (:class:`repro.api.SchedulerPolicy`) need programs
+  that terminate under *any* policy, so a hang is always a scheduler or
+  table bug, never the workload's fault;
+* diagnosis-accuracy experiments need benign traffic to mix into
+  evidence pools.
+
+Every generator takes structural knobs (thread counts, items, pool
+size), validates them eagerly, and returns a spec whose ``builder``
+re-creates the module deterministically and whose ``workload`` maps a
+seed to delay arguments — same shape as the corpus bugs, minus the bug.
+
+The one subtle piece is the condvar in :func:`async_pipeline`: the
+simulator's ``condwait`` is naked (no mutex handoff, no memory), so a
+check-then-wait handshake can drop the wakeup — exactly the
+``lost-wakeup`` bug class.  Correct code therefore re-notifies until
+the sleeper acknowledges; see the scenario docstring.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.api import ScenarioSpec, SchedulerPolicy
+from repro.corpus.templates import US, _fence
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import BARRIER, COND, I64, LOCK, SEMA, RWLOCK, VOID, ptr
+
+
+def _seeded(name: str, seed: int) -> random.Random:
+    return random.Random(f"scenario:{name}:{seed}")
+
+
+# ---------------------------------------------------------------------------
+# Bounded buffer: semaphores metering a mutex-guarded ring
+# ---------------------------------------------------------------------------
+
+
+def producer_consumer(
+    producers: int = 2,
+    consumers: int = 2,
+    items_per_producer: int = 4,
+    capacity: int = 2,
+    policy: SchedulerPolicy = SchedulerPolicy(),
+) -> ScenarioSpec:
+    """The textbook bounded buffer, written correctly.
+
+    ``slots`` starts at ``capacity`` and meters producers; ``items``
+    starts at zero and meters consumers; the counters themselves are
+    mutated under a mutex.  Total production must divide evenly among
+    the consumers — each consumer takes a fixed share, so the program
+    terminates without any poison-pill protocol.
+    """
+    total = producers * items_per_producer
+    if producers < 1 or consumers < 1 or items_per_producer < 1:
+        raise ValueError("producers, consumers and items_per_producer must be >= 1")
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if total % consumers:
+        raise ValueError(
+            f"{total} items cannot be split evenly across {consumers} consumers"
+        )
+    share = total // consumers
+    name = f"producer-consumer-{producers}p{consumers}c{items_per_producer}i{capacity}b"
+
+    def build() -> Module:
+        m = Module(name)
+        b = IRBuilder(m)
+        State = m.add_struct("Buffer", [("m", LOCK), ("produced", I64), ("consumed", I64)])
+        G = m.add_global("buffer", ptr(State))
+        SLOTS = m.add_global("slots", SEMA)
+        ITEMS = m.add_global("items", SEMA)
+
+        b.begin_function("producer", VOID, [("n", I64), ("d", I64)])
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, b.param("n")):
+            b.sem_wait(SLOTS)
+            s = b.load(G, "s")
+            mu = b.fieldaddr(s, "m", "mu")
+            b.lock(mu)
+            pp = b.fieldaddr(s, "produced", "pp")
+            b.store(b.add(b.load(pp, "p"), 1), pp)
+            b.unlock(mu)
+            _fence(b)
+            b.sem_post(ITEMS)
+            b.delay(b.param("d"))
+        b.ret()
+
+        b.begin_function("consumer", VOID, [("n", I64), ("d", I64)])
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, b.param("n")):
+            b.sem_wait(ITEMS)
+            s = b.load(G, "s")
+            mu = b.fieldaddr(s, "m", "mu")
+            b.lock(mu)
+            cp = b.fieldaddr(s, "consumed", "cp")
+            b.store(b.add(b.load(cp, "c"), 1), cp)
+            b.unlock(mu)
+            _fence(b)
+            b.sem_post(SLOTS)
+            b.delay(b.param("d"))
+        b.ret()
+
+        b.begin_function("main", VOID, [("d_prod", I64), ("d_cons", I64)])
+        s = b.malloc(State, name="buf")
+        mu = b.fieldaddr(s, "m", "mu0")
+        b.lock_init(mu)
+        b.store_field(0, s, "produced")
+        b.store_field(0, s, "consumed")
+        b.store(s, G)
+        b.sem_init(SLOTS, capacity)
+        b.sem_init(ITEMS, 0)
+        _fence(b)
+        handles = []
+        for k in range(producers):
+            handles.append(
+                b.spawn(
+                    "producer",
+                    [b.i64(items_per_producer), b.param("d_prod")],
+                    f"prod{k}",
+                )
+            )
+        for k in range(consumers):
+            handles.append(
+                b.spawn("consumer", [b.i64(share), b.param("d_cons")], f"cons{k}")
+            )
+        for h in handles:
+            b.join(h)
+        b.ret()
+        m.finalize()
+        return m
+
+    def workload(seed: int) -> tuple:
+        rng = _seeded(name, seed)
+        # asymmetric rates so both semaphores actually hit zero
+        return (
+            rng.randint(20, 120) * US,
+            rng.randint(20, 120) * US,
+        )
+
+    return ScenarioSpec(name=name, builder=build, workload=workload, policy=policy)
+
+
+# ---------------------------------------------------------------------------
+# Connection pool: a semaphore gating rwlock-read clients, one writer
+# ---------------------------------------------------------------------------
+
+
+def db_pool(
+    clients: int = 3,
+    requests: int = 3,
+    pool_size: int = 2,
+    policy: SchedulerPolicy = SchedulerPolicy(),
+) -> ScenarioSpec:
+    """A database connection pool under mixed read/reconfigure load.
+
+    Clients take a connection permit from the pool semaphore, read the
+    live config under the read lock, hold the connection for the query,
+    and return the permit.  A single admin thread periodically bumps the
+    config generation under the write lock.  Permits are always
+    returned and every lock acquisition is paired, so the scenario
+    terminates under any scheduler — including writer-preference rwlock
+    grant orders.
+    """
+    if clients < 1 or requests < 1:
+        raise ValueError("clients and requests must be >= 1")
+    if pool_size < 1:
+        raise ValueError("pool_size must be >= 1")
+    name = f"db-pool-{clients}c{requests}r{pool_size}p"
+
+    def build() -> Module:
+        m = Module(name)
+        b = IRBuilder(m)
+        State = m.add_struct("PoolState", [("rw", RWLOCK), ("generation", I64), ("served", I64)])
+        G = m.add_global("pool_state", ptr(State))
+        POOL = m.add_global("pool", SEMA)
+
+        b.begin_function("client", VOID, [("n", I64), ("d_query", I64), ("d_think", I64)])
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, b.param("n")):
+            b.sem_wait(POOL)  # check out a connection
+            s = b.load(G, "s")
+            rw = b.fieldaddr(s, "rw", "rw")
+            b.rw_rdlock(rw)
+            gp = b.fieldaddr(s, "generation", "gp")
+            g = b.load(gp, "g")
+            b.rw_unlock(rw)
+            ok = b.cmp("ge", g, 0)
+            with b.if_then(ok):
+                pass
+            b.delay(b.param("d_query"))  # the query itself
+            b.sem_post(POOL)  # connection back to the pool
+            _fence(b)
+            b.delay(b.param("d_think"))
+        b.ret()
+
+        b.begin_function("admin", VOID, [("n", I64), ("d_gap", I64)])
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, b.param("n")):
+            b.delay(b.param("d_gap"))
+            s = b.load(G, "s")
+            rw = b.fieldaddr(s, "rw", "rw")
+            b.rw_wrlock(rw)
+            gp = b.fieldaddr(s, "generation", "gp")
+            b.store(b.add(b.load(gp, "g"), 1), gp)
+            sp = b.fieldaddr(s, "served", "sp")
+            b.store(b.add(b.load(sp, "v"), 1), sp)
+            b.rw_unlock(rw)
+            _fence(b)
+        b.ret()
+
+        b.begin_function("main", VOID, [("d_query", I64), ("d_think", I64), ("d_admin", I64)])
+        s = b.malloc(State, name="st")
+        rw = b.fieldaddr(s, "rw", "rw0")
+        b.rw_init(rw)
+        b.store_field(0, s, "generation")
+        b.store_field(0, s, "served")
+        b.store(s, G)
+        b.sem_init(POOL, pool_size)
+        _fence(b)
+        handles = [
+            b.spawn(
+                "client",
+                [b.i64(requests), b.param("d_query"), b.param("d_think")],
+                f"cli{k}",
+            )
+            for k in range(clients)
+        ]
+        handles.append(b.spawn("admin", [b.i64(requests), b.param("d_admin")], "admin"))
+        for h in handles:
+            b.join(h)
+        b.ret()
+        m.finalize()
+        return m
+
+    def workload(seed: int) -> tuple:
+        rng = _seeded(name, seed)
+        d_query = rng.randint(40, 160) * US
+        # admin cadence lands mid-query often enough to queue writers
+        return (d_query, rng.randint(10, 60) * US, rng.randint(30, 120) * US)
+
+    return ScenarioSpec(name=name, builder=build, workload=workload, policy=policy)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined stages: semaphore handoff, barrier epochs, condvar completion
+# ---------------------------------------------------------------------------
+
+
+def async_pipeline(
+    stages: int = 3,
+    batches: int = 2,
+    policy: SchedulerPolicy = SchedulerPolicy(),
+) -> ScenarioSpec:
+    """A batch pipeline with an epoch barrier and a completion condvar.
+
+    Each batch flows through ``stages`` threads chained by handoff
+    semaphores (stage *i* waits ``s[i]``, works, posts ``s[i+1]``);
+    main feeds ``s[0]`` and drains the tail.  After each batch, all
+    stage threads and main meet at a barrier, so no stage can run two
+    epochs ahead.  A monitor thread sleeps on a condvar until main
+    announces completion.
+
+    The announcement uses the only *correct* naked-condvar idiom: the
+    monitor checks the ``done`` flag and sleeps only if it is unset;
+    main sets the flag and then re-notifies (bounded, spaced a delay
+    apart) until the monitor stores its acknowledgement.  A single
+    check-then-notify would be the ``lost-wakeup`` bug this corpus
+    diagnoses elsewhere — the retry loop closes that window.
+    """
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    name = f"async-pipeline-{stages}s{batches}b"
+    retries = 64  # notify attempts before giving up the handshake
+
+    def build() -> Module:
+        m = Module(name)
+        b = IRBuilder(m)
+        State = m.add_struct(
+            "PipeState", [("m", LOCK), ("done", I64), ("acked", I64), ("work", I64)]
+        )
+        G = m.add_global("pipe_state", ptr(State))
+        sems = [m.add_global(f"hand{i}", SEMA) for i in range(stages + 1)]
+        BAR = m.add_global("epoch", BARRIER)
+        CV = m.add_global("done_cv", COND)
+
+        b.begin_function(
+            "stage", VOID, [("src", ptr(SEMA)), ("dst", ptr(SEMA)), ("d_work", I64)]
+        )
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, batches):
+            b.sem_wait(b.param("src"))
+            b.delay(b.param("d_work"))
+            s = b.load(G, "s")
+            mu = b.fieldaddr(s, "m", "mu")
+            b.lock(mu)
+            wp = b.fieldaddr(s, "work", "wp")
+            b.store(b.add(b.load(wp, "w"), 1), wp)
+            b.unlock(mu)
+            _fence(b)
+            b.sem_post(b.param("dst"))
+            b.barrier_wait(BAR)  # epoch edge: nobody runs ahead
+            _fence(b)
+        b.ret()
+
+        b.begin_function("monitor", VOID, [])
+        s = b.load(G, "s")
+        dp = b.fieldaddr(s, "done", "dp")
+        d = b.load(dp, "d")
+        not_done = b.cmp("eq", d, 0)
+        with b.if_then(not_done):
+            b.cond_wait(CV)  # safe: main re-notifies until acked
+        _fence(b)
+        ap = b.fieldaddr(s, "acked", "ap")
+        b.store(1, ap)
+        _fence(b)
+        b.ret()
+
+        b.begin_function("main", VOID, [("d_work", I64), ("d_gap", I64)])
+        s = b.malloc(State, name="st")
+        mu = b.fieldaddr(s, "m", "mu0")
+        b.lock_init(mu)
+        b.store_field(0, s, "done")
+        b.store_field(0, s, "acked")
+        b.store_field(0, s, "work")
+        b.store(s, G)
+        for sem in sems:
+            b.sem_init(sem, 0)
+        b.barrier_init(BAR, stages + 1)
+        b.cond_init(CV)
+        _fence(b)
+        mon = b.spawn("monitor", [], "monitor")
+        handles = [
+            b.spawn(
+                "stage", [sems[k], sems[k + 1], b.param("d_work")], f"stage{k}"
+            )
+            for k in range(stages)
+        ]
+        i = b.alloca(I64, "i")
+        with b.for_range(i, 0, batches):
+            b.sem_post(sems[0])  # feed the batch in
+            b.sem_wait(sems[stages])  # drain it out the far end
+            b.barrier_wait(BAR)
+            _fence(b)
+            b.delay(b.param("d_gap"))
+        for h in handles:
+            b.join(h)
+        dp = b.fieldaddr(s, "done", "dp")
+        b.store(1, dp)
+        _fence(b)
+        ap = b.fieldaddr(s, "acked", "ap")
+        j = b.alloca(I64, "j")
+        with b.for_range(j, 0, retries):
+            a = b.load(ap, "a")
+            pending = b.cmp("eq", a, 0)
+            with b.if_then(pending):
+                b.cond_notify(CV)
+                b.delay(50 * US)
+        b.join(mon)
+        b.ret()
+        m.finalize()
+        return m
+
+    def workload(seed: int) -> tuple:
+        rng = _seeded(name, seed)
+        return (rng.randint(20, 100) * US, rng.randint(10, 80) * US)
+
+    return ScenarioSpec(name=name, builder=build, workload=workload, policy=policy)
+
+
+SCENARIOS = {
+    "producer-consumer": producer_consumer,
+    "db-pool": db_pool,
+    "async-pipeline": async_pipeline,
+}

@@ -12,7 +12,7 @@ bounded worker pool of :mod:`repro.fleet.jobs`.
 Because trace collection is deterministic in (seed, breakpoints, skip)
 and endpoint executions are deterministic in the seed, the fleet's
 diagnosis of a failure is byte-for-byte the report the in-process
-``SnorlaxServer.diagnose_failure`` produces for the same module and
+``SnorlaxServer.diagnose`` produces for the same module and
 seeds — which endpoint serves each request never matters.  The
 end-to-end test asserts exactly that equivalence.
 
@@ -206,7 +206,7 @@ class FleetServer:
         obs: Observability | None = None,
         metrics_port: int | None = None,
         store=None,
-        collection_mean_quantum: int = 24,
+        collection_policy=None,
         validate: bool = False,
         workload_resolver=None,
     ):
@@ -243,7 +243,9 @@ class FleetServer:
         self.adaptive_min_traces = adaptive_min_traces
         # the scheduler policy endpoints collect under; part of the
         # collection policy, so the evidence cache must key on it
-        self.collection_mean_quantum = collection_mean_quantum
+        from repro.api import SchedulerPolicy
+
+        self.collection_policy = collection_policy or SchedulerPolicy()
         # post-report validation: replay the diagnosed order (forced +
         # inverse) and stamp the report validated/refuted
         self.validate = validate
@@ -640,7 +642,7 @@ class FleetServer:
                 self.adaptive_min_traces,
                 self.min_success_traces,
                 self.collection_deadline_s,
-                ("random", self.collection_mean_quantum),
+                self.collection_policy.cache_key(),
             ),
         )
 
@@ -681,7 +683,7 @@ class FleetServer:
             self.metrics.inc("validations_inconclusive")
 
     def _diagnose(self, env: FailureEnvelope) -> DiagnosisReport:
-        """Replicates SnorlaxServer.diagnose_failure with the network as
+        """Replicates SnorlaxServer.diagnose with the network as
         the step-8 transport: same policy, same seeds, same evidence.
 
         Degrades gracefully when endpoints are scarce: a transport

@@ -20,6 +20,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.api import SchedulerPolicy
 from repro.errors import FleetError
 from repro.fleet.agent import FleetAgent
 from repro.fleet.chaos import FaultPlan
@@ -63,8 +64,8 @@ class FleetConfig:
     # post-report validation: replay each diagnosed order (forced +
     # inverse) via repro.validate and stamp reports validated/refuted
     validate: bool = False
-    # preemption granularity endpoints collect under (cache-key input)
-    collection_mean_quantum: int = 24
+    # scheduler policy endpoints collect under (cache-key input)
+    collection_policy: SchedulerPolicy = field(default_factory=SchedulerPolicy)
     # -- resilience knobs --------------------------------------------------
     # seed-driven fault injection (None: a polite network)
     chaos: FaultPlan | None = None
@@ -317,7 +318,7 @@ def run_fleet(
         obs=obs,
         metrics_port=cfg.metrics_port,
         store=store,
-        collection_mean_quantum=cfg.collection_mean_quantum,
+        collection_policy=cfg.collection_policy,
         validate=cfg.validate,
     )
     host, port = server.start()
@@ -505,7 +506,7 @@ def _run_sharded(
         collection_deadline_s=cfg.collection_deadline_s,
         min_success_traces=cfg.min_success_traces,
         frame_timeout=cfg.frame_timeout,
-        collection_mean_quantum=cfg.collection_mean_quantum,
+        collection_policy=cfg.collection_policy,
         validate=cfg.validate,
     )
     addresses = fleet.start()

@@ -28,12 +28,17 @@ from repro.ir.function import Function
 from repro.ir.instructions import (
     Alloca,
     Assert,
+    BarrierInit,
+    BarrierWait,
     BinOp,
     Br,
     Call,
     Cast,
     Cmp,
     CondBr,
+    CondInit,
+    CondNotify,
+    CondWait,
     Delay,
     FieldAddr,
     Free,
@@ -45,6 +50,13 @@ from repro.ir.instructions import (
     LockInit,
     Malloc,
     Ret,
+    RwInit,
+    RwRdLock,
+    RwUnlock,
+    RwWrLock,
+    SemInit,
+    SemPost,
+    SemWait,
     SourceLoc,
     Spawn,
     Store,
@@ -211,6 +223,46 @@ class IRBuilder:
 
     def unlock(self, pointer: Value) -> Unlock:
         return self._emit(Unlock(pointer))
+
+    def cond_init(self, pointer: Value) -> CondInit:
+        return self._emit(CondInit(pointer))
+
+    def cond_wait(self, pointer: Value) -> CondWait:
+        return self._emit(CondWait(pointer))
+
+    def cond_notify(self, pointer: Value) -> CondNotify:
+        return self._emit(CondNotify(pointer))
+
+    def rw_init(self, pointer: Value) -> RwInit:
+        return self._emit(RwInit(pointer))
+
+    def rw_rdlock(self, pointer: Value) -> RwRdLock:
+        return self._emit(RwRdLock(pointer))
+
+    def rw_wrlock(self, pointer: Value) -> RwWrLock:
+        return self._emit(RwWrLock(pointer))
+
+    def rw_unlock(self, pointer: Value) -> RwUnlock:
+        return self._emit(RwUnlock(pointer))
+
+    def sem_init(self, pointer: Value, count: Value | int) -> SemInit:
+        if isinstance(count, int):
+            count = self.i64(count)
+        return self._emit(SemInit(pointer, count))
+
+    def sem_wait(self, pointer: Value) -> SemWait:
+        return self._emit(SemWait(pointer))
+
+    def sem_post(self, pointer: Value) -> SemPost:
+        return self._emit(SemPost(pointer))
+
+    def barrier_init(self, pointer: Value, parties: Value | int) -> BarrierInit:
+        if isinstance(parties, int):
+            parties = self.i64(parties)
+        return self._emit(BarrierInit(pointer, parties))
+
+    def barrier_wait(self, pointer: Value) -> BarrierWait:
+        return self._emit(BarrierWait(pointer))
 
     def spawn(self, callee: str | Value, args: Sequence[Value] = (), name: str = "") -> Spawn:
         if isinstance(callee, str):

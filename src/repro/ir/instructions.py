@@ -25,10 +25,14 @@ from repro.ir.types import (
     THREAD,
     VOID,
     ArrayType,
+    BarrierType,
+    CondType,
     FunctionType,
     IntType,
     LockType,
     PointerType,
+    RwLockType,
+    SemType,
     StructType,
     Type,
     pointee_of,
@@ -117,6 +121,8 @@ class Instruction(Value):
         if isinstance(self, Store):
             return self.operands[1]
         if isinstance(self, (Lock, Unlock, Free)):
+            return self.operands[0]
+        if isinstance(self, _SyncOp):
             return self.operands[0]
         return None
 
@@ -466,6 +472,138 @@ def _require_lock_pointer(pointer: Value, what: str) -> None:
     ty = pointer.ty
     if not (isinstance(ty, PointerType) and isinstance(ty.pointee, LockType)):
         raise IRTypeError(f"{what} operand must be ptr<lock>, got {ty}")
+
+
+def _require_sync_pointer(pointer: Value, pointee_cls: type, what: str) -> None:
+    ty = pointer.ty
+    if not (isinstance(ty, PointerType) and isinstance(ty.pointee, pointee_cls)):
+        want = pointee_cls().__str__()  # CondType() -> "cond", etc.
+        raise IRTypeError(f"{what} operand must be ptr<{want}>, got {ty}")
+
+
+class _SyncOp(Instruction):
+    """Base for the sync-primitive intrinsics whose first operand is the
+    primitive word's address (the pointer diagnosis inspects)."""
+
+    _pointee_cls: type = Type
+
+    def __init__(self, pointer: Value, extra: Sequence[Value] = ()):
+        _require_sync_pointer(pointer, self._pointee_cls, self.opcode)
+        super().__init__(VOID, [pointer, *extra])
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class CondInit(_SyncOp):
+    """Initialize a condition-variable word (empty wait queue)."""
+
+    opcode = "condinit"
+    _pointee_cls = CondType
+
+
+class CondWait(_SyncOp):
+    """Block until a later ``condnotify`` on the same address.
+
+    The wait is unconditional (no predicate re-check, no mutex): a
+    notify that fires *before* the wait is lost, so programs that rely
+    on signal delivery order contain a latent lost-wakeup hang.
+    """
+
+    opcode = "condwait"
+    _pointee_cls = CondType
+
+
+class CondNotify(_SyncOp):
+    """Wake the longest-waiting thread blocked on this condition
+    variable (FIFO); a no-op — the signal is dropped — if none waits."""
+
+    opcode = "condnotify"
+    _pointee_cls = CondType
+
+
+class RwInit(_SyncOp):
+    """Initialize a reader-writer lock word (free)."""
+
+    opcode = "rwinit"
+    _pointee_cls = RwLockType
+
+
+class RwRdLock(_SyncOp):
+    """Acquire in shared (reader) mode; blocks while a writer holds."""
+
+    opcode = "rwrdlock"
+    _pointee_cls = RwLockType
+
+
+class RwWrLock(_SyncOp):
+    """Acquire in exclusive (writer) mode; blocks while anyone holds."""
+
+    opcode = "rwwrlock"
+    _pointee_cls = RwLockType
+
+
+class RwUnlock(_SyncOp):
+    """Release whichever mode the current thread holds."""
+
+    opcode = "rwunlock"
+    _pointee_cls = RwLockType
+
+
+class SemInit(_SyncOp):
+    """Initialize a counting semaphore to ``count`` permits."""
+
+    opcode = "seminit"
+    _pointee_cls = SemType
+
+    def __init__(self, pointer: Value, count: Value):
+        if not isinstance(count.ty, IntType):
+            raise IRTypeError(f"seminit count must be an integer, got {count.ty}")
+        super().__init__(pointer, [count])
+
+    @property
+    def count(self) -> Value:
+        return self.operands[1]
+
+
+class SemWait(_SyncOp):
+    """P: take one permit, blocking while the count is zero."""
+
+    opcode = "semwait"
+    _pointee_cls = SemType
+
+
+class SemPost(_SyncOp):
+    """V: return one permit, waking the longest-blocked waiter if any."""
+
+    opcode = "sempost"
+    _pointee_cls = SemType
+
+
+class BarrierInit(_SyncOp):
+    """Initialize a cyclic barrier for ``parties`` threads per phase."""
+
+    opcode = "barrierinit"
+    _pointee_cls = BarrierType
+
+    def __init__(self, pointer: Value, parties: Value):
+        if not isinstance(parties.ty, IntType):
+            raise IRTypeError(
+                f"barrierinit parties must be an integer, got {parties.ty}"
+            )
+        super().__init__(pointer, [parties])
+
+    @property
+    def parties(self) -> Value:
+        return self.operands[1]
+
+
+class BarrierWait(_SyncOp):
+    """Block until ``parties`` threads have arrived, then release all."""
+
+    opcode = "barrierwait"
+    _pointee_cls = BarrierType
 
 
 class Spawn(Instruction):

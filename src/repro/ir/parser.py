@@ -22,10 +22,15 @@ from repro.ir.builder import IRBuilder
 from repro.ir.function import Function
 from repro.ir.instructions import (
     Assert,
+    BarrierInit,
+    BarrierWait,
     Br,
     Call,
     Cast,
     CondBr,
+    CondInit,
+    CondNotify,
+    CondWait,
     Delay,
     FieldAddr,
     Free,
@@ -35,6 +40,13 @@ from repro.ir.instructions import (
     LockInit,
     Malloc,
     Ret,
+    RwInit,
+    RwRdLock,
+    RwUnlock,
+    RwWrLock,
+    SemInit,
+    SemPost,
+    SemWait,
     SourceLoc,
     Spawn,
     Store,
@@ -42,12 +54,16 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import Module
 from repro.ir.types import (
+    BARRIER,
+    COND,
     F64,
     I1,
     I8,
     I32,
     I64,
     LOCK,
+    RWLOCK,
+    SEMA,
     THREAD,
     VOID,
     ArrayType,
@@ -67,6 +83,10 @@ _BASE_TYPES: dict[str, Type] = {
     "i64": I64,
     "f64": F64,
     "lock": LOCK,
+    "cond": COND,
+    "rwlock": RWLOCK,
+    "sema": SEMA,
+    "barrier": BARRIER,
     "thread": THREAD,
 }
 
@@ -488,6 +508,42 @@ class _InstructionParser:
             return Lock(self._operand(rest, None, lineno))
         if op == "unlock":
             return Unlock(self._operand(rest, None, lineno))
+        if op == "condinit":
+            return CondInit(self._operand(rest, None, lineno))
+        if op == "condwait":
+            return CondWait(self._operand(rest, None, lineno))
+        if op == "condnotify":
+            return CondNotify(self._operand(rest, None, lineno))
+        if op == "rwinit":
+            return RwInit(self._operand(rest, None, lineno))
+        if op == "rwrdlock":
+            return RwRdLock(self._operand(rest, None, lineno))
+        if op == "rwwrlock":
+            return RwWrLock(self._operand(rest, None, lineno))
+        if op == "rwunlock":
+            return RwUnlock(self._operand(rest, None, lineno))
+        if op == "seminit":
+            parts = self._split_args(rest, lineno)
+            if len(parts) != 2:
+                raise fail(f"seminit takes pointer, count: {text!r}", lineno)
+            return SemInit(
+                self._operand(parts[0], None, lineno),
+                self._operand(parts[1], I64, lineno),
+            )
+        if op == "semwait":
+            return SemWait(self._operand(rest, None, lineno))
+        if op == "sempost":
+            return SemPost(self._operand(rest, None, lineno))
+        if op == "barrierinit":
+            parts = self._split_args(rest, lineno)
+            if len(parts) != 2:
+                raise fail(f"barrierinit takes pointer, parties: {text!r}", lineno)
+            return BarrierInit(
+                self._operand(parts[0], None, lineno),
+                self._operand(parts[1], I64, lineno),
+            )
+        if op == "barrierwait":
+            return BarrierWait(self._operand(rest, None, lineno))
         if op == "join":
             return Join(self._operand(rest, None, lineno))
         if op == "delay":

@@ -14,6 +14,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import (
     Alloca,
     Assert,
+    BarrierInit,
     BinOp,
     Br,
     Call,
@@ -31,9 +32,11 @@ from repro.ir.instructions import (
     LockInit,
     Malloc,
     Ret,
+    SemInit,
     Spawn,
     Store,
     Unlock,
+    _SyncOp,
 )
 from repro.ir.module import Module
 from repro.ir.values import (
@@ -144,6 +147,12 @@ def _instruction_body(instr: Instruction) -> str:
         return f"lock {operand(instr.pointer)}"
     if isinstance(instr, Unlock):
         return f"unlock {operand(instr.pointer)}"
+    if isinstance(instr, SemInit):
+        return f"seminit {operand(instr.pointer)}, {operand(instr.count)}"
+    if isinstance(instr, BarrierInit):
+        return f"barrierinit {operand(instr.pointer)}, {operand(instr.parties)}"
+    if isinstance(instr, _SyncOp):
+        return f"{instr.opcode} {operand(instr.pointer)}"
     if isinstance(instr, Spawn):
         args = ", ".join(operand(a) for a in instr.args)
         return f"%{instr.name} = spawn {operand(instr.callee)}({args})"

@@ -119,6 +119,81 @@ class LockType(Type):
         return hash("lock")
 
 
+class CondType(Type):
+    """An opaque condition-variable word.
+
+    Waits are "naked" (no associated mutex hand-off): a ``condwait``
+    blocks until a later ``condnotify`` on the same address.  A notify
+    with no waiter is *lost* — exactly the semantics that make lost
+    wakeups expressible as corpus bugs.
+    """
+
+    def size(self) -> int:
+        return WORD_SIZE
+
+    def __str__(self) -> str:
+        return "cond"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CondType)
+
+    def __hash__(self) -> int:
+        return hash("cond")
+
+
+class RwLockType(Type):
+    """An opaque reader-writer lock word.
+
+    Many readers or one writer; writers block behind any reader and
+    vice versa.  Diagnosis treats rd/wr acquisition like ``lock`` and
+    release like ``unlock``.
+    """
+
+    def size(self) -> int:
+        return WORD_SIZE
+
+    def __str__(self) -> str:
+        return "rwlock"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RwLockType)
+
+    def __hash__(self) -> int:
+        return hash("rwlock")
+
+
+class SemType(Type):
+    """An opaque counting-semaphore word (``semwait`` = P, ``sempost`` = V)."""
+
+    def size(self) -> int:
+        return WORD_SIZE
+
+    def __str__(self) -> str:
+        return "sema"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SemType)
+
+    def __hash__(self) -> int:
+        return hash("sema")
+
+
+class BarrierType(Type):
+    """An opaque cyclic-barrier word for ``parties`` threads per phase."""
+
+    def size(self) -> int:
+        return WORD_SIZE
+
+    def __str__(self) -> str:
+        return "barrier"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BarrierType)
+
+    def __hash__(self) -> int:
+        return hash("barrier")
+
+
 class ThreadType(Type):
     """An opaque thread handle produced by ``spawn`` and used by ``join``."""
 
@@ -292,6 +367,10 @@ I32 = IntType(32)
 I64 = IntType(64)
 F64 = FloatType()
 LOCK = LockType()
+COND = CondType()
+RWLOCK = RwLockType()
+SEMA = SemType()
+BARRIER = BarrierType()
 THREAD = ThreadType()
 
 

@@ -23,16 +23,26 @@ from dataclasses import dataclass, field
 
 from repro.errors import TraceDecodeError
 from repro.ir.instructions import (
+    BarrierWait,
     Br,
     Call,
     CondBr,
+    CondWait,
     Delay,
     Instruction,
     Join,
     Lock,
     Ret,
+    RwRdLock,
+    RwWrLock,
+    SemWait,
     Spawn,
 )
+
+# Instructions that may context-switch the thread out: the encoder marks
+# the blocked span as a FUP(uid) ... TIP(resume) region, exactly like a
+# contended mutex.
+_BLOCKING_OPS = (Lock, Join, CondWait, RwRdLock, RwWrLock, SemWait, BarrierWait)
 from repro.ir.module import Module
 from repro.ir.values import FunctionRef
 from repro.pt.packets import (
@@ -385,7 +395,7 @@ class _Walker:
             self._emit(instr)
             self._consume_region(instr.uid)
             return True
-        if isinstance(instr, (Lock, Join)):
+        if isinstance(instr, _BLOCKING_OPS):
             self._emit(instr)
             if self._peek_region(instr.uid):
                 # The operation blocked: a context-switch region follows.

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.api import SchedulerPolicy
 from repro.ir.module import Module
 from repro.pt.driver import PTDriver, TraceSnapshot
 from repro.pt.timing import TraceConfig
@@ -20,7 +21,7 @@ from repro.runtime.errortracker import FailureCode, classify
 from repro.sim.clock import CostModel
 from repro.sim.failures import ExecutionResult
 from repro.sim.machine import Machine
-from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.sim.scheduler import Scheduler
 
 Workload = Callable[[int], tuple]
 """seed -> arguments for the program's entry function."""
@@ -48,10 +49,10 @@ class SnorlaxClient:
     cost_model: CostModel = field(default_factory=CostModel)
     tracing: bool = True
     max_steps: int = 20_000_000
-    # preemption granularity of the client's scheduler; part of the
-    # collection policy, so caches must key on it (see
+    # how this client's machines schedule threads; part of the
+    # collection policy, so caches key on policy.cache_key() (see
     # CollectedEvidenceCache)
-    mean_quantum: int = 24
+    policy: SchedulerPolicy = field(default_factory=SchedulerPolicy)
 
     def run_once(
         self,
@@ -72,7 +73,7 @@ class SnorlaxClient:
         driver = PTDriver(self.trace_config, enabled=self.tracing)
         machine = Machine(
             self.module,
-            scheduler=scheduler or RandomScheduler(seed, self.mean_quantum),
+            scheduler=scheduler or self.policy.build(seed),
             cost_model=self.cost_model,
             trace_driver=driver if self.tracing else None,
             watch_uids=watch_uids,
@@ -98,7 +99,7 @@ class SnorlaxClient:
         and for repro.validate's directed replays)."""
         machine = Machine(
             self.module,
-            scheduler=scheduler or RandomScheduler(seed, self.mean_quantum),
+            scheduler=scheduler or self.policy.build(seed),
             cost_model=self.cost_model,
             max_steps=self.max_steps,
         )

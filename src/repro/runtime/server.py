@@ -10,13 +10,11 @@ gathered it runs Lazy Diagnosis (steps 2-7) and returns the report.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.cache import AnalysisCache, DecodedTraceCache
 from repro.core.pipeline import LazyDiagnosis, PipelineConfig, TraceSample
-from repro.core.report import DiagnosisReport
 from repro.errors import DiagnosisError
 from repro.ir.cfg import predecessor_chain
 from repro.ir.module import Module
@@ -309,20 +307,6 @@ class SnorlaxServer:
         )
         self.last_pipeline = result.pipeline
         return result
-
-    def diagnose_failure(
-        self, failing_run: ClientRun, client: SnorlaxClient, start_seed: int = 10_000
-    ) -> DiagnosisReport:
-        """Deprecated: use :meth:`diagnose` (returns the full
-        :class:`repro.api.DiagnosisResult`; this shim keeps the old
-        report-only return shape)."""
-        warnings.warn(
-            "SnorlaxServer.diagnose_failure() is deprecated; call "
-            "SnorlaxServer.diagnose() or repro.api.diagnose() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.diagnose(failing_run, client, start_seed).report
 
     def make_pipeline(self) -> LazyDiagnosis:
         """A pipeline bound to this server's config and shared caches."""

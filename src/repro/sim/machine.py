@@ -31,12 +31,17 @@ from repro.ir.function import Function
 from repro.ir.instructions import (
     Alloca,
     Assert,
+    BarrierInit,
+    BarrierWait,
     BinOp,
     Br,
     Call,
     Cast,
     Cmp,
     CondBr,
+    CondInit,
+    CondNotify,
+    CondWait,
     Delay,
     FieldAddr,
     Free,
@@ -48,6 +53,13 @@ from repro.ir.instructions import (
     LockInit,
     Malloc,
     Ret,
+    RwInit,
+    RwRdLock,
+    RwUnlock,
+    RwWrLock,
+    SemInit,
+    SemPost,
+    SemWait,
     Spawn,
     Store,
     Unlock,
@@ -132,8 +144,16 @@ RUNNABLE = "runnable"
 SLEEPING = "sleeping"
 BLOCKED_LOCK = "blocked-lock"
 BLOCKED_JOIN = "blocked-join"
+BLOCKED_COND = "blocked-cond"
+BLOCKED_RW = "blocked-rw"
+BLOCKED_SEMA = "blocked-sema"
+BLOCKED_BARRIER = "blocked-barrier"
 DONE = "done"
 CRASHED = "crashed"
+
+# states whose waits participate in the wait-for graph (known owners);
+# cond/sema/barrier waits have no owner and can only hang
+_DEADLOCKABLE_STATES = (BLOCKED_LOCK, BLOCKED_RW)
 
 
 @dataclass
@@ -336,13 +356,16 @@ class Machine:
     def _report_stall(self, alive: list[SimThread]) -> None:
         """All alive threads blocked and nothing will wake them."""
         for t in alive:
-            if t.state == BLOCKED_LOCK:
-                cycle = self.locks.table.find_deadlock_cycle(t.tid)
+            if t.state in _DEADLOCKABLE_STATES:
+                cycle = self._find_sync_cycle(t.tid)
                 if cycle:
                     self._deadlock(cycle)
                     return
-        # No lock cycle: a hang (e.g. join on a lock-blocked thread).
-        anchor = alive[0]
+        # No lock cycle: a hang.  Anchor it at a thread stuck on a sync
+        # primitive (a lost condwait, a starved semwait, an unfilled
+        # barrier) rather than at e.g. main blocked in join — the sync
+        # instruction has a pointer operand the pipeline can diagnose.
+        anchor = next((t for t in alive if t.pending_lock_instr), alive[0])
         uid = anchor.pending_lock_instr
         if uid == 0 and anchor.frames:
             frame = anchor.frame
@@ -356,6 +379,14 @@ class Machine:
             detail="global stall without a lock cycle",
         )
         self._outcome = "hang"
+
+    def _find_sync_cycle(self, start_tid: int):
+        """Cycle search over the merged mutex + rwlock wait-for graph."""
+        from repro.sim.sync import find_wait_cycle
+
+        pending = self.locks.table.pending_edges()
+        pending.update(self.locks.rw.pending_edges())
+        return find_wait_cycle(pending, start_tid)
 
     # -- thread management ---------------------------------------------------
 
@@ -507,6 +538,46 @@ class Machine:
             stats.lock_ops += 1
         elif isinstance(instr, Unlock):
             self._do_unlock(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, (CondInit, RwInit)):
+            addr = self._pointer(frame, instr.pointer)
+            self.memory.write_word(addr, 0)  # validates the address
+        elif isinstance(instr, CondWait):
+            advance = self._do_cond_wait(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, CondNotify):
+            self._do_cond_notify(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, (RwRdLock, RwWrLock)):
+            advance = self._do_rw_lock(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, RwUnlock):
+            self._do_rw_unlock(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, SemInit):
+            addr = self._pointer(frame, instr.pointer)
+            count = int(self._value(frame, instr.count))
+            if count < 0:
+                raise GuestFault("oob", 0, f"seminit with negative count {count}")
+            self.memory.write_word(addr, count)  # validates the address
+            self.locks.sems.init(addr, count)
+        elif isinstance(instr, SemWait):
+            advance = self._do_sem_wait(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, SemPost):
+            self._do_sem_post(thread, frame, instr)
+            stats.lock_ops += 1
+        elif isinstance(instr, BarrierInit):
+            addr = self._pointer(frame, instr.pointer)
+            parties = int(self._value(frame, instr.parties))
+            if parties < 1:
+                raise GuestFault(
+                    "oob", 0, f"barrierinit with parties {parties} < 1"
+                )
+            self.memory.write_word(addr, parties)  # validates the address
+            self.locks.barriers.init(addr, parties)
+        elif isinstance(instr, BarrierWait):
+            advance = self._do_barrier_wait(thread, frame, instr)
             stats.lock_ops += 1
         elif isinstance(instr, Spawn):
             self._do_spawn(thread, frame, instr)
@@ -674,19 +745,126 @@ class Machine:
             waiter = self.threads[next_tid]
             waiter.state = RUNNABLE
             waiter.pending_lock = None
+            waiter.pending_lock_instr = 0
             waiter.frame.index += 1  # move past the blocked lock instruction
             if self.driver is not None:
                 wframe = waiter.frame
                 resume = wframe.block.instructions[wframe.index].uid
                 self.driver.on_wake(waiter.tid, resume, self.clock.now)
 
+    # -- richer sync primitives (condvar / rwlock / semaphore / barrier) ----
+
+    def _block_on_sync(
+        self, thread: SimThread, state: str, addr: int, instr: Instruction
+    ) -> None:
+        """Common bookkeeping when a sync op cannot complete yet."""
+        thread.state = state
+        thread.pending_lock = addr
+        thread.pending_lock_instr = instr.uid
+        if self.driver is not None:
+            self.driver.on_block(thread.tid, instr.uid, self.clock.now)
+
+    def _wake_from_sync(self, tid: int) -> None:
+        """Wake a thread blocked mid-instruction on a sync primitive:
+        the op completed on its behalf, so resume *past* it."""
+        waiter = self.threads[tid]
+        waiter.state = RUNNABLE
+        waiter.pending_lock = None
+        waiter.pending_lock_instr = 0
+        waiter.frame.index += 1  # move past the blocked instruction
+        if self.driver is not None:
+            wframe = waiter.frame
+            resume = wframe.block.instructions[wframe.index].uid
+            self.driver.on_wake(waiter.tid, resume, self.clock.now)
+
+    def _do_cond_wait(self, thread: SimThread, frame: Frame, instr: CondWait) -> bool:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "read", addr)
+        self.locks.conds.wait(addr, thread.tid)
+        self._block_on_sync(thread, BLOCKED_COND, addr, instr)
+        return False
+
+    def _do_cond_notify(
+        self, thread: SimThread, frame: Frame, instr: CondNotify
+    ) -> None:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "write", addr)
+        tid = self.locks.conds.notify(addr)
+        if tid is not None:
+            self._wake_from_sync(tid)
+        # else: the signal found no waiter and is lost — the semantics
+        # behind every lost-wakeup bug in the corpus
+
+    def _do_rw_lock(self, thread: SimThread, frame: Frame, instr: Instruction) -> bool:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "lock", addr)
+        rw = self.locks.rw
+        mode = "wr" if isinstance(instr, RwWrLock) else "rd"
+        acquired = (
+            rw.try_wrlock(addr, thread.tid)
+            if mode == "wr"
+            else rw.try_rdlock(addr, thread.tid)
+        )
+        if acquired:
+            return True
+        rw.add_waiter(addr, thread.tid, mode, instr.uid, self.clock.now)
+        self._block_on_sync(thread, BLOCKED_RW, addr, instr)
+        cycle = self._find_sync_cycle(thread.tid)
+        if cycle:
+            self._deadlock(cycle)
+        return False
+
+    def _do_rw_unlock(self, thread: SimThread, frame: Frame, instr: RwUnlock) -> None:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "unlock", addr)
+        for tid in self.locks.rw.release(addr, thread.tid):
+            self._wake_from_sync(tid)
+
+    def _do_sem_wait(self, thread: SimThread, frame: Frame, instr: SemWait) -> bool:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "read", addr)
+        sems = self.locks.sems
+        if sems.try_wait(addr):
+            return True
+        sems.add_waiter(addr, thread.tid)
+        self._block_on_sync(thread, BLOCKED_SEMA, addr, instr)
+        return False
+
+    def _do_sem_post(self, thread: SimThread, frame: Frame, instr: SemPost) -> None:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "write", addr)
+        tid = self.locks.sems.post(addr)
+        if tid is not None:
+            self._wake_from_sync(tid)
+
+    def _do_barrier_wait(
+        self, thread: SimThread, frame: Frame, instr: BarrierWait
+    ) -> bool:
+        addr = self._pointer(frame, instr.pointer)
+        self.memory.check_access(addr)
+        self._record_event(instr, thread, "read", addr)
+        woken = self.locks.barriers.arrive(addr, thread.tid)
+        if woken is None:
+            self._block_on_sync(thread, BLOCKED_BARRIER, addr, instr)
+            return False
+        for tid in woken:
+            self._wake_from_sync(tid)
+        return True  # the tripping arrival continues immediately
+
     def _deadlock(self, cycle: list) -> None:
         table = self.locks.table
+        rw = self.locks.rw
         entries = tuple(
             DeadlockEntry(
                 e.waiter,
                 e.lock_address,
-                tuple(table.held_by(e.waiter)),
+                tuple(table.held_by(e.waiter) + rw.held_by(e.waiter)),
                 e.instr_uid,
                 e.since,
             )
@@ -809,9 +987,23 @@ class Machine:
 
 
 class LockTableShim:
-    """Late-bound LockTable so sim modules stay import-cycle free."""
+    """Late-bound sync tables so sim modules stay import-cycle free.
+
+    ``table`` (mutexes) keeps its historical name; the richer primitives
+    added with the corpus expansion hang off the same shim.
+    """
 
     def __init__(self):
-        from repro.sim.sync import LockTable
+        from repro.sim.sync import (
+            BarrierTable,
+            CondTable,
+            LockTable,
+            RwLockTable,
+            SemTable,
+        )
 
         self.table = LockTable()
+        self.conds = CondTable()
+        self.rw = RwLockTable()
+        self.sems = SemTable()
+        self.barriers = BarrierTable()

@@ -78,6 +78,102 @@ class RandomScheduler(Scheduler):
         return tid, quantum
 
 
+class HierarchicalScheduler(Scheduler):
+    """Two-level (vcpu -> thread) scheduling, modeled on schedsi.
+
+    Threads are pinned to one of ``vcpus`` virtual CPUs by tid.  The top
+    level picks a vcpu with runnable work uniformly at random; within a
+    vcpu, threads run round-robin, but a thread keeps its vcpu for a
+    whole *timeslice* (several picks) before the local queue rotates.
+    When the running thread leaves the race mid-slice (blocks, sleeps,
+    exits), the next thread on the same vcpu **inherits the remainder of
+    the slice** instead of drawing a fresh one — schedsi's timeslice
+    inheritance.  The result is bursty, affinity-clustered interleaving:
+    same-vcpu threads alternate coarsely while cross-vcpu preemption
+    stays fine-grained, which is what real OS scheduling looks like and
+    what uniform random preemption cannot produce.
+
+    Per-pick quanta are geometric with ``mean_quantum``, like
+    :class:`RandomScheduler`, so diagnosis timing assumptions carry over.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        vcpus: int = 2,
+        mean_quantum: int = 24,
+        slice_picks: int = 4,
+    ):
+        super().__init__(seed)
+        if vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        if mean_quantum < 1:
+            raise ValueError("mean_quantum must be >= 1")
+        if slice_picks < 1:
+            raise ValueError("slice_picks must be >= 1")
+        self.vcpus = vcpus
+        self.mean_quantum = mean_quantum
+        self.slice_picks = slice_picks
+        self._rng = random.Random(seed)
+        # per-vcpu: (current thread, picks left in the current slice)
+        self._running: dict[int, int] = {}
+        self._slice_left: dict[int, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+        self._running = {}
+        self._slice_left = {}
+
+    def _vcpu_of(self, tid: int) -> int:
+        return tid % self.vcpus
+
+    def _draw_slice(self) -> int:
+        # geometric number of picks, mean slice_picks, at least 1
+        picks = 1
+        p = 1.0 / self.slice_picks
+        while self._rng.random() > p:
+            picks += 1
+            if picks >= 16 * self.slice_picks:
+                break
+        return picks
+
+    def _draw_quantum(self) -> int:
+        quantum = 1
+        p = 1.0 / self.mean_quantum
+        while self._rng.random() > p:
+            quantum += 1
+            if quantum >= 16 * self.mean_quantum:
+                break
+        return quantum
+
+    def pick(self, runnable: list[int]) -> tuple[int, int]:
+        if not runnable:
+            raise ValueError("pick() with no runnable threads")
+        by_vcpu: dict[int, list[int]] = {}
+        for tid in sorted(runnable):
+            by_vcpu.setdefault(self._vcpu_of(tid), []).append(tid)
+        vcpu = self._rng.choice(sorted(by_vcpu))
+        queue = by_vcpu[vcpu]
+        current = self._running.get(vcpu)
+        left = self._slice_left.get(vcpu, 0)
+        if current in queue and left > 0:
+            tid = current
+        else:
+            # rotate the local queue past the previous occupant; if it
+            # left the race with slice remaining, the successor inherits
+            # that remainder (timeslice inheritance), else a fresh draw
+            if current is not None and current not in queue and left > 0:
+                pass  # inherited: keep `left`
+            else:
+                left = self._draw_slice()
+            tid = queue[(bisect.bisect_right(queue, current if current is not None else -1)) % len(queue)]
+        self._running[vcpu] = tid
+        self._slice_left[vcpu] = left - 1
+        self._last = tid
+        return tid, self._draw_quantum()
+
+
 class FixedOrderScheduler(Scheduler):
     """Replays an explicit (tid, quantum) script, then falls back to RR.
 
@@ -125,8 +221,19 @@ _FINISHED_STATES = ("done", "crashed")
 # A thread blocked in join() counts as "out of the race" for
 # serialization purposes: it will not execute another target event
 # until the thread it waits for (often the gated one) finishes, so
-# treating it as a blocker would deadlock the gate.
-_INERT_STATES = ("done", "crashed", "blocked-join")
+# treating it as a blocker would deadlock the gate.  The same holds for
+# waits with no identifiable owner (condvar/semaphore/barrier): the
+# waker is frequently the gated thread itself.  Lock-style waits
+# (blocked-lock, blocked-rw) stay *blocking*: any current holder can
+# release and put the thread back in the race.
+_INERT_STATES = (
+    "done",
+    "crashed",
+    "blocked-join",
+    "blocked-cond",
+    "blocked-sema",
+    "blocked-barrier",
+)
 
 
 @dataclass(frozen=True)

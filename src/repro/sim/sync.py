@@ -1,11 +1,18 @@
-"""Lock state and deadlock detection.
+"""Sync-primitive state and deadlock detection.
 
-Locks live in guest memory (a word of ``lock`` type); the machine keys
-their runtime state by address.  When a thread blocks on a lock the
-table records a wait-for edge; a cycle in the wait-for graph is a
-deadlock, reported with each participating thread's pending acquisition
-site — the information Figure 1(a) of the paper calls the deadlock's
-target events.
+Locks (and the richer primitives: condition variables, reader-writer
+locks, semaphores, barriers) live in guest memory as one word of their
+opaque type; the machine keys their runtime state by address.  When a
+thread blocks on a lock the table records a wait-for edge; a cycle in
+the wait-for graph is a deadlock, reported with each participating
+thread's pending acquisition site — the information Figure 1(a) of the
+paper calls the deadlock's target events.
+
+Reader-writer locks have known owners, so their waits also contribute
+wait-for edges (``find_wait_cycle`` walks the merged graph).  Condvar,
+semaphore, and barrier waits have no identifiable owner — a thread
+stuck there with no possible waker is a *hang*, not a deadlock, which
+is exactly how the machine reports it.
 """
 
 from __future__ import annotations
@@ -75,6 +82,15 @@ class LockTable:
             st.owner = next_tid
             st.acquisitions += 1
             self._pending.pop(next_tid, None)
+            # re-point the remaining waiters' wait-for edges at the
+            # inheritor: an edge frozen on the old owner would hide any
+            # cycle that runs through the new one
+            for waiter in st.waiters:
+                edge = self._pending.get(waiter)
+                if edge is not None:
+                    self._pending[waiter] = WaitEdge(
+                        waiter, next_tid, address, edge.instr_uid, edge.since
+                    )
             return next_tid
         st.owner = None
         return None
@@ -89,21 +105,277 @@ class LockTable:
     def waiting_edge(self, tid: int) -> WaitEdge | None:
         return self._pending.get(tid)
 
+    def pending_edges(self) -> dict[int, WaitEdge]:
+        return dict(self._pending)
+
     def find_deadlock_cycle(self, start_tid: int) -> list[WaitEdge] | None:
         """Follow wait-for edges from ``start_tid``; return the cycle if any."""
-        path: list[WaitEdge] = []
-        seen: set[int] = set()
-        tid = start_tid
-        while True:
-            edge = self._pending.get(tid)
-            if edge is None:
-                return None
-            if tid in seen:
-                # trim the path to the actual cycle
-                for i, e in enumerate(path):
-                    if e.waiter == tid:
-                        return path[i:]
-                return path
-            seen.add(tid)
-            path.append(edge)
-            tid = edge.owner
+        return find_wait_cycle(self._pending, start_tid)
+
+
+def find_wait_cycle(
+    pending: dict[int, WaitEdge], start_tid: int
+) -> list[WaitEdge] | None:
+    """Follow wait-for edges from ``start_tid``; return the cycle if any.
+
+    ``pending`` may merge edges from several tables (mutexes and
+    reader-writer locks), so mixed-primitive cycles are found too.
+    """
+    path: list[WaitEdge] = []
+    seen: set[int] = set()
+    tid = start_tid
+    while True:
+        edge = pending.get(tid)
+        if edge is None:
+            return None
+        if tid in seen:
+            # trim the path to the actual cycle
+            for i, e in enumerate(path):
+                if e.waiter == tid:
+                    return path[i:]
+            return path
+        seen.add(tid)
+        path.append(edge)
+        tid = edge.owner
+
+
+class CondTable:
+    """Condition-variable wait queues, keyed by address.
+
+    Waits are naked (no mutex hand-off) and notifies have no memory: a
+    notify with no waiter is dropped.  That asymmetry is what makes a
+    lost wakeup a *schedule-dependent* hang rather than a logic error.
+    """
+
+    def __init__(self):
+        self._waiters: dict[int, list[int]] = {}
+
+    def wait(self, address: int, tid: int) -> None:
+        self._waiters.setdefault(address, []).append(tid)
+
+    def notify(self, address: int) -> int | None:
+        """Wake the longest-waiting thread (FIFO); None if the signal
+        found nobody waiting and was lost."""
+        queue = self._waiters.get(address)
+        if not queue:
+            return None
+        return queue.pop(0)
+
+    def waiters(self, address: int) -> list[int]:
+        return list(self._waiters.get(address, ()))
+
+
+@dataclass
+class RwLockState:
+    address: int
+    writer: int | None = None
+    readers: list[int] = field(default_factory=list)  # acquisition order
+    # (tid, "rd"|"wr") in arrival order; FIFO grant with reader batching
+    waiters: list[tuple[int, str]] = field(default_factory=list)
+    acquisitions: int = 0
+
+
+class RwLockTable:
+    """Reader-writer locks: many readers or one writer, FIFO waiters.
+
+    Grant policy on release: the front waiter wins; if it is a reader,
+    every consecutive reader behind it is granted in the same batch
+    (writers never jump the queue, so they cannot starve).
+    """
+
+    def __init__(self):
+        self._locks: dict[int, RwLockState] = {}
+        self._pending: dict[int, WaitEdge] = {}  # waiter tid -> edge
+
+    def state(self, address: int) -> RwLockState:
+        if address not in self._locks:
+            self._locks[address] = RwLockState(address)
+        return self._locks[address]
+
+    def try_rdlock(self, address: int, tid: int) -> bool:
+        st = self.state(address)
+        # readers must also queue behind waiting writers (FIFO fairness)
+        if st.writer is None and not st.waiters:
+            st.readers.append(tid)
+            st.acquisitions += 1
+            return True
+        return False
+
+    def try_wrlock(self, address: int, tid: int) -> bool:
+        st = self.state(address)
+        if st.writer is None and not st.readers and not st.waiters:
+            st.writer = tid
+            st.acquisitions += 1
+            return True
+        return False
+
+    def add_waiter(
+        self, address: int, tid: int, mode: str, instr_uid: int, now: int
+    ) -> None:
+        st = self.state(address)
+        if all(w != tid for w, _ in st.waiters):
+            st.waiters.append((tid, mode))
+        # the wait-for edge points at whoever currently excludes us: the
+        # writer if one holds, else the first reader (a writer waiting
+        # behind readers waits on each of them; one edge is enough for
+        # cycle detection because readers holding rd-locks rarely block
+        # on each other without also creating the reverse edge)
+        owner = st.writer if st.writer is not None else (
+            st.readers[0] if st.readers else tid
+        )
+        self._pending[tid] = WaitEdge(tid, owner, address, instr_uid, now)
+
+    def release(self, address: int, tid: int) -> list[int]:
+        """Release whichever mode ``tid`` holds; returns the tids that
+        inherit the lock (possibly several readers)."""
+        st = self.state(address)
+        if st.writer == tid:
+            st.writer = None
+        elif tid in st.readers:
+            st.readers.remove(tid)
+        else:
+            # releasing a mode you don't hold: surface as free so a
+            # later deadlock check doesn't chase a stale owner
+            st.writer = None
+        if st.writer is not None or st.readers:
+            return []  # still held (other readers remain)
+        granted: list[int] = []
+        while st.waiters:
+            wtid, mode = st.waiters[0]
+            if mode == "wr":
+                if granted:
+                    break  # writer waits for this reader batch
+                st.waiters.pop(0)
+                st.writer = wtid
+                st.acquisitions += 1
+                self._pending.pop(wtid, None)
+                return [wtid]
+            st.waiters.pop(0)
+            st.readers.append(wtid)
+            st.acquisitions += 1
+            self._pending.pop(wtid, None)
+            granted.append(wtid)
+        if st.waiters:
+            # same re-pointing as the mutex table: the ungranted
+            # waiters now wait on whoever excludes them after the grant
+            owner = st.writer if st.writer is not None else (
+                st.readers[0] if st.readers else None
+            )
+            if owner is not None:
+                for wtid, _mode in st.waiters:
+                    edge = self._pending.get(wtid)
+                    if edge is not None:
+                        self._pending[wtid] = WaitEdge(
+                            wtid, owner, address, edge.instr_uid, edge.since
+                        )
+        return granted
+
+    def holders(self, address: int) -> list[int]:
+        st = self._locks.get(address)
+        if st is None:
+            return []
+        return [st.writer] if st.writer is not None else list(st.readers)
+
+    def held_by(self, tid: int) -> list[int]:
+        return [
+            a
+            for a, st in self._locks.items()
+            if st.writer == tid or tid in st.readers
+        ]
+
+    def pending_edges(self) -> dict[int, WaitEdge]:
+        return dict(self._pending)
+
+
+@dataclass
+class SemState:
+    address: int
+    count: int = 0
+    waiters: list[int] = field(default_factory=list)
+    posts: int = 0
+
+
+class SemTable:
+    """Counting semaphores with FIFO waiters.
+
+    A post with waiters hands the permit directly to the head waiter
+    (the count never goes back above zero while someone blocks), so the
+    invariant the fuzz stage restates — count never negative, and zero
+    whenever the wait queue is non-empty — holds by construction.
+    """
+
+    def __init__(self):
+        self._sems: dict[int, SemState] = {}
+
+    def state(self, address: int) -> SemState:
+        if address not in self._sems:
+            self._sems[address] = SemState(address)
+        return self._sems[address]
+
+    def init(self, address: int, count: int) -> None:
+        st = self.state(address)
+        st.count = count
+        st.waiters.clear()
+
+    def try_wait(self, address: int) -> bool:
+        st = self.state(address)
+        if st.count > 0:
+            st.count -= 1
+            return True
+        return False
+
+    def add_waiter(self, address: int, tid: int) -> None:
+        st = self.state(address)
+        if tid not in st.waiters:
+            st.waiters.append(tid)
+
+    def post(self, address: int) -> int | None:
+        """V: returns the tid that inherits the permit, if any waited."""
+        st = self.state(address)
+        st.posts += 1
+        if st.waiters:
+            return st.waiters.pop(0)
+        st.count += 1
+        return None
+
+
+@dataclass
+class BarrierState:
+    address: int
+    parties: int = 0
+    arrived: list[int] = field(default_factory=list)
+    generation: int = 0
+
+
+class BarrierTable:
+    """Cyclic barriers: the Nth arrival releases the whole batch and
+    advances the generation (monotonically — the fuzzed invariant)."""
+
+    def __init__(self):
+        self._barriers: dict[int, BarrierState] = {}
+
+    def state(self, address: int) -> BarrierState:
+        if address not in self._barriers:
+            self._barriers[address] = BarrierState(address)
+        return self._barriers[address]
+
+    def init(self, address: int, parties: int) -> None:
+        st = self.state(address)
+        st.parties = max(1, parties)
+        st.arrived.clear()
+
+    def arrive(self, address: int, tid: int) -> list[int] | None:
+        """Record an arrival.  Returns the list of *previously blocked*
+        tids to wake when the barrier trips, or None if ``tid`` must
+        block for the rest of the batch."""
+        st = self.state(address)
+        st.arrived.append(tid)
+        if len(st.arrived) >= st.parties:
+            woken = [t for t in st.arrived if t != tid]
+            st.arrived.clear()
+            st.generation += 1
+            return woken
+        return None
+
+    def waiting(self, address: int) -> list[int]:
+        return list(self.state(address).arrived)

@@ -4,8 +4,14 @@ Usage::
 
     python -m repro.validate                      # validate every bug
     python -m repro.validate --bugs aget-2,dbcp-44
+    python -m repro.validate --primitives condvar,barrier
+    python -m repro.validate --kind deadlock --system memcached
     python -m repro.validate --fixes              # also propose fixes
     python -m repro.validate --out artifacts/     # witness JSON per bug
+
+Selection goes through the public corpus query (``repro.corpus.bugs``):
+``--kind``/``--primitives``/``--table``/``--system`` are conjunctive
+filters, ``--bugs`` names exact ids and bypasses them.
 
 Exit status: 0 when every selected ground-truth bug validates, 1 when
 any is refuted/inconclusive or no failing seed was found, 2 on bad
@@ -21,7 +27,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.corpus.registry import all_bugs, bug
+from repro.corpus.registry import bug, bugs
 from repro.errors import ReproError
 from repro.validate.engine import find_failing_seed, validate_order
 from repro.validate.fixes import propose_and_validate
@@ -37,6 +43,20 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         "--bugs",
         help="comma-separated bug ids (default: the whole corpus)",
     )
+    parser.add_argument(
+        "--kind",
+        help="filter: bug kind (order-violation, atomicity-violation, "
+        "deadlock)",
+    )
+    parser.add_argument(
+        "--primitives",
+        help="filter: comma-separated sync primitives the bug exercises "
+        "(mutex, condvar, rwlock, sema, barrier)",
+    )
+    parser.add_argument(
+        "--table", type=int, help="filter: paper table number"
+    )
+    parser.add_argument("--system", help="filter: application system name")
     parser.add_argument(
         "--fixes",
         action="store_true",
@@ -67,7 +87,20 @@ def main(argv: list[str] | None = None) -> int:
         if args.bugs:
             specs = [bug(b.strip()) for b in args.bugs.split(",") if b.strip()]
         else:
-            specs = all_bugs()
+            wanted = None
+            if args.primitives:
+                wanted = tuple(
+                    p.strip() for p in args.primitives.split(",") if p.strip()
+                )
+            specs = bugs(
+                kind=args.kind,
+                primitives=wanted,
+                table=args.table,
+                system=args.system,
+            )
+            if not specs:
+                print("error: no corpus bugs match the filters", file=sys.stderr)
+                return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,109 @@
+"""The primitives filter and the sim stage: bitmask codec, kind
+selection, table fuzzing, and the CLI/runner plumbing."""
+
+import pytest
+
+from repro.check.cases import CheckCase
+from repro.check.generator import (
+    PRIMITIVE_BITS,
+    kinds_for_primitives,
+    primitive_names,
+    primitives_mask,
+)
+from repro.check.runner import run_check
+from repro.check.stages import STAGES, run_sim
+
+
+def test_mask_roundtrip():
+    for name, bit in PRIMITIVE_BITS.items():
+        assert primitives_mask([name]) == bit
+        assert primitive_names(bit) == (name,)
+    everything = primitives_mask(PRIMITIVE_BITS)
+    assert primitive_names(everything) == tuple(PRIMITIVE_BITS)
+    assert primitive_names(0) == tuple(PRIMITIVE_BITS)  # 0 = no filter
+
+
+def test_mask_rejects_unknown_primitive():
+    with pytest.raises(ValueError, match="spinlock"):
+        primitives_mask(["condvar", "spinlock"])
+
+
+def test_kinds_for_primitives():
+    # no filter: the classic corpus patterns, untouched
+    assert kinds_for_primitives(0) == (
+        "WR", "RW", "WW", "RWR", "WWR", "RWW", "WRW", "deadlock",
+    )
+    assert kinds_for_primitives(primitives_mask(["condvar"])) == (
+        "lost-wakeup",
+    )
+    assert kinds_for_primitives(primitives_mask(["mutex"])) == (
+        "deadlock", "lock-chain",
+    )
+    ci_mask = primitives_mask(["condvar", "rwlock", "sema", "barrier"])
+    assert kinds_for_primitives(ci_mask) == (
+        "lost-wakeup", "rw-race", "sema-underflow", "barrier-phase",
+    )
+
+
+@pytest.mark.parametrize("primitive", sorted(PRIMITIVE_BITS))
+def test_sim_stage_fuzzes_each_table(primitive):
+    defaults = dict(STAGES["sim"].defaults)
+    defaults["primitives"] = primitives_mask([primitive])
+    for seed in range(30):
+        run_sim(CheckCase("sim", seed, defaults))
+
+
+def test_sim_stage_catches_a_broken_queue(monkeypatch):
+    # sabotage the condvar queue (LIFO wakeup) and the fuzzer must
+    # object — proof the reference models actually bite
+    from repro.check.invariants import InvariantViolation
+    from repro.sim import sync
+
+    def lifo_notify(self, address):
+        queue = self._waiters.get(address)
+        if not queue:
+            return None
+        return queue.pop()  # newest waiter instead of the oldest
+
+    monkeypatch.setattr(sync.CondTable, "notify", lifo_notify)
+    defaults = dict(STAGES["sim"].defaults)
+    defaults["primitives"] = primitives_mask(["condvar"])
+    with pytest.raises(InvariantViolation):
+        for seed in range(30):
+            run_sim(CheckCase("sim", seed, defaults))
+
+
+def test_runner_applies_overrides_to_declaring_stages_only(tmp_path):
+    seen = {}
+    real_run = STAGES["sim"].run
+
+    def spy(case):
+        seen.update(case.params)
+        return real_run(case)
+
+    object.__setattr__(STAGES["sim"], "run", spy)
+    try:
+        stats = run_check(
+            cases=6, seed=4, stages=["sim"], out_dir=tmp_path,
+            overrides={"primitives": primitives_mask(["sema"]),
+                       "not_a_knob": 99},
+        )
+    finally:
+        object.__setattr__(STAGES["sim"], "run", real_run)
+    assert stats.ok
+    assert seen["primitives"] == primitives_mask(["sema"])
+    assert "not_a_knob" not in seen  # undeclared knobs never leak in
+
+
+def test_cli_primitives_flag(tmp_path, capsys):
+    from repro.check.__main__ import main
+
+    rc = main([
+        "--cases", "6", "--seed", "5", "--stages", "sim",
+        "--primitives", "condvar,barrier", "--out", str(tmp_path),
+    ])
+    assert rc == 0
+    assert "checked 6 cases" in capsys.readouterr().out
+    with pytest.raises(SystemExit) as exc:
+        main(["--primitives", "futex"])
+    assert exc.value.code == 2

@@ -5,11 +5,14 @@ from repro.ir import IRBuilder, Module
 from repro.sim import Machine
 
 
-def test_profiles_cover_13_systems():
-    assert len(PROFILES) == 13
+def test_profiles_cover_17_systems():
+    assert len(PROFILES) == 17
     assert profile("mysql").kloc == 650
     assert profile("aget").language == "C/C++"
     assert profile("jdk").language == "Java"
+    # Extension-corpus systems (table 4).
+    assert profile("nginx").language == "C/C++"
+    assert profile("zookeeper").language == "Java"
 
 
 def test_cold_function_count_scales():

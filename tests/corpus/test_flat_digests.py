@@ -1,0 +1,50 @@
+"""Flat-scheduler regression goldens for the original 54-bug corpus.
+
+The scheduler/scenario API redesign (``SchedulerPolicy``) must not
+perturb the production scheduling path: under the default flat random
+scheduler, every pre-extension bug's behavioral digest — per-seed
+outcome, virtual duration, instruction count, failing uid — must stay
+byte-identical to the committed goldens.
+
+Regenerate (only after an *intentional* scheduling change)::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.bench import flat_schedule_digest
+    from repro.corpus import all_bugs
+    digests = {s.bug_id: flat_schedule_digest(s)
+               for s in all_bugs() if s.table != 4}
+    open("tests/corpus/golden_flat_digests.json", "w").write(
+        json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    EOF
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import flat_schedule_digest
+from repro.corpus import all_bugs
+
+GOLDENS = json.loads(
+    (Path(__file__).parent / "golden_flat_digests.json").read_text()
+)
+
+
+def test_goldens_cover_the_original_corpus():
+    original = {s.bug_id for s in all_bugs() if s.table != 4}
+    assert set(GOLDENS) == original
+    assert len(GOLDENS) == 54
+
+
+@pytest.mark.parametrize(
+    "bug_id", sorted(GOLDENS), ids=lambda b: b.replace("/", "_")
+)
+def test_flat_scheduler_digest_unchanged(bug_id):
+    spec = next(s for s in all_bugs() if s.bug_id == bug_id)
+    assert flat_schedule_digest(spec) == GOLDENS[bug_id], (
+        f"{bug_id}: the default-scheduler interleaving changed — if this "
+        "is intentional, regenerate tests/corpus/golden_flat_digests.json "
+        "(see module docstring)"
+    )

@@ -1,20 +1,31 @@
-"""Corpus registry invariants: 54 bugs, 13 systems, the paper's split."""
+"""Corpus registry invariants: 67 bugs, 17 systems, the paper's split."""
 
 import pytest
 
-from repro.corpus import all_bugs, bug, bugs_by_system, snorlax_bugs, systems, table_bugs
+from repro.corpus import (
+    all_bugs,
+    bug,
+    bugs,
+    bugs_by_system,
+    snorlax_bugs,
+    systems,
+    table_bugs,
+)
 from repro.errors import CorpusError
 
 
-def test_54_bugs_total():
-    assert len(all_bugs()) == 54
+def test_67_bugs_total():
+    assert len(all_bugs()) == 67
+    # The paper's corpus (tables 1-3) is untouched by the extension.
+    assert len(table_bugs(1) + table_bugs(2) + table_bugs(3)) == 54
 
 
-def test_13_systems():
-    assert len(systems()) == 13
+def test_17_systems():
+    assert len(systems()) == 17
     assert set(systems()) == {
         "mysql", "httpd", "memcached", "sqlite", "transmission", "pbzip2",
         "aget", "jdk", "derby", "groovy", "dbcp", "log4j", "lucene",
+        "nginx", "redis", "postgres", "zookeeper",
     }
 
 
@@ -28,6 +39,38 @@ def test_table_split_matches_paper_structure():
         assert spec.ground_truth.pattern in ("WR", "RW", "WW")
     for spec in table_bugs(3):
         assert spec.ground_truth.pattern in ("RWR", "WWR", "RWW", "WRW")
+
+
+def test_extension_table_covers_new_primitives():
+    ext = table_bugs(4)
+    assert len(ext) == 13
+    assert {s.system for s in ext} == {"nginx", "redis", "postgres", "zookeeper"}
+    # Every extension bug names at least one primitive, and together
+    # they cover the whole new vocabulary.
+    assert all(s.primitives for s in ext)
+    assert {p for s in ext for p in s.primitives} == {
+        "condvar", "rwlock", "sema", "barrier", "mutex",
+    }
+
+
+def test_bugs_query_filters():
+    assert len(bugs(primitives="condvar")) == 3
+    assert len(bugs(primitives="rwlock")) == 3
+    assert len(bugs(primitives="sema")) == 3
+    assert len(bugs(primitives="barrier")) == 2
+    # "mutex" covers both the original table-1 deadlocks and the new
+    # three-lock chains.
+    mutex = bugs(primitives="mutex")
+    assert len(mutex) == 11
+    assert len(bugs(primitives="mutex", table=4)) == 2
+    assert len(bugs(primitives=("condvar", "barrier"))) == 5
+    assert bugs(system="redis", kind="deadlock")[0].bug_id == "redis-2988"
+    assert bugs() == all_bugs()
+
+
+def test_original_deadlocks_tagged_mutex():
+    for spec in table_bugs(1):
+        assert spec.primitives == ("mutex",)
 
 
 def test_snorlax_eval_set_is_the_papers_11():
@@ -46,7 +89,7 @@ def test_java_systems_in_cih_study_only():
     java = [s for s in all_bugs() if s.language == "Java"]
     assert java and all(not s.snorlax_eval for s in java)
     assert {s.system for s in java} == {
-        "jdk", "derby", "groovy", "dbcp", "log4j", "lucene",
+        "jdk", "derby", "groovy", "dbcp", "log4j", "lucene", "zookeeper",
     }
 
 

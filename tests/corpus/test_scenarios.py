@@ -1,0 +1,88 @@
+"""The programmatic scenario generators (``repro.corpus.scenarios``).
+
+Scenarios are correct-by-construction programs: under *any* scheduling
+policy, every seed must run to success.  These tests pin that contract
+plus the spec plumbing (frozen ScenarioSpec, policy pass-through,
+deterministic workloads, eager knob validation).
+"""
+
+import pytest
+
+from repro.api import ScenarioSpec, SchedulerPolicy
+from repro.corpus import SCENARIOS, async_pipeline, db_pool, producer_consumer
+
+POLICIES = [
+    SchedulerPolicy(),
+    SchedulerPolicy(kind="hierarchical"),
+    SchedulerPolicy(kind="rr"),
+]
+
+
+@pytest.mark.parametrize("gen", list(SCENARIOS.values()), ids=list(SCENARIOS))
+@pytest.mark.parametrize("policy", POLICIES, ids=[p.kind for p in POLICIES])
+def test_scenarios_succeed_under_every_policy(gen, policy):
+    spec = gen(policy=policy)
+    client = spec.client(tracing=False)
+    for seed in range(4):
+        result = client.run_untraced(seed)
+        assert result.outcome == "success", (spec.name, seed, result.outcome)
+
+
+@pytest.mark.parametrize("gen", list(SCENARIOS.values()), ids=list(SCENARIOS))
+def test_scenario_specs_are_frozen_and_rebuildable(gen):
+    spec = gen()
+    assert isinstance(spec, ScenarioSpec)
+    with pytest.raises(AttributeError):
+        spec.name = "mutated"
+    # builder re-creates an equivalent, finalized module on every call
+    m1, m2 = spec.module(), spec.module()
+    assert m1 is not m2
+    assert m1.finalized and m2.finalized
+    assert sorted(m1.functions) == sorted(m2.functions)
+
+
+@pytest.mark.parametrize("gen", list(SCENARIOS.values()), ids=list(SCENARIOS))
+def test_workloads_are_seed_deterministic(gen):
+    spec = gen()
+    for seed in range(8):
+        assert spec.workload(seed) == gen().workload(seed)
+    assert spec.workload(1) != spec.workload(2)
+
+
+def test_client_carries_the_scenario_policy():
+    policy = SchedulerPolicy(kind="hierarchical", vcpus=3)
+    spec = db_pool(policy=policy)
+    assert spec.policy is policy
+    client = spec.client(tracing=False)
+    assert client.policy is policy
+    assert client.entry == "main"
+
+
+def test_structural_knobs_shape_the_module():
+    spec = producer_consumer(producers=3, consumers=2, items_per_producer=4)
+    main = spec.module().functions["main"]
+    spawns = [i for i in main.instructions() if type(i).__name__ == "Spawn"]
+    assert len(spawns) == 5  # 3 producers + 2 consumers
+
+    deep = async_pipeline(stages=4)
+    main = deep.module().functions["main"]
+    spawns = [i for i in main.instructions() if type(i).__name__ == "Spawn"]
+    assert len(spawns) == 5  # 4 stages + the monitor
+
+
+def test_knob_validation_is_eager():
+    with pytest.raises(ValueError, match="evenly"):
+        producer_consumer(producers=1, consumers=2, items_per_producer=3)
+    with pytest.raises(ValueError):
+        producer_consumer(capacity=0)
+    with pytest.raises(ValueError):
+        db_pool(pool_size=0)
+    with pytest.raises(ValueError):
+        async_pipeline(stages=0)
+
+
+def test_single_stage_pipeline_still_terminates():
+    spec = async_pipeline(stages=1, batches=3)
+    client = spec.client(tracing=False)
+    for seed in range(3):
+        assert client.run_untraced(seed).outcome == "success"

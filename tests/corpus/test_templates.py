@@ -56,7 +56,7 @@ def test_failure_kind_matches_template(bug_id):
         assert kind in ("crash", "assert")
 
 
-def test_all_54_modules_build_and_verify():
+def test_all_corpus_modules_build_and_verify():
     for spec in all_bugs():
         m = spec.module()  # builds + finalizes (verifier runs)
         assert m.finalized

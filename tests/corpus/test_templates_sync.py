@@ -1,0 +1,85 @@
+"""Extension corpus (table 4): condvar/rwlock/sema/barrier bug classes.
+
+Each class must hold up end to end: both outcomes under the production
+scheduler, the right failure kind (including the lost wakeup's *hang* —
+the one class whose manifestation is silence, not a crash), an exact
+top-ranked-pattern diagnosis, and a validated ground truth (forced
+schedule reproduces, inverse schedule passes).
+"""
+
+import pytest
+
+from repro.bench import run_accuracy
+from repro.corpus import bug, bugs
+from repro.runtime import SnorlaxClient
+from repro.validate.engine import validate_ground_truth
+
+# One representative per template class for the expensive checks.
+REPRESENTATIVES = {
+    "redis-1011": "hang",        # lost-wakeup (condvar)
+    "nginx-1384": "crash",       # rw-race (rwlock)
+    "postgres-6412": "crash",    # sema-underflow
+    "zookeeper-3006": "crash",   # barrier-phase
+    "redis-2988": "deadlock",    # lock-chain (3 mutexes)
+}
+
+ALL_EXTENSION_BUGS = [s.bug_id for s in bugs(table=4)]
+
+
+@pytest.mark.parametrize("bug_id", sorted(REPRESENTATIVES))
+def test_ground_truth_resolves_to_ordered_uids(bug_id):
+    spec = bug(bug_id)
+    uids = spec.target_uids()
+    assert len(uids) == len(spec.ground_truth.events)
+    module = spec.module()
+    for uid, ev in zip(uids, spec.ground_truth.events):
+        instr = module.instruction(uid)
+        assert instr.loc.file == ev.file and instr.loc.line == ev.line
+
+
+@pytest.mark.parametrize("bug_id", sorted(REPRESENTATIVES))
+def test_bug_has_failing_and_successful_seeds(bug_id):
+    spec = bug(bug_id)
+    client = SnorlaxClient(spec.module(), spec.workload, tracing=False)
+    outcomes = set()
+    for seed in range(40):
+        run = client.run_once(seed)
+        outcomes.add(run.failed)
+        if outcomes == {True, False}:
+            break
+    assert outcomes == {True, False}, f"{bug_id}: needs both outcomes"
+
+
+@pytest.mark.parametrize("bug_id", sorted(REPRESENTATIVES))
+def test_failure_kind_matches_class(bug_id):
+    spec = bug(bug_id)
+    client = SnorlaxClient(spec.module(), spec.workload, tracing=False)
+    run = client.find_runs(True, 1)[0]
+    assert run.failure.kind == REPRESENTATIVES[bug_id]
+
+
+def test_lock_chain_truth_repeats_the_shared_routine():
+    # All three threads run the same function: the 4-event cycle
+    # signature names each lock site twice.
+    uids = bug("redis-2988").target_uids()
+    assert len(uids) == 4
+    assert len(set(uids)) == 2
+
+
+@pytest.mark.parametrize("bug_id", ALL_EXTENSION_BUGS)
+def test_extension_bug_diagnoses_exactly(bug_id):
+    outcome = run_accuracy(bug(bug_id))
+    assert outcome.diagnosed, f"{bug_id}: no diagnosis"
+    assert outcome.exact, f"{bug_id}: wrong events/order"
+    assert outcome.ordering_accuracy == 100.0
+    if bug(bug_id).kind != "deadlock":
+        assert outcome.f1 == 1.0
+
+
+@pytest.mark.parametrize("bug_id", sorted(REPRESENTATIVES))
+def test_extension_class_ground_truth_validates(bug_id):
+    outcome, _seed = validate_ground_truth(bug(bug_id))
+    assert outcome.status == "validated", f"{bug_id}: {outcome}"
+    modes = {w.mode: w.outcome for w in outcome.witnesses}
+    assert modes["inverse"] == "success"
+    assert modes["forced"] in ("crash", "assert", "hang", "deadlock")

@@ -120,7 +120,7 @@ def in_process_digests():
         spec = bug(bug_id)
         client = SnorlaxClient(spec.module(), spec.workload, entry=spec.entry)
         failing = client.find_runs(True, 1)[0]
-        report = SnorlaxServer(spec.module()).diagnose_failure(failing, client)
+        report = SnorlaxServer(spec.module()).diagnose(failing, client).report
         signature = f"{bug_id}|{failing.failure.kind}|{failing.failure.failing_uid}"
         digests[signature] = report_digest(report)
     return digests

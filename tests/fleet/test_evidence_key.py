@@ -6,6 +6,7 @@ different preemption granularity interleaves the very same seeds
 differently.
 """
 
+from repro.api import SchedulerPolicy
 from repro.fleet.server import FleetServer
 from repro.fleet.wire import FailureEnvelope
 from repro.ir import parse_module
@@ -27,17 +28,27 @@ def _server(**kw):
     return FleetServer(module_resolver=lambda bug_id: None, workers=1, **kw)
 
 
-def test_evidence_key_includes_collection_mean_quantum():
+def test_evidence_key_includes_collection_policy():
     module = parse_module(SRC)
-    a = _server(collection_mean_quantum=24)
-    b = _server(collection_mean_quantum=8)
-    c = _server(collection_mean_quantum=24)
+    a = _server(collection_policy=SchedulerPolicy(mean_quantum=24))
+    b = _server(collection_policy=SchedulerPolicy(mean_quantum=8))
+    c = _server()  # defaults to SchedulerPolicy() == ("random", 24)
+    d = _server(collection_policy=SchedulerPolicy(kind="hierarchical"))
     try:
         assert a._evidence_key(module, ENV) != b._evidence_key(module, ENV)
         assert a._evidence_key(module, ENV) == c._evidence_key(module, ENV)
+        assert a._evidence_key(module, ENV) != d._evidence_key(module, ENV)
     finally:
-        for s in (a, b, c):
+        for s in (a, b, c, d):
             s.jobs.shutdown(wait=True)
+
+
+def test_default_policy_cache_key_is_wire_compatible():
+    # the pre-SchedulerPolicy fleet keyed evidence on the literal tuple
+    # ("random", 24); the default policy must reproduce it byte for
+    # byte so an in-place upgrade keeps its warm cache
+    assert SchedulerPolicy().cache_key() == ("random", 24)
+    assert SchedulerPolicy(mean_quantum=48).cache_key() == ("random", 48)
 
 
 def test_evidence_key_still_varies_by_stopping_policy():

@@ -3,7 +3,7 @@
 The acceptance story: ≥50 agents, ≥3 distinct corpus bugs failing
 concurrently on several endpoints each, every signature diagnosed
 exactly once (dedup), and each fleet-produced report equal to what the
-in-process ``SnorlaxServer.diagnose_failure`` yields for the same
+in-process ``SnorlaxServer.diagnose`` yields for the same
 module and seeds.
 """
 
@@ -54,7 +54,7 @@ def test_single_agent_fleet_matches_in_process(custom_module):
         server.stop()
     client = SnorlaxClient(custom_module, _workload)
     failing = client.find_runs(True, 1)[0]
-    in_process = SnorlaxServer(custom_module).diagnose_failure(failing, client)
+    in_process = SnorlaxServer(custom_module).diagnose(failing, client).report
     assert result.signature == "custom-readbeforeinit|crash|" + str(
         failing.failure.failing_uid
     )
@@ -90,7 +90,7 @@ def in_process_digests():
         spec = bug(bug_id)
         client = SnorlaxClient(spec.module(), spec.workload, entry=spec.entry)
         failing = client.find_runs(True, 1)[0]
-        report = SnorlaxServer(spec.module()).diagnose_failure(failing, client)
+        report = SnorlaxServer(spec.module()).diagnose(failing, client).report
         signature = f"{bug_id}|{failing.failure.kind}|{failing.failure.failing_uid}"
         digests[signature] = report_digest(report)
     return digests

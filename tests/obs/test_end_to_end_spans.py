@@ -182,11 +182,10 @@ def test_api_diagnose_requires_failing_evidence(module):
         api.diagnose(module, traces=[])
 
 
-def test_deprecated_shim_still_answers(module, client, failing):
-    server = SnorlaxServer(module, success_traces_wanted=3)
-    with pytest.deprecated_call():
-        report = server.diagnose_failure(failing, client)
-    assert report.diagnosed
+def test_diagnose_failure_shim_is_gone():
+    # the report-only legacy shape was removed after one deprecation
+    # cycle; api.diagnose / SnorlaxServer.diagnose are the only doors
+    assert not hasattr(SnorlaxServer, "diagnose_failure")
 
 
 def test_job_queue_emits_fleet_job_spans():

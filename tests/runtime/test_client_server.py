@@ -106,7 +106,7 @@ def test_server_collects_successful_traces(module, client):
 def test_server_end_to_end_diagnosis(module, client):
     failing = client.find_runs(True, 1)[0]
     server = SnorlaxServer(module)
-    report = server.diagnose_failure(failing, client)
+    report = server.diagnose(failing, client).report
     assert report.diagnosed
     read_uid = next(
         i.uid for i in module.instructions() if i.loc and i.loc.line == 12
@@ -246,14 +246,14 @@ def test_server_caches_shared_across_diagnoses(module, client):
         analysis_cache=AnalysisCache(),
         trace_cache=DecodedTraceCache(),
     )
-    first = server.diagnose_failure(failing, client)
+    first = server.diagnose(failing, client).report
     cold = dict(server.last_pipeline.last_cache_events)
     assert cold["analysis_cache_misses"] == 1
     # streaming decode warms the trace cache while collection is still
     # in flight, so even the cold pipeline run sees only hits
     assert cold["trace_cache_misses"] == 0
     assert cold["trace_cache_hits"] > 0
-    second = server.diagnose_failure(failing, client)
+    second = server.diagnose(failing, client).report
     warm = server.last_pipeline.last_cache_events
     # identical evidence: points-to and every decode come from cache
     assert warm["analysis_cache_hits"] == 1

@@ -1,0 +1,45 @@
+"""Sync-table regressions surfaced by the ``sim`` check stage."""
+
+from repro.sim.sync import LockTable, RwLockTable
+
+A, B = 0x1000, 0x1008
+
+
+def test_lock_handoff_repoints_remaining_wait_edges():
+    # t1 holds A; t2 and t3 queue behind it; t3 also holds B.  When t1
+    # hands A to t2, t3's wait-for edge must follow the new owner —
+    # otherwise the cycle closed by t2 blocking on B is invisible.
+    table = LockTable()
+    assert table.try_acquire(A, 1)
+    assert table.try_acquire(B, 3)
+    assert not table.try_acquire(A, 2)
+    table.add_waiter(A, 2, instr_uid=10, now=1)
+    assert not table.try_acquire(A, 3)
+    table.add_waiter(A, 3, instr_uid=11, now=2)
+
+    assert table.release(A, 1) == 2
+    edge = table.waiting_edge(3)
+    assert edge is not None and edge.owner == 2
+    assert edge.instr_uid == 11  # the blocked site survives re-pointing
+
+    assert not table.try_acquire(B, 2)
+    table.add_waiter(B, 2, instr_uid=12, now=3)
+    cycle = table.find_deadlock_cycle(2)
+    assert cycle is not None
+    assert {e.waiter for e in cycle} == {2, 3}
+
+
+def test_rwlock_grant_repoints_ungranted_waiters():
+    # writer t1 holds; a reader and a writer queue.  The grant releases
+    # the reader batch only — the still-waiting writer's edge must move
+    # from the departed writer to the reader now holding the lock.
+    table = RwLockTable()
+    assert table.try_wrlock(A, 1)
+    assert not table.try_rdlock(A, 2)
+    table.add_waiter(A, 2, "rd", instr_uid=20, now=1)
+    assert not table.try_wrlock(A, 3)
+    table.add_waiter(A, 3, "wr", instr_uid=21, now=2)
+
+    assert table.release(A, 1) == [2]
+    edge = table.pending_edges()[3]
+    assert edge.owner == 2
