@@ -36,6 +36,10 @@ validate the reproduction loop: the ground-truth order of a generated
          bug must validate (forced order fails, inverse passes), and a
          diagnosis of the true pattern must never be refuted by its own
          directed replay
+monitor  the always-on differential: a diagnosis the anomaly detector
+         triggered from monitor-loop telemetry must digest identically
+         to the on-demand diagnosis of the same failure, with a
+         queryable, round-trip-stable evidence graph
 ======== ==================================================================
 
 The ``sim`` stage and every bug-generating stage (``pointsto``,
@@ -1024,6 +1028,115 @@ def run_validate(case: CheckCase) -> None:
         )
 
 
+# -- monitor: always-on anomaly-triggered diagnosis --------------------------
+
+
+def run_monitor(case: CheckCase) -> None:
+    """The always-on differential: a diagnosis the anomaly detector
+    started unprompted (from a monitor loop's sampled telemetry) must
+    digest byte-identically to the on-demand diagnosis of the same
+    failure, and must carry a queryable evidence graph that survives a
+    serialization round-trip with its digest intact.
+
+    The monitor loop walks seeds from the same base the on-demand
+    reporter would scan, and the detector is configured to trip on the
+    first failing sample — so both paths diagnose the same failing run
+    and the digests are comparable exactly.
+    """
+    from repro.fleet.agent import FleetAgent, MonitorLoop
+    from repro.fleet.anomaly import EwmaAnomalyDetector
+    from repro.fleet.server import FleetServer, report_digest
+    from repro.fleet.shard import signature_for_failure
+    from repro.provenance import EvidenceGraph, report_key
+    from repro.runtime.client import SnorlaxClient
+    from repro.runtime.server import SnorlaxServer
+
+    rng = _rng(case)
+    p = case.params
+    kinds = generator.kinds_for_primitives(p.get("primitives", 0))
+    module, _truth, workload, _kind = generator.gen_bug(rng, p, kinds=kinds)
+    client = SnorlaxClient(module, workload)
+    base = rng.randrange(1_000_000)
+    scan = max(1, p.get("seed_scan", 25))
+    failing_run = None
+    for offset in range(scan):
+        run = client.run_once(base + offset)
+        if run.failed:
+            failing_run = run
+            break
+    if failing_run is None:
+        raise CaseSkipped(f"no failing run in {scan} seeds")
+    signature = signature_for_failure("check-monitor", failing_run)
+
+    class _Clock:
+        t = 0.0
+
+        def __call__(self) -> float:
+            return self.t
+
+    clock = _Clock()
+    successes = max(1, p.get("successes", 4))
+    server = FleetServer(
+        module_resolver=lambda bug_id: module,
+        workers=1,
+        success_traces_wanted=successes,
+        anomaly_detector=EwmaAnomalyDetector(
+            alpha=0.5, failure_threshold=0.5, min_observations=1,
+            window_s=1e9,
+        ),
+        clock=clock,
+    )
+    host, port = server.start()
+    agent = FleetAgent("check-monitor-0", "check-monitor", module, workload,
+                       host, port)
+    try:
+        agent.connect()
+        monitor = MonitorLoop(
+            agent, heartbeat_interval_s=1.0, sample_interval_s=0.5,
+            start_seed=base, clock=clock,
+        )
+        deadline = time.monotonic() + 120.0
+        anomaly_digest = None
+        while time.monotonic() < deadline:
+            monitor.tick(clock.t)
+            clock.t += 0.5
+            anomaly_digest = server.anomaly_digests().get(signature)
+            if anomaly_digest is not None:
+                break
+            time.sleep(0.002)
+        if anomaly_digest is None:
+            raise InvariantViolation(
+                "anomaly-triggers",
+                f"monitor streamed {monitor.samples_sent} samples "
+                f"({monitor.failures_seen} failures) but the detector "
+                f"produced no diagnosis for {signature}",
+            )
+        in_process = SnorlaxServer(
+            module, success_traces_wanted=successes
+        ).diagnose(failing_run, client).report
+        invariants.check_digest_match(
+            report_digest(in_process), anomaly_digest, "monitor-anomaly"
+        )
+        key = report_key(anomaly_digest)
+        graph = server.evidence_graph(key)
+        if graph is None:
+            raise InvariantViolation(
+                "evidence-queryable",
+                f"anomaly-triggered report {key[:12]} has no evidence graph",
+            )
+        replayed = EvidenceGraph.from_dict(graph.to_dict())
+        if replayed.digest() != graph.digest():
+            raise InvariantViolation(
+                "evidence-round-trip",
+                "evidence graph digest changed across a to_dict/from_dict "
+                f"round-trip ({graph.digest()[:12]} -> "
+                f"{replayed.digest()[:12]})",
+            )
+    finally:
+        agent.close()
+        server.stop()
+
+
 # -- registry ----------------------------------------------------------------
 
 
@@ -1111,6 +1224,17 @@ STAGES: dict[str, StageSpec] = {
             minimums={"successes": 10, "seed_scan": 1, "quantum": 350,
                       "iters": 4, "kloc": 1},
             weight=15,
+        ),
+        StageSpec(
+            name="monitor",
+            run=run_monitor,
+            defaults={
+                "successes": 4, "seed_scan": 25, "quantum": 500, "iters": 6,
+                "kloc": 2, "cold": 0, "primitives": 0,
+            },
+            minimums={"successes": 1, "seed_scan": 1, "quantum": 350,
+                      "iters": 4, "kloc": 1},
+            weight=5,
         ),
         StageSpec(
             name="validate",

@@ -14,13 +14,16 @@ Layers::
                 wire transports (corruption, drops, delays, crashes)
     metrics     thread-safe counters/gauges/latency timers
     jobs        bounded diagnosis worker pool: dedup + backpressure
+    anomaly     EWMA failure/hang scoring for always-on monitoring
     server      asyncio TCP server wrapping SnorlaxServer
     agent       synchronous endpoint agent owning a SnorlaxClient
+                (+ MonitorLoop: heartbeats and sampled telemetry)
     shard       consistent-hash sharding: N servers, one shared store
     simulation  ≥50-agent localhost fleet (python -m repro.fleet)
 """
 
-from repro.fleet.agent import FleetAgent
+from repro.fleet.agent import FleetAgent, MonitorLoop
+from repro.fleet.anomaly import AnomalyEvent, EwmaAnomalyDetector
 from repro.fleet.chaos import (
     AgentCrashed,
     ChaosSocket,
@@ -53,7 +56,9 @@ from repro.fleet.wire import (
     DiagnosisResult,
     FailureEnvelope,
     Goodbye,
+    Heartbeat,
     Hello,
+    MonitorSample,
     MsgType,
     Reject,
     TraceBatchRequest,
@@ -67,6 +72,9 @@ from repro.fleet.wire import (
 
 __all__ = [
     "FleetAgent",
+    "MonitorLoop",
+    "AnomalyEvent",
+    "EwmaAnomalyDetector",
     "AgentCrashed",
     "ChaosSocket",
     "FaultEngine",
@@ -92,7 +100,9 @@ __all__ = [
     "DiagnosisResult",
     "FailureEnvelope",
     "Goodbye",
+    "Heartbeat",
     "Hello",
+    "MonitorSample",
     "MsgType",
     "Reject",
     "TraceBatchRequest",

@@ -212,6 +212,32 @@ def main(argv: list[str] | None = None) -> int:
         "--frame-timeout", type=float, default=30.0, metavar="S",
         help="a started frame must finish arriving within S seconds",
     )
+    monitor_group = parser.add_argument_group(
+        "always-on monitoring", "continuous liveness + anomaly-triggered diagnosis"
+    )
+    monitor_group.add_argument(
+        "--monitor", action="store_true",
+        help="population endpoints run monitor loops (heartbeats + "
+        "sampled telemetry) so the server diagnoses anomalies unprompted",
+    )
+    monitor_group.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="S",
+        help="monitor-loop heartbeat cadence",
+    )
+    monitor_group.add_argument(
+        "--sample-interval", type=float, default=0.5, metavar="S",
+        help="monitor-loop execution-sampling cadence",
+    )
+    monitor_group.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="S",
+        help="evict endpoints silent past S seconds (stale-connection "
+        "reaping; default: no eviction)",
+    )
+    monitor_group.add_argument(
+        "--dashboard-port", type=int, default=None, metavar="PORT",
+        help="serve the live fleet dashboard on http://HOST:PORT/ "
+        "(0 picks a free port)",
+    )
     obs_group = parser.add_argument_group("observability")
     obs_group.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -280,6 +306,11 @@ def main(argv: list[str] | None = None) -> int:
         trace_out=args.trace_out,
         metrics_port=metrics_port,
         profile=args.profile,
+        monitoring=args.monitor,
+        heartbeat_interval_s=args.heartbeat_interval,
+        sample_interval_s=args.sample_interval,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        dashboard_port=args.dashboard_port,
     )
     metrics = FleetMetrics()
     result = run_fleet(config, metrics=metrics)
@@ -293,6 +324,8 @@ def main(argv: list[str] | None = None) -> int:
     print(metrics.render())
     if args.trace_out is not None:
         print(f"\nspan trace: {result.spans_written} spans -> {args.trace_out}")
+    if result.dashboard_url is not None:
+        print(f"dashboard served at {result.dashboard_url} during the run")
     if args.metrics_out is not None and result.prometheus_scrape is not None:
         with open(args.metrics_out, "w") as fh:
             fh.write(result.prometheus_scrape)

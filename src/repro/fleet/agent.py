@@ -40,7 +40,9 @@ from repro.fleet.wire import (
     DiagnosisResult,
     FailureEnvelope,
     Goodbye,
+    Heartbeat,
     Hello,
+    MonitorSample,
     Reject,
     TraceBatchRequest,
     TraceBatchResponse,
@@ -235,13 +237,21 @@ class FleetAgent:
         responses = tuple(self._run_trace_request(r) for r in batch.requests)
         self._send(TraceBatchResponse(responses=responses), request_id)
 
-    def _recv_poll(self):
+    def _recv_poll(self, timeout: float | None = None):
+        """One poll for an inbound frame; None on quiet.  ``timeout``
+        overrides the default 100ms poll for callers with their own
+        cadence (the monitor loop drains between samples at ~5ms)."""
         if self._sock is None:
             raise FleetError(f"agent {self.agent_id} is not connected")
+        if timeout is not None:
+            self._sock.settimeout(timeout)
         try:
             return recv_frame_sock(self._sock, frame_timeout=self.frame_timeout)
         except socket.timeout:
             return None
+        finally:
+            if timeout is not None and self._sock is not None:
+                self._sock.settimeout(_POLL_S)
 
     # -- failure reporting -------------------------------------------------
 
@@ -339,3 +349,143 @@ class FleetAgent:
         """The full endpoint story: hit the bug in production, report it,
         help collect evidence, receive the root cause."""
         return self.report_failure(self.find_failure(start_seed), stop=stop)
+
+
+class MonitorLoop:
+    """The always-on half of an endpoint: heartbeats + sampled telemetry.
+
+    Where :meth:`FleetAgent.report_failure` is request/response (hit a
+    failure, ship it, wait), the monitor loop runs forever: on a timer it
+    sends a :class:`Heartbeat` (liveness) and executes one production
+    sample (the next seed in sequence), shipping the outcome as a
+    :class:`MonitorSample` — evidence attached only when the run failed.
+    The server's anomaly detector decides when the stream is hot enough
+    to diagnose; this side never asks.
+
+    Time is injected: :meth:`tick` takes ``now`` explicitly, so the soak
+    harness drives hours of fleet time through a compressed clock while
+    :meth:`run` is the thin real-time wrapper production would use.
+    Sampling walks seeds sequentially from ``start_seed`` — the same
+    walk :meth:`FleetAgent.find_failure` does — so the first failing
+    sample the monitor ships is byte-identical to the envelope a
+    reporting endpoint would have sent, and anomaly-triggered diagnoses
+    digest identically to on-demand ones.
+
+    Between timer events the loop drains inbound frames and serves trace
+    requests: a monitored endpoint is still step-8 labor for whatever
+    diagnosis its own telemetry triggered.
+    """
+
+    def __init__(
+        self,
+        agent: FleetAgent,
+        heartbeat_interval_s: float = 1.0,
+        sample_interval_s: float = 0.5,
+        start_seed: int = 0,
+        clock=time.monotonic,
+        drain_timeout_s: float = 0.005,
+    ):
+        self.agent = agent
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.sample_interval_s = sample_interval_s
+        self.clock = clock
+        self.drain_timeout_s = drain_timeout_s
+        self.seq = 0
+        self.samples_sent = 0
+        self.failures_seen = 0
+        self.trace_requests_served = 0
+        self._next_seed = start_seed
+        self._started_at: float | None = None
+        self._next_heartbeat = 0.0
+        self._next_sample = 0.0
+
+    def tick(self, now: float | None = None, stop: threading.Event | None = None) -> list[str]:
+        """One scheduling step at time ``now``: drain inbound, then fire
+        whichever timers are due.  Returns event labels (``"heartbeat"``,
+        ``"sample:success"``, ``"sample:failure"``, ``"reconnect"``) for
+        harnesses that assert on cadence."""
+        if now is None:
+            now = self.clock()
+        if self._started_at is None:
+            # first tick: both timers fire immediately
+            self._started_at = now
+            self._next_heartbeat = now
+            self._next_sample = now
+        events: list[str] = []
+        try:
+            self._drain()
+            if now >= self._next_heartbeat:
+                self._heartbeat(now)
+                events.append("heartbeat")
+                self._next_heartbeat = now + self.heartbeat_interval_s
+            if now >= self._next_sample:
+                events.append(self._sample())
+                self._next_sample = now + self.sample_interval_s
+        except _RECOVERABLE:
+            if not self.agent._reconnect(stop):
+                raise FleetError(
+                    f"agent {self.agent.agent_id}: lost the fleet server"
+                ) from None
+            events.append("reconnect")
+        return events
+
+    def run(self, stop: threading.Event, tick_s: float = 0.01) -> None:
+        """Real-time wrapper: tick on the wall clock until stopped."""
+        while not stop.is_set():
+            self.tick(self.clock(), stop=stop)
+            stop.wait(tick_s)
+
+    def _drain(self) -> None:
+        """Serve every inbound frame already on the wire, then return."""
+        while True:
+            frame = self.agent._recv_poll(timeout=self.drain_timeout_s)
+            if frame is None:
+                return
+            msg, request_id = frame
+            if isinstance(msg, TraceRequest):
+                self.agent._serve_trace_request(msg, request_id)
+                self.trace_requests_served += 1
+            elif isinstance(msg, TraceBatchRequest):
+                self.agent._serve_trace_batch(msg, request_id)
+                self.trace_requests_served += len(msg.requests)
+            # DiagnosisResult / WireFault while monitoring are
+            # informational (the server diagnoses unprompted); drop them
+
+    def _heartbeat(self, now: float) -> None:
+        self.agent._send(
+            Heartbeat(
+                agent_id=self.agent.agent_id,
+                seq=self.seq,
+                uptime_s=now - (self._started_at or now),
+                samples_sent=self.samples_sent,
+                failures_seen=self.failures_seen,
+            )
+        )
+        self.seq += 1
+
+    def _sample(self) -> str:
+        """Execute the next seed and ship its outcome as telemetry."""
+        seed = self._next_seed
+        self._next_seed += 1
+        run = self.agent.client.run_once(seed)
+        failing = run.failure is not None and run.snapshot is not None
+        if failing:
+            msg = MonitorSample(
+                bug_id=self.agent.bug_id,
+                seed=seed,
+                outcome="failure",
+                hang=run.failure.kind in ("deadlock", "hang"),
+                sample=sample_from_run("failure", run),
+            )
+            self.failures_seen += 1
+        else:
+            msg = MonitorSample(
+                bug_id=self.agent.bug_id,
+                seed=seed,
+                outcome="success",
+                hang=False,
+                sample=None,
+            )
+        self.agent._send(msg)
+        self.samples_sent += 1
+        return f"sample:{msg.outcome}"

@@ -1,0 +1,163 @@
+"""Anomaly detection for the always-on fleet: EWMA failure scoring.
+
+The request/response fleet waits for an endpoint to *report* a failure.
+An always-on fleet should not have to wait: the monitor loops stream
+sampled execution outcomes continuously, and this detector decides —
+unprompted — when a failure signature is hot enough to diagnose.
+
+Per ``(bug_id, signature)`` the detector keeps two exponentially
+weighted moving averages over the bug's sample stream:
+
+* **failure rate** — every sample of the bug decays every signature's
+  score by ``1 - alpha``; a sample that *hits* the signature adds
+  ``alpha``.  The score is therefore a smoothed per-sample failure
+  frequency in [0, 1].
+* **hang rate** — the same recurrence fed only by hang-shaped failures
+  (deadlocks); hangs are rarer and costlier, so they trip at a lower
+  threshold.
+
+A signature triggers when its score crosses the threshold with at
+least ``min_observations`` samples behind it, and at most once per
+``window_s`` of caller-supplied time (the server passes its event
+loop's clock; the soak passes a compressed clock — the detector never
+reads a wall clock itself, so compressed-time tests are exact).
+
+The detector is deterministic, lock-free (the server drives it from
+the event-loop thread only), and bounded: signatures whose score has
+decayed to noise are pruned on observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# scores below this are indistinguishable from "never fails"; pruning
+# at it keeps per-bug state bounded over unbounded monitoring time
+_PRUNE_EPSILON = 1e-6
+
+
+@dataclass
+class SignatureState:
+    """One failure signature's rolling statistics."""
+
+    score: float = 0.0  # EWMA of the failure indicator
+    hang_score: float = 0.0  # EWMA of the hang indicator
+    observations: int = 0  # samples of the owning bug seen since birth
+    hits: int = 0  # samples that were this signature
+    last_trigger: float | None = None  # detector time of the last trigger
+
+
+@dataclass
+class AnomalyEvent:
+    """One detector trip: what fired and why (for the timeline)."""
+
+    bug_id: str
+    signature: str
+    score: float
+    hang_score: float
+    reason: str  # "failure-rate" | "hang-rate"
+    at: float
+
+
+@dataclass
+class EwmaAnomalyDetector:
+    """EWMA failure/hang scoring with once-per-window triggering."""
+
+    alpha: float = 0.25
+    failure_threshold: float = 0.5
+    hang_threshold: float = 0.3
+    window_s: float = 60.0
+    min_observations: int = 3
+    _bugs: dict[str, dict[str, SignatureState]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+
+    def observe(
+        self,
+        bug_id: str,
+        signature: str | None,
+        hang: bool,
+        now: float,
+    ) -> AnomalyEvent | None:
+        """Feed one sampled execution; returns the anomaly it tripped.
+
+        ``signature`` is None for a successful execution — it decays
+        every tracked signature of the bug without crediting any.
+        """
+        states = self._bugs.setdefault(bug_id, {})
+        decay = 1.0 - self.alpha
+        stale: list[str] = []
+        for sig, state in states.items():
+            state.score *= decay
+            state.hang_score *= decay
+            state.observations += 1
+            if (
+                sig != signature
+                and state.score < _PRUNE_EPSILON
+                and state.hang_score < _PRUNE_EPSILON
+            ):
+                stale.append(sig)
+        for sig in stale:
+            del states[sig]
+        if signature is None:
+            return None
+        state = states.get(signature)
+        if state is None:
+            state = states[signature] = SignatureState(observations=1)
+        state.score += self.alpha
+        if hang:
+            state.hang_score += self.alpha
+        state.hits += 1
+        return self._maybe_trigger(bug_id, signature, state, now)
+
+    def _maybe_trigger(
+        self, bug_id: str, signature: str, state: SignatureState, now: float
+    ) -> AnomalyEvent | None:
+        if state.observations < self.min_observations:
+            return None
+        if (
+            state.last_trigger is not None
+            and now - state.last_trigger < self.window_s
+        ):
+            return None  # once per signature per window
+        reason = None
+        if state.hang_score >= self.hang_threshold:
+            reason = "hang-rate"
+        elif state.score >= self.failure_threshold:
+            reason = "failure-rate"
+        if reason is None:
+            return None
+        state.last_trigger = now
+        return AnomalyEvent(
+            bug_id=bug_id,
+            signature=signature,
+            score=state.score,
+            hang_score=state.hang_score,
+            reason=reason,
+            at=now,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, dict]]:
+        """The dashboard's view: per bug, per signature, the live scores."""
+        return {
+            bug_id: {
+                sig: {
+                    "score": round(state.score, 6),
+                    "hang_score": round(state.hang_score, 6),
+                    "observations": state.observations,
+                    "hits": state.hits,
+                    "last_trigger": state.last_trigger,
+                }
+                for sig, state in states.items()
+            }
+            for bug_id, states in self._bugs.items()
+        }
+
+    def tracked_signatures(self, bug_id: str) -> int:
+        return len(self._bugs.get(bug_id, ()))

@@ -42,6 +42,19 @@ Resilience counter vocabulary (all zero on a polite network):
   traces than wanted because the collection deadline expired;
 * ``jobs_failed`` — diagnosis jobs that raised (evicted for retry);
 * ``server_restarts`` — injected/administrative full restarts;
+* ``agents_evicted_stale`` — connections evicted by the liveness
+  monitor after missing heartbeats past ``heartbeat_timeout_s``;
+
+Always-on monitoring counter vocabulary:
+
+* ``heartbeats_received`` — liveness beacons from monitor loops;
+* ``monitor_samples_received`` / ``monitor_failures_seen`` — sampled
+  executions streamed by monitor loops, and how many carried failures;
+* ``anomaly_triggers`` — detector trips that started (or fetched) a
+  diagnosis unprompted; ``anomaly_rejected`` counts trips bounced by
+  queue backpressure (the detector re-trips next window);
+* ``evidence_graphs_built`` — provenance DAGs recorded for finished
+  diagnoses (queryable via the dashboard's ``/api/evidence``);
 * ``chaos_*`` — faults the simulation's :class:`FaultPlan` injected
   (``chaos_corrupted``, ``chaos_dropped``, ``chaos_truncated``,
   ``chaos_crashes``, ``chaos_delayed``, ``chaos_inbound_corrupted``).

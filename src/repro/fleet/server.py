@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
+from collections import deque
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable
@@ -41,13 +42,16 @@ from repro.core.cache import (
 from repro.core.pipeline import PipelineConfig
 from repro.core.report import DiagnosisReport
 from repro.errors import FleetError, WireError
+from repro.fleet.anomaly import EwmaAnomalyDetector
 from repro.fleet.jobs import DiagnosisJobQueue, JobRejected, QueueClosed
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.wire import (
     DiagnosisResult,
     FailureEnvelope,
     Goodbye,
+    Heartbeat,
     Hello,
+    MonitorSample,
     Reject,
     TraceBatchRequest,
     TraceBatchResponse,
@@ -58,7 +62,8 @@ from repro.fleet.wire import (
 from repro.ir.module import Module
 from repro.obs import MetricsHTTPServer, Observability, render_flight_recorder
 from repro.obs.tracer import NULL_TRACER
-from repro.runtime.protocol import TraceRequest, TraceResponse
+from repro.provenance import EvidenceGraph, build_evidence_graph, report_key
+from repro.runtime.protocol import FailureNotification, TraceRequest, TraceResponse
 from repro.runtime.server import SnorlaxServer
 
 
@@ -165,6 +170,12 @@ class AgentConn:
     writer: asyncio.StreamWriter
     pending: dict[int, asyncio.Future] = field(default_factory=dict)
     alive: bool = True
+    # -- liveness (always-on monitoring) -----------------------------------
+    last_seen: float = 0.0  # detector-clock time of the last frame
+    heartbeats: int = 0  # heartbeat frames received on this conn
+    monitored: bool = False  # has this conn ever heartbeaten?
+    samples_sent: int = 0  # the agent's cumulative monitor counter
+    failures_seen: int = 0
 
     def fail_pending(self, exc: Exception) -> None:
         for future in self.pending.values():
@@ -209,6 +220,12 @@ class FleetServer:
         collection_policy=None,
         validate: bool = False,
         workload_resolver=None,
+        heartbeat_timeout_s: float | None = None,
+        prune_interval_s: float | None = None,
+        anomaly_detector: EwmaAnomalyDetector | None = None,
+        dashboard_port: int | None = None,
+        clock: Callable[[], float] | None = None,
+        timeline_limit: int = 256,
     ):
         self.host = host
         self.port = port
@@ -295,6 +312,47 @@ class FleetServer:
         self._resolver = module_resolver or _corpus_resolver
         self._modules: dict[str, Module] = {}
         self._module_lock = threading.Lock()
+        # -- always-on monitoring ----------------------------------------
+        # liveness: a conn silent for heartbeat_timeout_s (detector-clock
+        # seconds) is evicted from rotation; None disables eviction (the
+        # request/response fleets never heartbeat)
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        # real-seconds cadence of the prune task (the timeout itself is
+        # measured on the detector clock, which a soak may compress)
+        if prune_interval_s is None and heartbeat_timeout_s is not None:
+            prune_interval_s = min(5.0, max(0.05, heartbeat_timeout_s / 2))
+        self.prune_interval_s = prune_interval_s
+        self.anomaly = anomaly_detector or EwmaAnomalyDetector()
+        # detector clock: defaults to the event loop's monotonic time;
+        # the soak passes a compressed clock so "hours of fleet time"
+        # run in seconds with exact window/timeout semantics
+        self._clock = clock
+        # provenance: report_key -> EvidenceGraph for every diagnosis
+        # this server ran (recurring signatures reuse their key, so the
+        # map is bounded by distinct diagnoses, not by uptime)
+        self._evidence: dict[str, EvidenceGraph] = {}
+        self._evidence_lock = threading.Lock()
+        # rolling event timeline for the dashboard (loop-confined)
+        self._timeline: deque[dict] = deque(maxlen=timeline_limit)
+        # signature -> digest of anomaly-triggered diagnoses (loop-confined)
+        self._anomaly_digests: dict[str, dict] = {}
+        # signature -> digest of every finished diagnosis (loop-confined)
+        self._diagnosed: dict[str, dict] = {}
+        self.jobs.add_completion_listener(self._record_completion)
+        self._prune_task: asyncio.Task | None = None
+        # optional live dashboard (``--dashboard-port``)
+        self.dashboard = None
+        if dashboard_port is not None:
+            from repro.obs.dashboard import DashboardServer
+
+            self.dashboard = DashboardServer(
+                registry=self.metrics,
+                status_fn=self.fleet_status,
+                timeline_fn=self.timeline,
+                evidence_fn=self.evidence_payload,
+                host=self.host,
+                port=dashboard_port,
+            )
         # loop-confined state
         self._agents: dict[str, list[AgentConn]] = {}
         self._rr: dict[str, itertools.count] = {}
@@ -321,6 +379,8 @@ class FleetServer:
             raise FleetError(f"fleet server failed to start: {self._startup_error}")
         if self.metrics_server is not None:
             self.metrics_server.start()
+        if self.dashboard is not None:
+            self.dashboard.start()
         return self.host, self.port
 
     def _thread_main(self) -> None:
@@ -339,6 +399,9 @@ class FleetServer:
             return
         self._server = server
         self.port = server.sockets[0].getsockname()[1]
+        if self.heartbeat_timeout_s is not None:
+            # scheduled now, runs once run_forever starts
+            self._prune_task = loop.create_task(self._prune_loop())
         self._ready.set()
         try:
             loop.run_forever()
@@ -350,9 +413,14 @@ class FleetServer:
         """Stop intake, drain in-flight diagnoses, tear the loop down."""
         if self.metrics_server is not None:
             self.metrics_server.stop()
+        if self.dashboard is not None:
+            self.dashboard.stop()
         loop = self._loop
         if loop is None or self._thread is None:
             return
+        if self._prune_task is not None:
+            loop.call_soon_threadsafe(self._prune_task.cancel)
+            self._prune_task = None
         # 1. no new connections
         asyncio.run_coroutine_threadsafe(self._close_server(), loop).result()
         # 2. let running diagnoses finish (they still need the loop to
@@ -446,6 +514,7 @@ class FleetServer:
                                 ),
                             )
                     conn = AgentConn(msg.agent_id, msg.bug_id, writer)
+                    conn.last_seen = self._now()
                     self._agents.setdefault(msg.bug_id, []).append(conn)
                     self._rr.setdefault(msg.bug_id, itertools.count())
                     self.metrics.inc("agents_connected")
@@ -455,9 +524,21 @@ class FleetServer:
                     )
                     await writer.drain()
                     break
+                elif isinstance(msg, Heartbeat):
+                    conn.last_seen = self._now()
+                    conn.heartbeats += 1
+                    conn.monitored = True
+                    conn.samples_sent = msg.samples_sent
+                    conn.failures_seen = msg.failures_seen
+                    self.metrics.inc("heartbeats_received")
+                elif isinstance(msg, MonitorSample):
+                    conn.last_seen = self._now()
+                    await self._on_monitor_sample(conn, msg)
                 elif isinstance(msg, FailureEnvelope):
+                    conn.last_seen = self._now()
                     await self._on_failure(conn, msg, request_id)
                 elif isinstance(msg, TraceResponse):
+                    conn.last_seen = self._now()
                     future = conn.pending.pop(request_id, None)
                     if future is not None and not future.done():
                         self.metrics.inc("trace_responses_received")
@@ -469,6 +550,7 @@ class FleetServer:
                         # differs)
                         self.metrics.inc("orphan_trace_responses")
                 elif isinstance(msg, TraceBatchResponse):
+                    conn.last_seen = self._now()
                     future = conn.pending.pop(request_id, None)
                     if future is not None and not future.done():
                         self.metrics.inc(
@@ -596,6 +678,219 @@ class FleetServer:
             self.metrics.inc("results_delivered")
         except (ConnectionError, OSError, asyncio.CancelledError):
             self.metrics.inc("result_delivery_failures")
+
+    # -- always-on monitoring (loop thread) --------------------------------
+
+    def _now(self) -> float:
+        """Detector-clock time: the injected clock (compressed in soak
+        tests) or the event loop's monotonic time."""
+        if self._clock is not None:
+            return self._clock()
+        loop = self._loop
+        return loop.time() if loop is not None else 0.0
+
+    async def _prune_loop(self) -> None:
+        """Evict connections silent past the heartbeat timeout.  Cadence
+        runs in real seconds; the timeout itself is measured on the
+        detector clock, so compressed-time soaks age conns correctly."""
+        try:
+            while True:
+                await asyncio.sleep(self.prune_interval_s)
+                self._prune_stale(self._now())
+        except asyncio.CancelledError:
+            pass
+
+    def _prune_stale(self, now: float) -> None:
+        if self.heartbeat_timeout_s is None:
+            return
+        for conns in list(self._agents.values()):
+            for conn in list(conns):
+                if conn.alive and now - conn.last_seen > self.heartbeat_timeout_s:
+                    self._retire_conn(
+                        conn,
+                        FleetError(
+                            f"agent {conn.agent_id} missed heartbeats for "
+                            f"{now - conn.last_seen:.1f}s"
+                        ),
+                        metric="agents_evicted_stale",
+                    )
+                    # unlike supersession (which shares the socket with
+                    # the new Hello), a stale conn's socket is garbage:
+                    # close it so the leak test sees zero stragglers
+                    conn.writer.close()
+
+    async def _on_monitor_sample(self, conn: AgentConn, msg: MonitorSample) -> None:
+        """Feed one sampled execution to the anomaly detector; when it
+        trips, start a diagnosis unprompted (or serve it from the store)
+        and remember the digest for the timeline/equivalence checks."""
+        self.metrics.inc("monitor_samples_received")
+        signature = None
+        hang = False
+        failure = msg.sample.failure if msg.sample is not None else None
+        if msg.outcome == "failure" and failure is not None:
+            self.metrics.inc("monitor_failures_seen")
+            signature = f"{msg.bug_id}|{failure.kind}|{failure.failing_uid}"
+            hang = msg.hang
+        event = self.anomaly.observe(msg.bug_id, signature, hang, self._now())
+        if event is None:
+            return
+        self.metrics.inc("anomaly_triggers")
+        self._timeline.append(
+            {
+                "event": "anomaly",
+                "bug_id": event.bug_id,
+                "signature": event.signature,
+                "reason": event.reason,
+                "score": round(event.score, 6),
+                "hang_score": round(event.hang_score, 6),
+                "at": event.at,
+            }
+        )
+        # store fast path mirrors _on_failure: a signature already
+        # diagnosed by an earlier process is served from disk
+        if self.store is not None and self.jobs.result_for(signature) is None:
+            stored = self.store.get_report(signature)
+            if stored is not None:
+                self.metrics.inc("diagnoses_from_store")
+                self.store.absorb_into(self.metrics)
+                self._anomaly_digests[signature] = stored.digest
+                return
+        env = FailureEnvelope(
+            bug_id=msg.bug_id,
+            seed=msg.seed,
+            notification=FailureNotification(
+                bug_hint=msg.bug_id,
+                failing_uid=failure.failing_uid,
+                failing_tid=failure.failing_tid,
+                time=failure.time,
+            ),
+            sample=msg.sample,
+        )
+        try:
+            future, _dedup = self.jobs.submit(
+                signature, lambda: self._diagnose(env)
+            )
+        except JobRejected:
+            # backpressure: the detector re-trips next window and retries
+            self.metrics.inc("anomaly_rejected")
+            return
+        except QueueClosed:
+            return
+        loop = asyncio.get_running_loop()
+        if future.done():
+            self._record_anomaly_digest(signature, future)
+        else:
+            future.add_done_callback(
+                lambda f, s=signature: loop.call_soon_threadsafe(
+                    self._record_anomaly_digest, s, f
+                )
+            )
+
+    def _record_anomaly_digest(self, signature: str, future) -> None:
+        if future.cancelled() or future.exception() is not None:
+            return
+        self._anomaly_digests[signature] = report_digest(future.result())
+
+    def _record_completion(self, signature: str, report) -> None:
+        """Job-queue completion listener (worker thread): note every
+        finished diagnosis on the loop for the dashboard timeline."""
+        if not isinstance(report, DiagnosisReport):
+            return
+        loop = self._loop
+        if loop is None:
+            return
+        digest = report_digest(report)
+        try:
+            loop.call_soon_threadsafe(self._note_diagnosis, signature, digest)
+        except RuntimeError:
+            pass  # loop torn down mid-completion; the report still stands
+
+    def _note_diagnosis(self, signature: str, digest: dict) -> None:
+        self._diagnosed[signature] = digest
+        self._timeline.append(
+            {
+                "event": "diagnosis",
+                "signature": signature,
+                "report_key": report_key(digest),
+                "diagnosed": digest.get("diagnosed"),
+                "root_cause": digest.get("root_cause"),
+                "degraded": digest.get("degraded"),
+                "at": self._now(),
+            }
+        )
+
+    # -- dashboard surface (any thread) ------------------------------------
+
+    def fleet_status(self) -> dict:
+        """The dashboard's health table: per-agent liveness plus the
+        anomaly detector's live scores.  Thread-safe (hops to the loop)."""
+        loop = self._loop
+        if loop is None:
+            return {"agents": [], "anomaly": {}, "diagnosed": {}}
+        return asyncio.run_coroutine_threadsafe(
+            self._fleet_status_async(), loop
+        ).result(timeout=5)
+
+    async def _fleet_status_async(self) -> dict:
+        now = self._now()
+        agents = []
+        for bug_id, conns in self._agents.items():
+            for conn in conns:
+                agents.append(
+                    {
+                        "agent_id": conn.agent_id,
+                        "bug_id": bug_id,
+                        "alive": conn.alive,
+                        "monitored": conn.monitored,
+                        "heartbeats": conn.heartbeats,
+                        "samples_sent": conn.samples_sent,
+                        "failures_seen": conn.failures_seen,
+                        "last_seen_age_s": round(now - conn.last_seen, 3),
+                        "pending": len(conn.pending),
+                    }
+                )
+        return {
+            "agents": agents,
+            "anomaly": self.anomaly.snapshot(),
+            "diagnosed": {
+                sig: {
+                    "report_key": report_key(digest),
+                    "root_cause": digest.get("root_cause"),
+                    "anomaly_triggered": sig in self._anomaly_digests,
+                }
+                for sig, digest in self._diagnosed.items()
+            },
+        }
+
+    def timeline(self) -> list[dict]:
+        """The dashboard's event feed (anomalies + diagnoses), oldest
+        first.  Thread-safe (hops to the loop)."""
+        loop = self._loop
+        if loop is None:
+            return []
+
+        async def snap() -> list[dict]:
+            return list(self._timeline)
+
+        return asyncio.run_coroutine_threadsafe(snap(), loop).result(timeout=5)
+
+    def anomaly_digests(self) -> dict[str, dict]:
+        """Signature -> digest for every anomaly-triggered diagnosis (the
+        soak's equivalence oracle against on-demand digests)."""
+        return dict(self._anomaly_digests)
+
+    def evidence_payload(self, key: str) -> dict | None:
+        """One evidence graph as a JSON-ready dict: in-memory first, then
+        the persistent store.  None when the key is unknown."""
+        graph = self.evidence_graph(key)
+        return graph.to_dict() if graph is not None else None
+
+    def evidence_graph(self, key: str) -> EvidenceGraph | None:
+        with self._evidence_lock:
+            graph = self._evidence.get(key)
+        if graph is None and self.store is not None:
+            graph = self.store.evidence_for(key)
+        return graph
 
     # -- the diagnosis job (worker thread) --------------------------------
 
@@ -794,6 +1089,18 @@ class FleetServer:
         if obs.enabled:
             # the whole fleet-side job: collection round-trips included
             report.flight_recorder = render_flight_recorder(obs.tracer, root)
+        # provenance: the report's evidence graph, content-addressed down
+        # to the raw PT buffer hashes; span ids annotate (never identify)
+        # so cached replays digest identically to this cold run
+        spans = obs.tracer.subtree(root) if obs.enabled else ()
+        graph = build_evidence_graph(
+            report_digest(report), [env.sample], successes, spans
+        )
+        with self._evidence_lock:
+            self._evidence[graph.report_key] = graph
+        if self.store is not None and not report.degraded:
+            self.store.put_evidence(graph)
+        self.metrics.inc("evidence_graphs_built")
         self.metrics.inc("diagnoses_completed")
         return report
 

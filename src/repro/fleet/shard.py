@@ -223,6 +223,30 @@ class ShardedFleet:
     def shard_names(self) -> list[str]:
         return self.router.shard_names
 
+    # -- always-on monitoring ----------------------------------------------
+
+    def fleet_status(self) -> dict:
+        """Aggregate health across shards: one merged agent table (rows
+        stamped with their shard), anomaly snapshots keyed by shard."""
+        agents: list[dict] = []
+        anomaly: dict[str, dict] = {}
+        diagnosed: dict[str, dict] = {}
+        for name, server in self.servers.items():
+            status = server.fleet_status()
+            agents.extend({**row, "shard": name} for row in status["agents"])
+            anomaly[name] = status["anomaly"]
+            diagnosed.update(status["diagnosed"])
+        return {"agents": agents, "anomaly": anomaly, "diagnosed": diagnosed}
+
+    def evidence_payload(self, key: str) -> dict | None:
+        """One evidence graph, whichever shard diagnosed it (the shared
+        store makes this a hit even after that shard was removed)."""
+        for server in self.servers.values():
+            payload = server.evidence_payload(key)
+            if payload is not None:
+                return payload
+        return None
+
     # -- membership --------------------------------------------------------
 
     def restart_shard(self, name: str) -> None:

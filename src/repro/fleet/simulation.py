@@ -80,6 +80,16 @@ class FleetConfig:
     metrics_port: int | None = None  # serve Prometheus /metrics (0: any)
     profile: bool = False  # sample stacks during each diagnosis
     obs: Observability | None = None  # bring your own bundle
+    # -- always-on monitoring ----------------------------------------------
+    # population agents run MonitorLoops (heartbeats + sampled telemetry)
+    # instead of passively serving; the server's anomaly detector can
+    # then trigger diagnoses unprompted
+    monitoring: bool = False
+    heartbeat_interval_s: float = 1.0
+    sample_interval_s: float = 0.5
+    # evict conns silent past this (None: no liveness eviction)
+    heartbeat_timeout_s: float | None = None
+    dashboard_port: int | None = None  # serve the live dashboard (0: any)
 
 
 @dataclass
@@ -106,6 +116,7 @@ class FleetRunResult:
     # observability artifacts of this run
     spans_written: int = 0  # spans written to config.trace_out
     metrics_url: str | None = None  # Prometheus endpoint while running
+    dashboard_url: str | None = None  # live dashboard while running
     # the final GET /metrics body, fetched over HTTP just before the
     # endpoint shut down (None when metrics_port was not set)
     prometheus_scrape: str | None = None
@@ -155,6 +166,20 @@ class FleetRunResult:
     @property
     def degraded_collections(self) -> int:
         return self.metrics["counters"].get("degraded_collections", 0)
+
+    # -- always-on monitoring counters --------------------------------------
+
+    @property
+    def heartbeats_received(self) -> int:
+        return self.metrics["counters"].get("heartbeats_received", 0)
+
+    @property
+    def monitor_samples_received(self) -> int:
+        return self.metrics["counters"].get("monitor_samples_received", 0)
+
+    @property
+    def anomaly_triggers(self) -> int:
+        return self.metrics["counters"].get("anomaly_triggers", 0)
 
     # -- persistence & sharding counters -----------------------------------
 
@@ -212,6 +237,12 @@ class FleetRunResult:
             f"{self.analysis_cache_hits} analysis, {self.trace_cache_hits} trace)",
             f"agent errors:      {len(failed)}",
         ]
+        if self.config.monitoring:
+            lines.append(
+                f"monitoring:        {self.heartbeats_received} heartbeats, "
+                f"{self.monitor_samples_received} samples, "
+                f"{self.anomaly_triggers} anomaly triggers"
+            )
         timers = self.metrics.get("timers", {})
         collect = timers.get("stage_collect")
         decode = timers.get("stage_decode")
@@ -320,11 +351,14 @@ def run_fleet(
         store=store,
         collection_policy=cfg.collection_policy,
         validate=cfg.validate,
+        heartbeat_timeout_s=cfg.heartbeat_timeout_s,
+        dashboard_port=cfg.dashboard_port,
     )
     host, port = server.start()
     metrics_url = (
         server.metrics_server.url if server.metrics_server is not None else None
     )
+    dashboard_url = server.dashboard.url if server.dashboard is not None else None
 
     # an injected server restart mid-run: agents must reconnect, reporters
     # must re-report, in-flight collections must reroute
@@ -384,7 +418,16 @@ def run_fleet(
                 finally:
                     with state_lock:
                         reporters_done[0] += 1
-            agent.serve_until(stop)
+            if cfg.monitoring:
+                from repro.fleet.agent import MonitorLoop
+
+                MonitorLoop(
+                    agent,
+                    heartbeat_interval_s=cfg.heartbeat_interval_s,
+                    sample_interval_s=cfg.sample_interval_s,
+                ).run(stop)
+            else:
+                agent.serve_until(stop)
         except Exception as exc:  # recorded, never raised into the pool
             outcome.error = f"{type(exc).__name__}: {exc}"
         finally:
@@ -446,6 +489,7 @@ def run_fleet(
         digests=digests,
         spans_written=spans_written,
         metrics_url=metrics_url,
+        dashboard_url=dashboard_url,
         prometheus_scrape=prometheus_scrape,
         obs=obs,
     )
@@ -508,6 +552,7 @@ def _run_sharded(
         frame_timeout=cfg.frame_timeout,
         collection_policy=cfg.collection_policy,
         validate=cfg.validate,
+        heartbeat_timeout_s=cfg.heartbeat_timeout_s,
     )
     addresses = fleet.start()
     metrics_server = None

@@ -59,6 +59,8 @@ class MsgType(IntEnum):
     ERROR = 8
     TRACE_BATCH_REQUEST = 9
     TRACE_BATCH_RESPONSE = 10
+    HEARTBEAT = 11
+    MONITOR_SAMPLE = 12
 
 
 # -- fleet envelope messages (wrap the runtime protocol types) -------------
@@ -115,6 +117,43 @@ class TraceBatchResponse:
     """Agent -> server: the positional answers to a batch request."""
 
     responses: tuple[TraceResponse, ...]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Agent -> server: periodic liveness beacon of the monitor loop.
+
+    ``seq`` increments per beat so the server can spot gaps;
+    ``samples_sent``/``failures_seen`` are the agent's cumulative
+    monitor counters, letting the fleet health table show per-endpoint
+    progress without a second round-trip.
+    """
+
+    agent_id: str
+    seq: int
+    uptime_s: float = 0.0
+    samples_sent: int = 0
+    failures_seen: int = 0
+
+
+@dataclass
+class MonitorSample:
+    """Agent -> server: one sampled execution from the monitor loop.
+
+    Unlike a :class:`FailureEnvelope` this is *telemetry*, not a
+    diagnosis request: the server feeds outcome/hang into the anomaly
+    detector and only starts a diagnosis when the detector trips.
+    ``sample`` is None for successful executions (no evidence to ship);
+    failing executions carry the full trace sample so an
+    anomaly-triggered diagnosis starts from the same evidence a
+    reported failure would.
+    """
+
+    bug_id: str
+    seed: int
+    outcome: str  # "success" | "failure"
+    hang: bool = False  # deadlock-shaped failure (hang-signal counter)
+    sample: TraceSample | None = None
 
 
 @dataclass(frozen=True)
@@ -414,6 +453,22 @@ def _encode_payload(msg: Any) -> tuple[MsgType, dict]:
         return MsgType.TRACE_BATCH_RESPONSE, {
             "responses": [_trace_response_to_dict(r) for r in msg.responses],
         }
+    if isinstance(msg, Heartbeat):
+        return MsgType.HEARTBEAT, {
+            "agent_id": msg.agent_id,
+            "seq": msg.seq,
+            "uptime_s": msg.uptime_s,
+            "samples_sent": msg.samples_sent,
+            "failures_seen": msg.failures_seen,
+        }
+    if isinstance(msg, MonitorSample):
+        return MsgType.MONITOR_SAMPLE, {
+            "bug_id": msg.bug_id,
+            "seed": msg.seed,
+            "outcome": msg.outcome,
+            "hang": msg.hang,
+            "sample": None if msg.sample is None else sample_to_dict(msg.sample),
+        }
     if isinstance(msg, DiagnosisResult):
         return MsgType.RESULT, {"signature": msg.signature, "digest": msg.digest}
     if isinstance(msg, Reject):
@@ -452,6 +507,23 @@ def _decode_payload(msg_type: int, d: dict) -> Any:
     if msg_type == MsgType.TRACE_BATCH_RESPONSE:
         return TraceBatchResponse(
             responses=tuple(_trace_response_from_dict(r) for r in d["responses"]),
+        )
+    if msg_type == MsgType.HEARTBEAT:
+        return Heartbeat(
+            agent_id=d["agent_id"],
+            seq=d["seq"],
+            uptime_s=d["uptime_s"],
+            samples_sent=d["samples_sent"],
+            failures_seen=d["failures_seen"],
+        )
+    if msg_type == MsgType.MONITOR_SAMPLE:
+        sample = d["sample"]
+        return MonitorSample(
+            bug_id=d["bug_id"],
+            seed=d["seed"],
+            outcome=d["outcome"],
+            hang=d["hang"],
+            sample=None if sample is None else sample_from_dict(sample),
         )
     if msg_type == MsgType.RESULT:
         return DiagnosisResult(signature=d["signature"], digest=d["digest"])

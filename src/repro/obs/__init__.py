@@ -28,6 +28,7 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from repro.obs.dashboard import DashboardServer
 from repro.obs.exporters import (
     MetricsHTTPServer,
     parse_prometheus_text,
@@ -85,6 +86,7 @@ def resolve_obs(obs: Observability | None) -> Observability:
 
 
 __all__ = [
+    "DashboardServer",
     "MetricsHTTPServer",
     "MetricsRegistry",
     "NullMetricsRegistry",

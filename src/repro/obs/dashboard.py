@@ -1,0 +1,227 @@
+"""The live fleet dashboard: one stdlib HTTP server, zero dependencies.
+
+An always-on diagnosis service needs to be *watched*, not just scraped:
+which endpoints are alive, what the anomaly detector thinks right now,
+which signatures got diagnosed and why.  This module serves that view:
+
+* ``GET /``                    — single-page HTML/JS UI (inline, no assets)
+* ``GET /api/fleet``           — health table + anomaly scores (JSON)
+* ``GET /api/timeline``        — anomaly/diagnosis event feed (JSON)
+* ``GET /api/evidence?report=<key>`` — one evidence graph (JSON)
+* ``GET /metrics``             — Prometheus text (same registry)
+
+The server knows nothing about fleets: it is wired with three callables
+(status, timeline, evidence lookup) so tests can drive it with stubs and
+the fleet server can pass its own thread-safe accessors.  Handlers run
+on the ThreadingHTTPServer's pool; the callables are responsible for
+their own synchronization (the fleet's hop onto the event loop).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.exporters import prometheus_text
+from repro.obs.registry import MetricsRegistry
+
+_PAGE = """<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>snorlax fleet</title>
+<style>
+  body { font-family: ui-monospace, monospace; margin: 1.5em; background: #101418; color: #d8dee9; }
+  h1, h2 { font-weight: 600; }
+  h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.5em; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 0.25em 0.75em; border-bottom: 1px solid #2e3440; }
+  th { color: #81a1c1; }
+  .dead { color: #bf616a; } .ok { color: #a3be8c; }
+  pre { background: #161b22; padding: 0.75em; overflow-x: auto; }
+  a { color: #88c0d0; }
+  .muted { color: #4c566a; }
+</style>
+</head>
+<body>
+<h1>snorlax fleet — always-on diagnosis</h1>
+<h2>endpoints</h2>
+<table id="agents"><thead><tr>
+  <th>agent</th><th>bug</th><th>state</th><th>heartbeats</th>
+  <th>samples</th><th>failures</th><th>last seen</th><th>pending</th>
+</tr></thead><tbody></tbody></table>
+<h2>anomaly scores</h2>
+<table id="anomaly"><thead><tr>
+  <th>bug</th><th>signature</th><th>score</th><th>hang</th>
+  <th>obs</th><th>hits</th><th>last trigger</th>
+</tr></thead><tbody></tbody></table>
+<h2>timeline</h2>
+<table id="timeline"><thead><tr>
+  <th>at</th><th>event</th><th>signature</th><th>detail</th>
+</tr></thead><tbody></tbody></table>
+<h2>evidence</h2>
+<div class="muted">click a diagnosis row's report key to load its provenance graph</div>
+<pre id="evidence">(none loaded)</pre>
+<script>
+function cell(text, cls) {
+  const td = document.createElement('td');
+  td.textContent = text;
+  if (cls) td.className = cls;
+  return td;
+}
+async function loadEvidence(key) {
+  const r = await fetch('/api/evidence?report=' + key);
+  const el = document.getElementById('evidence');
+  el.textContent = r.ok ? JSON.stringify(await r.json(), null, 2)
+                        : 'no evidence for ' + key;
+}
+async function refresh() {
+  const fleet = await (await fetch('/api/fleet')).json();
+  const agents = document.querySelector('#agents tbody');
+  agents.replaceChildren();
+  for (const a of fleet.agents) {
+    const tr = document.createElement('tr');
+    tr.append(
+      cell(a.agent_id), cell(a.bug_id),
+      cell(a.alive ? 'alive' : 'dead', a.alive ? 'ok' : 'dead'),
+      cell(a.heartbeats), cell(a.samples_sent), cell(a.failures_seen),
+      cell(a.last_seen_age_s + 's ago'), cell(a.pending));
+    agents.append(tr);
+  }
+  const anomaly = document.querySelector('#anomaly tbody');
+  anomaly.replaceChildren();
+  for (const [bug, sigs] of Object.entries(fleet.anomaly)) {
+    for (const [sig, s] of Object.entries(sigs)) {
+      const tr = document.createElement('tr');
+      tr.append(cell(bug), cell(sig), cell(s.score), cell(s.hang_score),
+                cell(s.observations), cell(s.hits),
+                cell(s.last_trigger === null ? '—' : s.last_trigger));
+      anomaly.append(tr);
+    }
+  }
+  const timeline = document.querySelector('#timeline tbody');
+  timeline.replaceChildren();
+  const events = await (await fetch('/api/timeline')).json();
+  for (const e of events.slice().reverse()) {
+    const tr = document.createElement('tr');
+    let detail;
+    if (e.event === 'anomaly') {
+      detail = cell(e.reason + ' score=' + e.score);
+    } else {
+      detail = document.createElement('td');
+      const a = document.createElement('a');
+      a.textContent = (e.root_cause || 'undiagnosed') + ' [' + e.report_key.slice(0, 12) + ']';
+      a.href = '#evidence';
+      a.onclick = () => loadEvidence(e.report_key);
+      detail.append(a);
+    }
+    tr.append(cell(e.at), cell(e.event), cell(e.signature), detail);
+    timeline.append(tr);
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""
+
+
+class _DashboardHandler(BaseHTTPRequestHandler):
+    server_version = "snorlax-dashboard"
+
+    def _reply(self, body: bytes, content_type: str, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, payload, status: int = 200) -> None:
+        self._reply(
+            json.dumps(payload, sort_keys=True).encode(),
+            "application/json",
+            status,
+        )
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        srv: DashboardServer = self.server.dashboard  # type: ignore[attr-defined]
+        url = urlparse(self.path)
+        route = url.path.rstrip("/") or "/"
+        try:
+            if route == "/":
+                self._reply(_PAGE.encode(), "text/html; charset=utf-8")
+            elif route == "/api/fleet":
+                self._json(srv.status_fn())
+            elif route == "/api/timeline":
+                self._json(srv.timeline_fn())
+            elif route == "/api/evidence":
+                keys = parse_qs(url.query).get("report", [])
+                payload = srv.evidence_fn(keys[0]) if keys else None
+                if payload is None:
+                    self._json({"error": "unknown report key"}, status=404)
+                else:
+                    self._json(payload)
+            elif route == "/metrics":
+                self._reply(
+                    prometheus_text(srv.registry).encode(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self.send_error(404, "unknown route")
+        except Exception as exc:  # a flaky status_fn must not kill the UI
+            self._json({"error": str(exc)}, status=500)
+
+    def log_message(self, fmt, *args):  # silence per-request stderr noise
+        pass
+
+
+class DashboardServer:
+    """The fleet's live UI endpoint (``--dashboard-port``; 0 picks a
+    free port, ``port`` reports the bound one after :meth:`start`)."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        status_fn: Callable[[], dict],
+        timeline_fn: Callable[[], list],
+        evidence_fn: Callable[[str], dict | None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self.status_fn = status_fn
+        self.timeline_fn = timeline_fn
+        self.evidence_fn = evidence_fn
+        self.host = host
+        self.port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> tuple[str, int]:
+        httpd = ThreadingHTTPServer((self.host, self.port), _DashboardHandler)
+        httpd.dashboard = self  # type: ignore[attr-defined]
+        httpd.daemon_threads = True
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="obs-dashboard-http", daemon=True
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/"

@@ -23,6 +23,7 @@ actually watched:
 from __future__ import annotations
 
 import json
+import math
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,8 +42,30 @@ QUANTILES = (50.0, 95.0, 99.0)
 
 
 def metric_name(name: str, prefix: str = "") -> str:
-    """Sanitize an internal metric name into the Prometheus charset."""
-    return prefix + _NAME_RE.sub("_", name)
+    """Sanitize an internal metric name into the Prometheus charset.
+
+    Every char outside ``[a-zA-Z0-9_:]`` becomes ``_`` (shard ids carry
+    ``#``, span names carry ``.``), and a result whose first char is
+    not ``[a-zA-Z_:]`` — an empty prefix in front of ``0_errors``, or
+    an empty name — gets a leading ``_`` so the sample line stays
+    parseable under the 0.0.4 grammar."""
+    full = prefix + _NAME_RE.sub("_", name)
+    if not full or not (full[0].isalpha() or full[0] in "_:"):
+        full = "_" + full
+    return full
+
+
+def format_value(value: float) -> str:
+    """One sample value in exposition format: the 0.0.4 spellings
+    ``NaN`` / ``+Inf`` / ``-Inf`` for non-finite floats (Python's
+    ``repr`` gives ``nan``/``inf``, which strict scrapers reject),
+    ``repr`` otherwise (round-trip exact)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
 
 
 # ---------------------------------------------------------------------------
@@ -63,16 +86,16 @@ def prometheus_text(registry: MetricsRegistry, prefix: str = "snorlax_") -> str:
     for name, value in snap["gauges"].items():
         full = metric_name(name, prefix)
         lines.append(f"# TYPE {full} gauge")
-        lines.append(f"{full} {value!r}")
+        lines.append(f"{full} {format_value(value)}")
     for name, summary in snap["timers"].items():
         full = metric_name(name, prefix) + "_seconds"
         lines.append(f"# TYPE {full} summary")
         for q in QUANTILES:
             lines.append(
                 f'{full}{{quantile="{q / 100:g}"}} '
-                f"{registry.percentile(name, q)!r}"
+                f"{format_value(registry.percentile(name, q))}"
             )
-        lines.append(f"{full}_sum {summary['total_s']!r}")
+        lines.append(f"{full}_sum {format_value(summary['total_s'])}")
         lines.append(f"{full}_count {summary['count']}")
     return "\n".join(lines) + "\n"
 

@@ -44,6 +44,11 @@ class SamplingProfiler:
         self._target_ident: int | None = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        # serializes sample recording against stop(): without it the
+        # sampler can pass the stop check, lose the GIL mid-record, and
+        # land a sample in a profile already handed to the flight
+        # recorder after stop() returned
+        self._record_lock = threading.Lock()
 
     def __enter__(self) -> "SamplingProfiler":
         self._target_ident = threading.get_ident()
@@ -54,11 +59,25 @@ class SamplingProfiler:
         self._thread.start()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def stop(self, deadline_s: float = 5.0) -> None:
+        """Stop sampling; once this returns no further sample can land.
+
+        The join is bounded by ``deadline_s``; if the sampler thread is
+        wedged past the deadline (it should never be — it only sleeps
+        and records), acquiring ``_record_lock`` is the barrier: the
+        loop re-checks the stop flag under that lock before recording,
+        so holding it once guarantees every later recording attempt
+        sees the flag and bails.
+        """
         self._stop.set()
         if self._thread is not None:
-            self._thread.join(timeout=5)
+            self._thread.join(timeout=deadline_s)
             self._thread = None
+        with self._record_lock:
+            pass  # barrier: any in-flight record has finished or will bail
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
         return False
 
     def _sample_loop(self) -> None:
@@ -66,6 +85,12 @@ class SamplingProfiler:
             frame = sys._current_frames().get(self._target_ident)
             if frame is None:
                 continue
+            self._record(frame)
+
+    def _record(self, frame) -> None:
+        with self._record_lock:
+            if self._stop.is_set():
+                return  # stop() won the race; the profile is frozen
             self.samples += 1
             seen: set[str] = set()
             depth = 0

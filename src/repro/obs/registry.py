@@ -27,6 +27,7 @@ that consume ``as_dict()["timers"]``).
 
 from __future__ import annotations
 
+import math
 import statistics
 import threading
 from contextlib import contextmanager
@@ -43,6 +44,14 @@ def _quantile(ordered: list[float], q: float) -> float:
     low = int(rank)
     high = min(low + 1, len(ordered) - 1)
     return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def _finite(values: list[float]) -> list[float]:
+    """Observations with NaN dropped.  A NaN observation (a failed
+    timer, arithmetic on a corrupt sample) would poison ``sorted()``
+    — NaN compares False with everything, so the 'sorted' list is
+    misordered and every quantile after it is garbage."""
+    return [v for v in values if not math.isnan(v)]
 
 
 class MetricsRegistry:
@@ -126,14 +135,15 @@ class MetricsRegistry:
             return list(self._timers.get(name, ()))
 
     def median(self, name: str) -> float:
-        values = self.timings(name)
+        values = _finite(self.timings(name))
         return statistics.median(values) if values else 0.0
 
     def percentile(self, name: str, q: float) -> float:
         """The q-th percentile (0 < q < 100) of a histogram's
         observations — tail latency is what degrades first when the
-        network misbehaves."""
-        return _quantile(sorted(self.timings(name)), q)
+        network misbehaves.  Empty histograms (and histograms whose
+        every observation was NaN) answer 0.0, never raise."""
+        return _quantile(sorted(_finite(self.timings(name))), q)
 
     def counters_with_prefix(self, prefix: str) -> dict[str, int]:
         """All counters whose name starts with ``prefix`` (e.g. the
@@ -153,12 +163,17 @@ class MetricsRegistry:
             timers = {k: list(v) for k, v in self._timers.items()}
         summary = {}
         for name, values in sorted(timers.items()):
-            ordered = sorted(values)
+            # summaries are computed over the finite observations only,
+            # but ``count`` reports everything observed: a NaN-producing
+            # timer shows up as count > what the stats cover, instead of
+            # NaN-poisoning mean/median/p95 for the whole histogram
+            finite = _finite(values)
+            ordered = sorted(finite)
             summary[name] = {
                 "count": len(values),
-                "total_s": sum(values),
-                "mean_s": statistics.fmean(values) if values else 0.0,
-                "median_s": statistics.median(values) if values else 0.0,
+                "total_s": sum(finite),
+                "mean_s": statistics.fmean(finite) if finite else 0.0,
+                "median_s": statistics.median(finite) if finite else 0.0,
                 "p95_s": _quantile(ordered, 95.0),
                 "max_s": ordered[-1] if ordered else 0.0,
             }

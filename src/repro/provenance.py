@@ -1,0 +1,283 @@
+"""Evidence graphs: every diagnosis conclusion links back to its raw
+inputs.
+
+Lumos (PAPERS.md) argues that provenance is what makes an *online*
+diagnosis service trustworthy: an operator looking at "root cause:
+unordered write/read pair at uid 41" six hours after the fact must be
+able to walk back through the ranked patterns, the constraint funnel,
+the decoded traces, and down to the content hashes of the raw PT ring
+buffers that fed them.  This module builds that DAG for every
+:class:`~repro.core.report.DiagnosisReport`::
+
+    report ──> pattern*  ──> constraints ──> trace* ──> pt_buffer*
+
+Nodes are **content-addressed**: a node's digest is the sha256 of its
+kind plus canonical-JSON payload, so two diagnoses over identical
+evidence produce byte-identical graphs.  Edges are stamped with the
+producing pipeline stage and — when tracing was on — the stage's span
+id, tying the provenance record to the run's flight recorder.
+
+The graph digest deliberately **excludes span ids**: a cold diagnosis
+and a store-served replay of the same evidence carry different span
+trees but identical evidence, and the always-on acceptance criterion
+("anomaly-triggered report digests match on-demand diagnosis") extends
+to the graphs.  Span ids are annotation, not identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+def _sha256_json(value) -> str:
+    return hashlib.sha256(
+        json.dumps(value, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+def report_key(digest: dict) -> str:
+    """The content key a report's evidence graph is stored under: the
+    sha256 of the report digest's canonical JSON.  Signature-independent
+    — two signatures that converge on the same digest share a graph."""
+    return _sha256_json(digest)
+
+
+@dataclass(frozen=True)
+class EvidenceNode:
+    """One content-addressed fact in the graph."""
+
+    digest: str  # sha256 over (kind, canonical payload)
+    kind: str  # "report" | "pattern" | "constraints" | "trace" | "pt_buffer"
+    payload: dict = field(hash=False)
+
+    @classmethod
+    def build(cls, kind: str, payload: dict) -> "EvidenceNode":
+        return cls(
+            digest=_sha256_json({"kind": kind, "payload": payload}),
+            kind=kind,
+            payload=payload,
+        )
+
+
+@dataclass(frozen=True)
+class EvidenceEdge:
+    """``src`` was derived from ``dst`` by pipeline stage ``stage``."""
+
+    src: str  # node digest
+    dst: str  # node digest
+    stage: str  # producing pipeline stage name
+    span_id: int | None = None  # that stage's span in the run's trace
+
+
+@dataclass(frozen=True)
+class EvidenceGraph:
+    """A report's full provenance DAG, ready to persist or render."""
+
+    report_key: str
+    nodes: tuple[EvidenceNode, ...]
+    edges: tuple[EvidenceEdge, ...]
+
+    def digest(self) -> str:
+        """Content digest of the graph *evidence* — node digests plus
+        (src, dst, stage) triples, span ids excluded (annotation, not
+        identity: a cached replay must digest identically to the cold
+        run it replays)."""
+        return _sha256_json(
+            {
+                "nodes": sorted(n.digest for n in self.nodes),
+                "edges": sorted(
+                    [e.src, e.dst, e.stage] for e in self.edges
+                ),
+            }
+        )
+
+    def node(self, digest: str) -> EvidenceNode | None:
+        for node in self.nodes:
+            if node.digest == digest:
+                return node
+        return None
+
+    def nodes_of_kind(self, kind: str) -> list[EvidenceNode]:
+        return [n for n in self.nodes if n.kind == kind]
+
+    def edges_from(self, digest: str) -> list[EvidenceEdge]:
+        return [e for e in self.edges if e.src == digest]
+
+    def to_dict(self) -> dict:
+        return {
+            "report_key": self.report_key,
+            "digest": self.digest(),
+            "nodes": [
+                {"digest": n.digest, "kind": n.kind, "payload": n.payload}
+                for n in self.nodes
+            ],
+            "edges": [
+                {
+                    "src": e.src,
+                    "dst": e.dst,
+                    "stage": e.stage,
+                    "span_id": e.span_id,
+                }
+                for e in self.edges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EvidenceGraph":
+        return cls(
+            report_key=d["report_key"],
+            nodes=tuple(
+                EvidenceNode(
+                    digest=n["digest"], kind=n["kind"], payload=n["payload"]
+                )
+                for n in d["nodes"]
+            ),
+            edges=tuple(
+                EvidenceEdge(
+                    src=e["src"],
+                    dst=e["dst"],
+                    stage=e["stage"],
+                    span_id=e.get("span_id"),
+                )
+                for e in d["edges"]
+            ),
+        )
+
+    def render(self) -> str:
+        """Human-readable walk of the DAG, report first."""
+        by_digest = {n.digest: n for n in self.nodes}
+        lines = [f"evidence graph {self.digest()[:12]} (report {self.report_key[:12]})"]
+        roots = self.nodes_of_kind("report")
+
+        def walk(node: EvidenceNode, depth: int, seen: set[str]) -> None:
+            label = {
+                "report": lambda p: f"report: {p.get('root_cause') or 'undiagnosed'}",
+                "pattern": lambda p: f"pattern #{p['rank']}: {p['pattern']}",
+                "constraints": lambda p: (
+                    f"constraints: {p.get('alias_candidates', '?')} alias "
+                    f"candidates -> {p.get('rank1_candidates', '?')} rank-1"
+                ),
+                "trace": lambda p: (
+                    f"trace {p['label']} "
+                    f"({'failing' if p['failing'] else 'success'}, "
+                    f"{len(p['buffer_hashes'])} threads)"
+                ),
+                "pt_buffer": lambda p: (
+                    f"pt buffer tid={p['tid']} {p['bytes']}B "
+                    f"sha256={p['sha256'][:12]}"
+                ),
+            }.get(node.kind, lambda p: node.kind)(node.payload)
+            lines.append(f"{'  ' * depth}[{node.kind}] {label}")
+            if node.digest in seen:
+                return
+            seen.add(node.digest)
+            for edge in self.edges_from(node.digest):
+                child = by_digest.get(edge.dst)
+                if child is not None:
+                    walk(child, depth + 1, seen)
+
+        for root in roots:
+            walk(root, 1, set())
+        return "\n".join(lines)
+
+
+def _buffer_hashes(sample) -> dict[int, dict]:
+    """Content hashes of one sample's raw per-thread PT rings."""
+    return {
+        tid: {"sha256": hashlib.sha256(raw).hexdigest(), "bytes": len(raw)}
+        for tid, raw in sorted(sample.buffers.items())
+    }
+
+
+def _stage_span_index(spans) -> dict[str, int]:
+    """First span id per stage name in a finished span tree — what the
+    edges get stamped with.  Empty when tracing was off."""
+    index: dict[str, int] = {}
+    for span in spans or ():
+        if span.name not in index:
+            index[span.name] = span.span_id
+    return index
+
+
+def build_evidence_graph(
+    digest: dict,
+    failing_samples,
+    successes,
+    spans=(),
+) -> EvidenceGraph:
+    """Build the provenance DAG for one finished diagnosis.
+
+    ``digest`` is the wire-form :func:`~repro.fleet.server.report_digest`
+    (everything deterministic in the evidence); ``failing_samples`` and
+    ``successes`` are the :class:`~repro.core.pipeline.TraceSample` lists
+    the pipeline consumed; ``spans`` the run's finished span tree (may
+    be empty — span ids are optional annotation).
+    """
+    span_ids = _stage_span_index(spans)
+    # nodes/edges are deduped by content key at build time so the
+    # in-memory graph and its store round-trip (INSERT OR IGNORE, also
+    # content-keyed) digest identically
+    nodes: dict[str, EvidenceNode] = {}
+    edge_keys: set[tuple[str, str, str]] = set()
+    edges: list[EvidenceEdge] = []
+
+    def add_node(kind: str, payload: dict) -> EvidenceNode:
+        node = EvidenceNode.build(kind, payload)
+        return nodes.setdefault(node.digest, node)
+
+    def add_edge(src: EvidenceNode, dst: EvidenceNode, stage: str) -> None:
+        key = (src.digest, dst.digest, stage)
+        if key in edge_keys:
+            return
+        edge_keys.add(key)
+        edges.append(
+            EvidenceEdge(
+                src=src.digest,
+                dst=dst.digest,
+                stage=stage,
+                span_id=span_ids.get(stage),
+            )
+        )
+
+    report_node = add_node("report", dict(digest))
+    constraints_node = add_node(
+        "constraints", dict(digest.get("stage_funnel", {}))
+    )
+
+    patterns = list(digest.get("ranked_patterns", ()))
+    for rank, pattern in enumerate(patterns, 1):
+        node = add_node("pattern", {"pattern": pattern, "rank": rank})
+        add_edge(report_node, node, "statistical_diagnosis")
+        add_edge(node, constraints_node, "pattern_computation")
+    if not patterns:
+        # an undiagnosed report still links to the constraint funnel it
+        # exhausted — provenance of "we looked and found nothing"
+        add_edge(report_node, constraints_node, "pattern_computation")
+
+    for sample in list(failing_samples) + list(successes):
+        hashes = _buffer_hashes(sample)
+        trace_node = add_node(
+            "trace",
+            {
+                "label": sample.label,
+                "failing": sample.failing,
+                "buffer_hashes": {
+                    str(tid): h["sha256"] for tid, h in hashes.items()
+                },
+            },
+        )
+        add_edge(constraints_node, trace_node, "points_to")
+        for tid, h in hashes.items():
+            buffer_node = add_node(
+                "pt_buffer",
+                {"tid": tid, "sha256": h["sha256"], "bytes": h["bytes"]},
+            )
+            add_edge(trace_node, buffer_node, "trace_processing")
+
+    return EvidenceGraph(
+        report_key=report_key(digest),
+        nodes=tuple(nodes.values()),
+        edges=tuple(edges),
+    )

@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from repro.core.cache import CacheStats
 from repro.errors import FleetError
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _DDL_V1 = (
     """CREATE TABLE IF NOT EXISTS meta (
@@ -82,6 +82,26 @@ _MIGRATIONS: dict[int, tuple[str, ...]] = {
     # v3: reports carry their repro.validate outcome (status + witness
     # schedules as JSON) so validated/refuted is queryable per row
     2: ("ALTER TABLE reports ADD COLUMN validation TEXT",),
+    # v4: provenance — every report's evidence graph (content-addressed
+    # nodes + stage-stamped edges, see repro.provenance) is persisted
+    # and queryable via evidence_for(report_key)
+    3: (
+        """CREATE TABLE IF NOT EXISTS evidence_nodes (
+            report_key TEXT NOT NULL,
+            node_digest TEXT NOT NULL,
+            kind TEXT NOT NULL,
+            payload TEXT NOT NULL,
+            PRIMARY KEY (report_key, node_digest)
+        )""",
+        """CREATE TABLE IF NOT EXISTS evidence_edges (
+            report_key TEXT NOT NULL,
+            src TEXT NOT NULL,
+            dst TEXT NOT NULL,
+            stage TEXT NOT NULL,
+            span_id INTEGER,
+            PRIMARY KEY (report_key, src, dst, stage)
+        )""",
+    ),
 }
 
 
@@ -127,6 +147,7 @@ class DiagnosisStore:
         self.report_stats = CacheStats()
         self.analysis_stats = CacheStats()
         self.trace_stats = CacheStats()
+        self.evidence_stats = CacheStats()
 
     # -- schema ------------------------------------------------------------
 
@@ -320,12 +341,92 @@ class DiagnosisStore:
             span.set(outcome="inserted" if inserted else "duplicate")
             return inserted
 
+    # -- evidence graphs ---------------------------------------------------
+
+    def put_evidence(self, graph) -> bool:
+        """Persist one report's :class:`~repro.provenance.EvidenceGraph`.
+
+        Content-keyed like every other tier (nodes by digest, edges by
+        (src, dst, stage)): re-persisting the graph a replayed diagnosis
+        rebuilt is free, and the stored graph digests identically to the
+        in-memory one.  Returns True when any row was new."""
+        with self.tracer.span("store_put", tier="evidence") as span:
+            inserted = 0
+            with self._lock, self._conn:
+                for node in graph.nodes:
+                    cursor = self._conn.execute(
+                        "INSERT OR IGNORE INTO evidence_nodes (report_key, "
+                        "node_digest, kind, payload) VALUES (?, ?, ?, ?)",
+                        (
+                            graph.report_key,
+                            node.digest,
+                            node.kind,
+                            json.dumps(node.payload, sort_keys=True),
+                        ),
+                    )
+                    inserted += cursor.rowcount
+                for edge in graph.edges:
+                    cursor = self._conn.execute(
+                        "INSERT OR IGNORE INTO evidence_edges (report_key, "
+                        "src, dst, stage, span_id) VALUES (?, ?, ?, ?, ?)",
+                        (graph.report_key, edge.src, edge.dst, edge.stage,
+                         edge.span_id),
+                    )
+                    inserted += cursor.rowcount
+            if inserted:
+                self.evidence_stats.writes += 1
+            span.set(outcome="inserted" if inserted else "duplicate",
+                     rows=inserted)
+            return inserted > 0
+
+    def evidence_for(self, report_key: str):
+        """The persisted evidence graph of one report digest (by its
+        :func:`~repro.provenance.report_key`), or None."""
+        from repro.provenance import EvidenceEdge, EvidenceGraph, EvidenceNode
+
+        with self.tracer.span("store_get", tier="evidence") as span:
+            with self._lock:
+                node_rows = self._conn.execute(
+                    "SELECT node_digest, kind, payload FROM evidence_nodes "
+                    "WHERE report_key=? ORDER BY node_digest",
+                    (report_key,),
+                ).fetchall()
+                edge_rows = self._conn.execute(
+                    "SELECT src, dst, stage, span_id FROM evidence_edges "
+                    "WHERE report_key=? ORDER BY src, dst, stage",
+                    (report_key,),
+                ).fetchall()
+            if not node_rows:
+                self.evidence_stats.misses += 1
+                span.set(outcome="miss")
+                return None
+            self.evidence_stats.hits += 1
+            span.set(outcome="hit", nodes=len(node_rows), edges=len(edge_rows))
+            return EvidenceGraph(
+                report_key=report_key,
+                nodes=tuple(
+                    EvidenceNode(
+                        digest=r[0], kind=r[1], payload=json.loads(r[2])
+                    )
+                    for r in node_rows
+                ),
+                edges=tuple(
+                    EvidenceEdge(src=r[0], dst=r[1], stage=r[2], span_id=r[3])
+                    for r in edge_rows
+                ),
+            )
+
     # -- introspection -----------------------------------------------------
 
     @property
     def stats(self) -> CacheStats:
-        """Aggregate across the three tiers (the ``store_*`` counters)."""
-        tiers = (self.report_stats, self.analysis_stats, self.trace_stats)
+        """Aggregate across the tiers (the ``store_*`` counters)."""
+        tiers = (
+            self.report_stats,
+            self.analysis_stats,
+            self.trace_stats,
+            self.evidence_stats,
+        )
         return CacheStats(
             hits=sum(t.hits for t in tiers),
             misses=sum(t.misses for t in tiers),
@@ -340,7 +441,13 @@ class DiagnosisStore:
                 table: self._conn.execute(
                     f"SELECT COUNT(*) FROM {table}"
                 ).fetchone()[0]
-                for table in ("reports", "analyses", "traces")
+                for table in (
+                    "reports",
+                    "analyses",
+                    "traces",
+                    "evidence_nodes",
+                    "evidence_edges",
+                )
             }
 
     def absorb_into(self, registry) -> None:
@@ -352,6 +459,7 @@ class DiagnosisStore:
         registry.absorb_cache_stats("report_store", self.report_stats)
         registry.absorb_cache_stats("analysis_store", self.analysis_stats)
         registry.absorb_cache_stats("trace_store", self.trace_stats)
+        registry.absorb_cache_stats("evidence_store", self.evidence_stats)
 
     # -- lifecycle ---------------------------------------------------------
 

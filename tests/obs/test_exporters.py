@@ -60,6 +60,42 @@ def test_metric_names_are_sanitized():
     assert samples["snorlax_weird_name_with_chars"] == 1
 
 
+def test_metric_names_starting_with_digit_get_guarded():
+    # regression: "0_errors" rendered an unparseable sample line under
+    # the 0.0.4 grammar (names must start [a-zA-Z_:])
+    from repro.obs.exporters import metric_name
+
+    assert metric_name("0_errors") == "_0_errors"
+    assert metric_name("0_errors", prefix="snorlax_") == "snorlax_0_errors"
+    assert metric_name("") == "_"
+    assert metric_name("shard#1.lag") == "shard_1_lag"
+    m = MetricsRegistry()
+    m.inc("0_errors", 2)
+    samples = parse_prometheus_text(prometheus_text(m, prefix=""))
+    assert samples["_0_errors"] == 2
+
+
+def test_non_finite_values_use_exposition_spellings():
+    # regression: repr() gives "nan"/"inf", which strict scrapers
+    # reject; the 0.0.4 spellings are NaN / +Inf / -Inf
+    import math
+
+    from repro.obs.exporters import format_value
+
+    assert format_value(float("nan")) == "NaN"
+    assert format_value(float("inf")) == "+Inf"
+    assert format_value(float("-inf")) == "-Inf"
+    assert format_value(1.5) == "1.5"
+    m = MetricsRegistry()
+    m.gauge("backlog_eta", float("inf"))
+    m.gauge("corrupt_ratio", float("nan"))
+    text = prometheus_text(m)
+    assert "snorlax_backlog_eta +Inf" in text
+    samples = parse_prometheus_text(text)
+    assert samples["snorlax_backlog_eta"] == float("inf")
+    assert math.isnan(samples["snorlax_corrupt_ratio"])
+
+
 def test_http_scrape_endpoint(registry):
     server = MetricsHTTPServer(registry, port=0)
     try:

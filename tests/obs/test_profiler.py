@@ -35,6 +35,35 @@ def test_profiler_rejects_nonpositive_interval():
         SamplingProfiler(interval_s=0)
 
 
+def test_no_sample_lands_after_stop_returns():
+    # regression: stop() used to set the flag and return without a
+    # barrier, so a sampler mid-_record could land one more sample in a
+    # profile the flight recorder had already serialized
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        deadline = time.perf_counter() + 2.0
+        while profiler.samples < 1 and time.perf_counter() < deadline:
+            _busy(time.perf_counter() + 0.01)
+    frozen = (profiler.samples, dict(profiler.self_counts))
+    time.sleep(0.02)  # generous window for any straggler sampler tick
+    assert (profiler.samples, dict(profiler.self_counts)) == frozen
+    # even a direct recording attempt after stop() must bail: the loop
+    # re-checks the stop flag under the record lock
+    import sys
+
+    frame = sys._getframe()
+    profiler._record(frame)
+    assert (profiler.samples, dict(profiler.self_counts)) == frozen
+
+
+def test_stop_is_idempotent():
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        pass
+    profiler.stop()  # second stop: no thread to join, no error
+    assert profiler._thread is None
+
+
 def test_observability_profiler_hook():
     off = Observability()
     with off.profiler() as prof:

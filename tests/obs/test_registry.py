@@ -28,6 +28,34 @@ def test_percentile_interpolates_linearly():
     assert m.percentile("single", 95) == 7.0
 
 
+def test_nan_observations_do_not_poison_percentiles():
+    # regression: NaN compares False with everything, so one NaN in a
+    # histogram silently misordered sorted() and corrupted every
+    # quantile after it
+    m = MetricsRegistry()
+    for v in (1.0, float("nan"), 2.0, 3.0, float("nan"), 4.0):
+        m.observe("latency", v)
+    assert m.percentile("latency", 50) == 2.5
+    assert m.percentile("latency", 100) == 4.0
+    assert m.median("latency") == 2.5
+    # a histogram of only NaN answers like an empty one, never NaN
+    m.observe("poisoned", float("nan"))
+    assert m.percentile("poisoned", 95) == 0.0
+    assert m.median("poisoned") == 0.0
+
+
+def test_as_dict_counts_nan_but_summarizes_finite():
+    m = MetricsRegistry()
+    m.observe("t", 1.0)
+    m.observe("t", float("nan"))
+    m.observe("t", 3.0)
+    summary = m.as_dict()["timers"]["t"]
+    assert summary["count"] == 3  # everything observed is counted...
+    assert summary["total_s"] == 4.0  # ...stats cover the finite ones
+    assert summary["median_s"] == 2.0
+    assert summary["max_s"] == 3.0
+
+
 def test_timer_context_manager_observes():
     m = MetricsRegistry()
     with m.timer("stage_points_to"):

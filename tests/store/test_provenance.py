@@ -1,0 +1,119 @@
+"""Evidence graphs: content addressing, dedup, span-id-free digests."""
+
+from repro.provenance import (
+    EvidenceGraph,
+    EvidenceNode,
+    build_evidence_graph,
+    report_key,
+)
+
+DIGEST = {
+    "bug_kind": "order-violation",
+    "failing_uid": 41,
+    "diagnosed": True,
+    "root_cause": "unordered write/read pair at uid 41",
+    "ranked_patterns": ["W10 -> R12", "W10 -> R14"],
+    "stage_funnel": {"alias_candidates": 6, "rank1_candidates": 2},
+}
+
+
+class _Sample:
+    def __init__(self, label, failing, buffers):
+        self.label = label
+        self.failing = failing
+        self.buffers = buffers
+
+
+class _Span:
+    def __init__(self, name, span_id):
+        self.name = name
+        self.span_id = span_id
+
+
+def _samples():
+    failing = _Sample("failure", True, {1: b"\xaa\xbb", 2: b"\xcc"})
+    # the success shares thread 1's buffer content with the failing run:
+    # the pt_buffer node must be deduplicated, not emitted twice
+    successes = [_Sample("success-0", False, {1: b"\xaa\xbb"})]
+    return failing, successes
+
+
+def test_nodes_are_content_addressed():
+    a = EvidenceNode.build("pattern", {"pattern": "W1 -> R2", "rank": 1})
+    b = EvidenceNode.build("pattern", {"pattern": "W1 -> R2", "rank": 1})
+    c = EvidenceNode.build("pattern", {"pattern": "W1 -> R2", "rank": 2})
+    assert a.digest == b.digest
+    assert a.digest != c.digest
+    # kind participates in the address: same payload, different kind
+    assert EvidenceNode.build("trace", a.payload).digest != a.digest
+
+
+def test_report_key_is_key_order_free():
+    assert report_key(DIGEST) == report_key(dict(reversed(list(DIGEST.items()))))
+    assert report_key(DIGEST) != report_key({**DIGEST, "failing_uid": 42})
+
+
+def test_build_dedupes_shared_buffers_and_links_stages():
+    failing, successes = _samples()
+    graph = build_evidence_graph(DIGEST, [failing], successes)
+    assert graph.report_key == report_key(DIGEST)
+    # thread 1's identical ring appears once even though two traces carry it
+    buffers = graph.nodes_of_kind("pt_buffer")
+    assert len(buffers) == 2  # (tid 1 shared) + (tid 2 failing-only)
+    assert len(graph.nodes_of_kind("trace")) == 2
+    assert len(graph.nodes_of_kind("pattern")) == len(DIGEST["ranked_patterns"])
+    [report] = graph.nodes_of_kind("report")
+    # the report links to every ranked pattern, each pattern to constraints
+    pattern_edges = graph.edges_from(report.digest)
+    assert {e.stage for e in pattern_edges} == {"statistical_diagnosis"}
+    # node digests are unique (dict-backed build cannot emit duplicates)
+    assert len({n.digest for n in graph.nodes}) == len(graph.nodes)
+    assert len(graph.edges) == len(
+        {(e.src, e.dst, e.stage) for e in graph.edges}
+    )
+
+
+def test_undiagnosed_report_still_links_its_constraint_funnel():
+    digest = {**DIGEST, "ranked_patterns": [], "diagnosed": False}
+    failing, successes = _samples()
+    graph = build_evidence_graph(digest, [failing], successes)
+    [report] = graph.nodes_of_kind("report")
+    [edge] = graph.edges_from(report.digest)
+    assert edge.stage == "pattern_computation"
+    assert graph.node(edge.dst).kind == "constraints"
+
+
+def test_digest_excludes_span_ids():
+    failing, successes = _samples()
+    cold = build_evidence_graph(DIGEST, [failing], successes)
+    traced = build_evidence_graph(
+        DIGEST,
+        [failing],
+        successes,
+        spans=[_Span("points_to", 7), _Span("statistical_diagnosis", 9)],
+    )
+    # the traced build stamped span ids onto edges...
+    assert any(e.span_id is not None for e in traced.edges)
+    assert all(e.span_id is None for e in cold.edges)
+    # ...but the evidence digest is identical: annotation, not identity
+    assert traced.digest() == cold.digest()
+
+
+def test_to_dict_round_trip_preserves_digest():
+    failing, successes = _samples()
+    graph = build_evidence_graph(DIGEST, [failing], successes)
+    rebuilt = EvidenceGraph.from_dict(graph.to_dict())
+    assert rebuilt.digest() == graph.digest()
+    assert rebuilt.report_key == graph.report_key
+    assert {n.digest for n in rebuilt.nodes} == {n.digest for n in graph.nodes}
+
+
+def test_render_walks_report_first():
+    failing, successes = _samples()
+    graph = build_evidence_graph(DIGEST, [failing], successes)
+    text = graph.render()
+    lines = text.splitlines()
+    assert lines[0].startswith("evidence graph ")
+    assert "[report] report: unordered write/read pair at uid 41" in text
+    assert "[pattern] pattern #1: W10 -> R12" in text
+    assert "[pt_buffer]" in text

@@ -15,7 +15,10 @@ DIGEST = {"bug_kind": "order-violation", "failing_uid": 7, "diagnosed": True}
 def test_fresh_store_is_at_current_schema(tmp_path):
     with DiagnosisStore(str(tmp_path / "s.db")) as db:
         assert db.schema_version == SCHEMA_VERSION
-        assert db.counts() == {"reports": 0, "analyses": 0, "traces": 0}
+        assert db.counts() == {
+            "reports": 0, "analyses": 0, "traces": 0,
+            "evidence_nodes": 0, "evidence_edges": 0,
+        }
 
 
 def test_v1_file_migrates_forward(tmp_path):
@@ -137,7 +140,10 @@ def test_analysis_and_trace_tiers_roundtrip():
 
         assert db.analysis_stats.writes == 1
         assert db.trace_stats.writes == 1
-        assert db.counts() == {"reports": 0, "analyses": 1, "traces": 1}
+        assert db.counts() == {
+            "reports": 0, "analyses": 1, "traces": 1,
+            "evidence_nodes": 0, "evidence_edges": 0,
+        }
 
 
 def test_aggregate_stats_and_absorb_vocabulary():
@@ -164,7 +170,10 @@ def test_rows_survive_reopen(tmp_path):
         db.put_analysis("fp", "whole", "andersen", b"a")
         db.put_trace("fp", 1, "hash", 500, b"t")
     with DiagnosisStore(path) as db:
-        assert db.counts() == {"reports": 1, "analyses": 1, "traces": 1}
+        assert db.counts() == {
+            "reports": 1, "analyses": 1, "traces": 1,
+            "evidence_nodes": 0, "evidence_edges": 0,
+        }
         assert db.get_report("sig").digest == DIGEST
 
 
@@ -172,3 +181,101 @@ def test_scope_key_is_order_free_and_marks_whole_program():
     assert scope_key(None) == "whole"
     assert scope_key({3, 1, 2}) == scope_key([2, 3, 1])
     assert scope_key({1}) != scope_key({2})
+
+
+# -- evidence tier (schema v4) ---------------------------------------------
+
+
+class _Sample:
+    """Just enough of a TraceSample for build_evidence_graph."""
+
+    def __init__(self, label, failing, buffers):
+        self.label = label
+        self.failing = failing
+        self.buffers = buffers
+
+
+def _graph():
+    from repro.provenance import build_evidence_graph
+
+    digest = {
+        "bug_kind": "order-violation",
+        "failing_uid": 7,
+        "diagnosed": True,
+        "ranked_patterns": ["W10 -> R12"],
+        "stage_funnel": {"alias_candidates": 4, "rank1_candidates": 1},
+    }
+    return build_evidence_graph(
+        digest,
+        [_Sample("failure", True, {1: b"\x01\x02", 2: b"\x03"})],
+        [_Sample("success-0", False, {1: b"\x01\x02"})],
+    )
+
+
+def test_evidence_roundtrip_preserves_graph_digest():
+    graph = _graph()
+    with DiagnosisStore() as db:
+        assert db.put_evidence(graph) is True
+        assert db.put_evidence(graph) is False  # content-keyed: no new rows
+        served = db.evidence_for(graph.report_key)
+        assert served is not None
+        assert served.digest() == graph.digest()
+        assert {n.digest for n in served.nodes} == {
+            n.digest for n in graph.nodes
+        }
+        assert db.evidence_for("no-such-key") is None
+        counts = db.counts()
+        assert counts["evidence_nodes"] == len(graph.nodes)
+        assert counts["evidence_edges"] == len(graph.edges)
+
+
+def test_evidence_survives_reopen(tmp_path):
+    path = str(tmp_path / "evidence.db")
+    graph = _graph()
+    with DiagnosisStore(path) as db:
+        db.put_evidence(graph)
+    with DiagnosisStore(path) as db:
+        served = db.evidence_for(graph.report_key)
+        assert served is not None
+        assert served.digest() == graph.digest()
+
+
+def test_evidence_stats_absorb_vocabulary():
+    graph = _graph()
+    with DiagnosisStore() as db:
+        db.evidence_for(graph.report_key)  # miss
+        db.put_evidence(graph)
+        db.evidence_for(graph.report_key)  # hit
+        registry = MetricsRegistry()
+        db.absorb_into(registry)
+        assert registry.counter("evidence_store_hits") == 1
+        assert registry.counter("evidence_store_misses") == 1
+        assert registry.counter("evidence_store_writes") == 1
+
+
+def test_v3_file_migrates_to_v4_with_evidence_tables(tmp_path):
+    from repro.store.store import _MIGRATIONS
+
+    path = str(tmp_path / "v3.db")
+    conn = sqlite3.connect(path)
+    with conn:
+        for ddl in _DDL_V1:
+            conn.execute(ddl)
+        for version in (1, 2):  # bring the file to v3 exactly
+            for statement in _MIGRATIONS[version]:
+                conn.execute(statement)
+        conn.execute(
+            "INSERT INTO meta (key, value) VALUES ('schema_version', '3')"
+        )
+        conn.execute(
+            "INSERT INTO reports (signature, bug_id, digest, degraded, "
+            "created_at) VALUES ('b|crash|1', 'b', '{}', 0, 0.0)"
+        )
+    conn.close()
+    graph = _graph()
+    with DiagnosisStore(path) as db:
+        assert db.schema_version == SCHEMA_VERSION
+        assert db.get_report("b|crash|1") is not None  # old rows survive
+        assert db.counts()["evidence_nodes"] == 0
+        assert db.put_evidence(graph)  # new tables are writable
+        assert db.evidence_for(graph.report_key).digest() == graph.digest()
